@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig7(t *testing.T) {
+	var b strings.Builder
+	if err := run("7", 0, 0, 0, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 7", "Det_Enc", "nDet_Enc", "Plaintext"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	var b strings.Builder
+	if err := run("8", 100, 5000, 3, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 8", "S_Agg", "C_Noise", "R1000_Noise", "Cleartext"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run("9", 0, 0, 0, &b); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run("8", 1, 5, 0, &b); err == nil {
+		t.Error("degenerate parameters accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, proto := range []string{"basic", "s_agg", "rnf_noise", "c_noise", "ed_hist"} {
+		query := defaultQuery
+		if proto == "basic" {
+			query = `SELECT C.cid, C.district FROM Consumer C WHERE C.accommodation = 'flat'`
+		}
+		if err := run(40, proto, query, 2, 0, 0.5, 0, 7); err != nil {
+			t.Errorf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	if err := run(30, "s_agg", defaultQuery, 0, 0, 0.5, 0.2, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	ok := map[string]string{
+		"basic": "Basic", "S_AGG": "S_Agg", "sagg": "S_Agg",
+		"rnf": "Rnf_Noise", "cnoise": "C_Noise", "hist": "ED_Hist",
+	}
+	for in, want := range ok {
+		k, err := parseProtocol(in)
+		if err != nil || k.String() != want {
+			t.Errorf("parseProtocol(%q) = %v, %v", in, k, err)
+		}
+	}
+	if _, err := parseProtocol("nope"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(10, "nope", defaultQuery, 0, 0, 0.5, 0, 1); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	if err := run(10, "s_agg", "not sql", 0, 0, 0.5, 0, 1); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Fleetaudit demonstrates the extended threat model the paper lists as
+// future work: a fraction of the fleet is compromised — the devices hold
+// valid keys and speak the protocol, but silently drop half of whatever
+// they are asked to aggregate. The defense is layered:
+//
+//  1. audited queries process every partition on several devices and
+//     compare keyed semantic digests; outvoted devices become suspects;
+//
+//  2. repeat offenders are revoked with an NNL complete-subtree broadcast
+//     (footnote 7) that hands a fresh key ring to everyone else;
+//
+//  3. subsequent queries run clean — the expelled devices cannot even
+//     decrypt them.
+//
+//     go run ./examples/fleetaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+	"github.com/trustedcells/tcq/internal/workload"
+)
+
+const survey = `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` +
+	`WHERE C.cid = P.cid GROUP BY C.district`
+
+func main() {
+	w := workload.DefaultSmartMeter(13)
+	w.Districts = 8
+	eng, err := core.NewEngine(core.Config{
+		Schema: w.Schema(),
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "energy-analyst", AggregateOnly: true},
+		}},
+		AuthorityKey:        tdscrypto.MustRandomKey(),
+		MasterKey:           tdscrypto.MustRandomKey(),
+		AvailableFraction:   0.5,
+		CompromisedFraction: 0.15,
+		AuditReplicas:       5,
+		Seed:                13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.ProvisionFleet(60, w.HouseholdDB); err != nil {
+		log.Fatal(err)
+	}
+	newQuerier := func(id string) *querier.Querier {
+		cred := eng.Authority().Issue(id, []string{"energy-analyst"},
+			time.Unix(1700000000, 0).Add(24*time.Hour))
+		q, err := querier.New(id, eng.K1(), cred, eng.Schema())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	q := newQuerier("edf")
+
+	fmt.Println("phase 1 — audited surveys over a partially compromised fleet")
+	offences := map[string]int{}
+	for i := 0; i < 5; i++ {
+		res, m, err := eng.Run(q, survey, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, id := range m.Suspects {
+			offences[id]++
+		}
+		fmt.Printf("  run %d: %d rows, %d replicas outvoted\n", i+1, len(res.Rows), m.AuditDetections)
+	}
+
+	var offenders []string
+	for id, n := range offences {
+		if n >= 2 {
+			offenders = append(offenders, id)
+		}
+	}
+	sort.Strings(offenders)
+	fmt.Printf("\nphase 2 — revoking %d repeat offenders: %v\n", len(offenders), offenders)
+	if len(offenders) == 0 {
+		fmt.Println("  (none flagged twice; rerun with another seed)")
+		return
+	}
+	if err := eng.RevokeAndRotate(offenders...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  key ring rotated; fresh ring broadcast to the survivors")
+
+	fmt.Println("\nphase 3 — the expelled devices cannot even read new queries")
+	q2 := newQuerier("edf-epoch2")
+	res, m, err := eng.Run(q2, survey, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  clean run: %d rows, %d devices failed to decrypt (the revoked ones), %d outvoted\n",
+		len(res.Rows), m.CollectErrors, m.AuditDetections)
+	fmt.Printf("\n%s", res)
+}

@@ -1,0 +1,3 @@
+module github.com/trustedcells/tcq
+
+go 1.22

@@ -1,0 +1,267 @@
+// Package accessctl implements the access-control layer each TDS enforces
+// before answering a query (Section 3.1, "Access control enforcement").
+//
+// The policy protecting local data is defined by the producer organism,
+// the legislator or a consumer association, and installed in the TDS (at
+// burn time or downloaded). The querier attaches a credential signed by an
+// authority; each TDS verifies the signature, checks expiry and evaluates
+// the policy against the query before contributing anything but a dummy
+// tuple.
+package accessctl
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// Credential identifies a querier and the roles an authority granted it.
+// Credentials travel in cleartext next to the encrypted query (the SSI may
+// see them; they contain no personal data).
+type Credential struct {
+	QuerierID string
+	Roles     []string
+	Expiry    time.Time
+	Signature []byte
+}
+
+// signingPayload returns the byte string covered by the signature.
+func (c *Credential) signingPayload() []byte {
+	var b []byte
+	b = append(b, "cred/v1\x00"...)
+	b = append(b, c.QuerierID...)
+	b = append(b, 0)
+	for _, r := range c.Roles {
+		b = append(b, r...)
+		b = append(b, 0)
+	}
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(c.Expiry.Unix()))
+	return append(b, ts[:]...)
+}
+
+// HasRole reports whether the credential carries the role.
+func (c *Credential) HasRole(role string) bool {
+	for _, r := range c.Roles {
+		if strings.EqualFold(r, role) {
+			return true
+		}
+	}
+	return false
+}
+
+// Authority signs querier credentials. Its verification key is installed in
+// every TDS alongside the access-control policy.
+type Authority struct {
+	key tdscrypto.Key
+}
+
+// NewAuthority creates an authority from its signing key.
+func NewAuthority(key tdscrypto.Key) *Authority { return &Authority{key: key} }
+
+// Issue returns a signed credential for the querier.
+func (a *Authority) Issue(querierID string, roles []string, expiry time.Time) Credential {
+	c := Credential{QuerierID: querierID, Roles: append([]string(nil), roles...), Expiry: expiry}
+	mac := hmac.New(sha256.New, a.key[:])
+	mac.Write(c.signingPayload())
+	c.Signature = mac.Sum(nil)
+	return c
+}
+
+// Verify checks the credential signature and expiry at the given time.
+func (a *Authority) Verify(c Credential, now time.Time) error {
+	mac := hmac.New(sha256.New, a.key[:])
+	mac.Write(c.signingPayload())
+	if !hmac.Equal(mac.Sum(nil), c.Signature) {
+		return errors.New("accessctl: invalid credential signature")
+	}
+	if now.After(c.Expiry) {
+		return fmt.Errorf("accessctl: credential expired at %s", c.Expiry.Format(time.RFC3339))
+	}
+	return nil
+}
+
+// Rule grants a role access to tables under restrictions. An empty Tables
+// list means every table. AggregateOnly is the paper's privacy workhorse:
+// the querier may only see aggregate results, never identifying tuples.
+type Rule struct {
+	Role          string
+	Tables        []string // empty = all tables
+	AggregateOnly bool
+	DeniedColumns []string // table.column or bare column names
+}
+
+// allowsTable reports whether the rule covers the table.
+func (r *Rule) allowsTable(name string) bool {
+	if len(r.Tables) == 0 {
+		return true
+	}
+	for _, t := range r.Tables {
+		if strings.EqualFold(t, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// deniesColumn reports whether the rule forbids referencing the column.
+// table is the resolved table name of the reference ("" when the reference
+// is unqualified); fromTables lists every FROM table of the query so that
+// an unqualified reference is matched conservatively against all of them.
+func (r *Rule) deniesColumn(table, column string, fromTables []string) bool {
+	for _, d := range r.DeniedColumns {
+		if i := strings.IndexByte(d, '.'); i >= 0 {
+			if !strings.EqualFold(d[i+1:], column) {
+				continue
+			}
+			if table != "" {
+				if strings.EqualFold(d[:i], table) {
+					return true
+				}
+				continue
+			}
+			for _, ft := range fromTables {
+				if strings.EqualFold(d[:i], ft) {
+					return true
+				}
+			}
+			continue
+		}
+		if strings.EqualFold(d, column) {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy is the set of rules installed in a TDS.
+type Policy struct {
+	Rules []Rule
+}
+
+// ErrDenied is returned when no rule authorizes the query. Per the
+// protocol, the TDS then contributes a dummy tuple rather than an error so
+// the SSI learns nothing (step 4' of Fig. 2); the error drives that branch.
+var ErrDenied = errors.New("accessctl: access denied")
+
+// Authorize decides whether a credential may run the statement. The query
+// is allowed when at least one applicable rule authorizes it entirely —
+// table scope, aggregate restriction and column denials are evaluated per
+// rule, never combined across rules. Combining would let a credential
+// holding an aggregate-only rule over all tables and an identifying rule
+// over one table run identifying queries over every table, which neither
+// rule intends.
+func (p *Policy) Authorize(c Credential, stmt *sqlparse.SelectStmt) error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("%w: empty policy", ErrDenied)
+	}
+	var applicable []*Rule
+	for i := range p.Rules {
+		if c.HasRole(p.Rules[i].Role) {
+			applicable = append(applicable, &p.Rules[i])
+		}
+	}
+	if len(applicable) == 0 {
+		return fmt.Errorf("%w: no applicable role", ErrDenied)
+	}
+	var firstReason error
+	for _, r := range applicable {
+		if err := r.authorize(stmt); err == nil {
+			return nil
+		} else if firstReason == nil {
+			firstReason = err
+		}
+	}
+	return firstReason
+}
+
+// authorize checks whether this single rule allows the whole statement.
+func (r *Rule) authorize(stmt *sqlparse.SelectStmt) error {
+	for _, ref := range stmt.From {
+		if !r.allowsTable(ref.Name) {
+			return fmt.Errorf("%w: table %q", ErrDenied, ref.Name)
+		}
+	}
+	if r.AggregateOnly && !stmt.IsAggregate() {
+		return fmt.Errorf("%w: role is restricted to aggregate queries", ErrDenied)
+	}
+	// Aliases in FROM resolve to table names before matching denials.
+	aliasToTable := make(map[string]string, len(stmt.From))
+	fromTables := make([]string, 0, len(stmt.From))
+	for _, ref := range stmt.From {
+		fromTables = append(fromTables, ref.Name)
+		aliasToTable[strings.ToLower(ref.Name)] = ref.Name
+		if ref.Alias != "" {
+			aliasToTable[strings.ToLower(ref.Alias)] = ref.Name
+		}
+	}
+	var denied *sqlparse.ColumnRef
+	forEachColumn(stmt, func(ref *sqlparse.ColumnRef) {
+		if denied != nil {
+			return
+		}
+		table := ""
+		if ref.Table != "" {
+			table = aliasToTable[strings.ToLower(ref.Table)]
+			if table == "" {
+				table = ref.Table
+			}
+		}
+		if r.deniesColumn(table, ref.Name, fromTables) {
+			denied = ref
+		}
+	})
+	if denied != nil {
+		return fmt.Errorf("%w: column %q", ErrDenied, denied)
+	}
+	return nil
+}
+
+// forEachColumn visits every column reference of the statement.
+func forEachColumn(stmt *sqlparse.SelectStmt, fn func(*sqlparse.ColumnRef)) {
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch n := e.(type) {
+		case nil:
+		case *sqlparse.ColumnRef:
+			fn(n)
+		case *sqlparse.BinaryExpr:
+			walk(n.Left)
+			walk(n.Right)
+		case *sqlparse.UnaryExpr:
+			walk(n.Expr)
+		case *sqlparse.InExpr:
+			walk(n.Expr)
+			for _, it := range n.List {
+				walk(it)
+			}
+		case *sqlparse.BetweenExpr:
+			walk(n.Expr)
+			walk(n.Lo)
+			walk(n.Hi)
+		case *sqlparse.IsNullExpr:
+			walk(n.Expr)
+		case *sqlparse.FuncCall:
+			if !n.Star {
+				walk(n.Arg)
+			}
+		}
+	}
+	for _, it := range stmt.Select {
+		if !it.Star {
+			walk(it.Expr)
+		}
+	}
+	walk(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		fn(g)
+	}
+	walk(stmt.Having)
+}

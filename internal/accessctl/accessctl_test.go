@@ -1,0 +1,203 @@
+package accessctl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+var (
+	now    = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	expiry = now.Add(24 * time.Hour)
+)
+
+func issuer() *Authority { return NewAuthority(tdscrypto.DeriveKey(tdscrypto.Key{}, "authority")) }
+
+func TestCredentialVerify(t *testing.T) {
+	a := issuer()
+	c := a.Issue("edf", []string{"energy-analyst"}, expiry)
+	if err := a.Verify(c, now); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasRole("Energy-Analyst") {
+		t.Error("role check must be case-insensitive")
+	}
+	if c.HasRole("doctor") {
+		t.Error("unexpected role")
+	}
+}
+
+func TestCredentialExpiry(t *testing.T) {
+	a := issuer()
+	c := a.Issue("edf", []string{"r"}, now.Add(-time.Second))
+	if err := a.Verify(c, now); err == nil {
+		t.Fatal("expired credential accepted")
+	}
+}
+
+func TestCredentialTamperDetection(t *testing.T) {
+	a := issuer()
+	c := a.Issue("edf", []string{"r"}, expiry)
+
+	forged := c
+	forged.QuerierID = "mallory"
+	if err := a.Verify(forged, now); err == nil {
+		t.Error("forged querier accepted")
+	}
+
+	forged = c
+	forged.Roles = []string{"r", "admin"}
+	if err := a.Verify(forged, now); err == nil {
+		t.Error("forged roles accepted")
+	}
+
+	forged = c
+	forged.Expiry = expiry.Add(time.Hour)
+	if err := a.Verify(forged, now); err == nil {
+		t.Error("extended expiry accepted")
+	}
+
+	forged = c
+	forged.Signature = append([]byte(nil), c.Signature...)
+	forged.Signature[0] ^= 1
+	if err := a.Verify(forged, now); err == nil {
+		t.Error("bit-flipped signature accepted")
+	}
+}
+
+func TestCredentialWrongAuthority(t *testing.T) {
+	a := issuer()
+	b := NewAuthority(tdscrypto.DeriveKey(tdscrypto.Key{}, "other"))
+	c := a.Issue("edf", []string{"r"}, expiry)
+	if err := b.Verify(c, now); err == nil {
+		t.Fatal("credential from a foreign authority accepted")
+	}
+}
+
+func policyAggOnly() *Policy {
+	return &Policy{Rules: []Rule{{
+		Role:          "energy-analyst",
+		Tables:        []string{"Power", "Consumer"},
+		AggregateOnly: true,
+	}}}
+}
+
+func cred(roles ...string) Credential {
+	return Credential{QuerierID: "q", Roles: roles, Expiry: expiry}
+}
+
+func TestAuthorizeAggregateOnly(t *testing.T) {
+	p := policyAggOnly()
+	agg := sqlparse.MustParse(`SELECT AVG(cons) FROM Power GROUP BY period`)
+	if err := p.Authorize(cred("energy-analyst"), agg); err != nil {
+		t.Fatalf("aggregate denied: %v", err)
+	}
+	ident := sqlparse.MustParse(`SELECT cid, cons FROM Power`)
+	err := p.Authorize(cred("energy-analyst"), ident)
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("identifying query allowed: %v", err)
+	}
+}
+
+func TestAuthorizeTableScope(t *testing.T) {
+	p := &Policy{Rules: []Rule{{Role: "r", Tables: []string{"Power"}}}}
+	ok := sqlparse.MustParse(`SELECT cons FROM Power`)
+	if err := p.Authorize(cred("r"), ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := sqlparse.MustParse(`SELECT cons FROM Power P, Consumer C`)
+	if err := p.Authorize(cred("r"), bad); !errors.Is(err, ErrDenied) {
+		t.Fatalf("out-of-scope table allowed: %v", err)
+	}
+}
+
+func TestAuthorizeNoRole(t *testing.T) {
+	p := policyAggOnly()
+	q := sqlparse.MustParse(`SELECT AVG(cons) FROM Power GROUP BY period`)
+	if err := p.Authorize(cred("stranger"), q); !errors.Is(err, ErrDenied) {
+		t.Fatalf("unknown role allowed: %v", err)
+	}
+	empty := &Policy{}
+	if err := empty.Authorize(cred("r"), q); !errors.Is(err, ErrDenied) {
+		t.Fatalf("empty policy allowed: %v", err)
+	}
+}
+
+func TestAuthorizeDeniedColumns(t *testing.T) {
+	p := &Policy{Rules: []Rule{{
+		Role:          "r",
+		DeniedColumns: []string{"Consumer.cid", "accommodation"},
+	}}}
+	for _, q := range []string{
+		`SELECT C.cid FROM Consumer C`,
+		`SELECT district FROM Consumer WHERE accommodation = 'flat'`,
+		`SELECT AVG(cons) FROM Power P, Consumer C GROUP BY C.accommodation`,
+	} {
+		if err := p.Authorize(cred("r"), sqlparse.MustParse(q)); !errors.Is(err, ErrDenied) {
+			t.Errorf("denied column allowed in %q: %v", q, err)
+		}
+	}
+	if err := p.Authorize(cred("r"), sqlparse.MustParse(`SELECT district FROM Consumer`)); err != nil {
+		t.Errorf("legal query denied: %v", err)
+	}
+}
+
+func TestAuthorizeMostPermissiveRuleWins(t *testing.T) {
+	p := &Policy{Rules: []Rule{
+		{Role: "analyst", AggregateOnly: true},
+		{Role: "doctor", Tables: []string{"Power"}},
+	}}
+	// A querier holding both roles may run identifying queries on Power.
+	q := sqlparse.MustParse(`SELECT cons FROM Power`)
+	if err := p.Authorize(cred("analyst", "doctor"), q); err != nil {
+		t.Fatalf("union of roles should allow: %v", err)
+	}
+	// Column denied by one rule but not the other stays allowed.
+	p = &Policy{Rules: []Rule{
+		{Role: "a", DeniedColumns: []string{"cons"}},
+		{Role: "b"},
+	}}
+	if err := p.Authorize(cred("a", "b"), q); err != nil {
+		t.Fatalf("column denied despite permissive rule: %v", err)
+	}
+	if err := p.Authorize(cred("a"), q); !errors.Is(err, ErrDenied) {
+		t.Fatalf("column allowed for restricted role: %v", err)
+	}
+}
+
+func TestAuthorizeNoCrossRulePrivilegeCombination(t *testing.T) {
+	// Regression: an aggregate-only rule over all tables plus an
+	// identifying rule over Patient must NOT combine into identifying
+	// access over Visit — no single rule allows that query.
+	p := &Policy{Rules: []Rule{
+		{Role: "epidemiologist", AggregateOnly: true},
+		{Role: "alert-service", Tables: []string{"Patient"}},
+	}}
+	c := cred("epidemiologist", "alert-service")
+	leak := sqlparse.MustParse(`SELECT pid, cost FROM Visit`)
+	if err := p.Authorize(c, leak); !errors.Is(err, ErrDenied) {
+		t.Fatalf("cross-rule combination authorized an identifying Visit query: %v", err)
+	}
+	// Each rule still authorizes what it intends.
+	if err := p.Authorize(c, sqlparse.MustParse(`SELECT COUNT(*) FROM Visit GROUP BY year`)); err != nil {
+		t.Errorf("aggregate over Visit denied: %v", err)
+	}
+	if err := p.Authorize(c, sqlparse.MustParse(`SELECT pid FROM Patient`)); err != nil {
+		t.Errorf("identifying over Patient denied: %v", err)
+	}
+}
+
+func TestAuthorizeHavingAndGroupByColumns(t *testing.T) {
+	p := &Policy{Rules: []Rule{{Role: "r", DeniedColumns: []string{"district"}}}}
+	q := sqlparse.MustParse(`SELECT AVG(cons) FROM Power P, Consumer C GROUP BY C.district`)
+	if err := p.Authorize(cred("r"), q); !errors.Is(err, ErrDenied) {
+		t.Fatalf("denied GROUP BY column allowed: %v", err)
+	}
+	q = sqlparse.MustParse(`SELECT AVG(cons) FROM Power GROUP BY period HAVING MIN(cons) > 1`)
+	if err := p.Authorize(cred("r"), q); err != nil {
+		t.Fatalf("legal HAVING denied: %v", err)
+	}
+}

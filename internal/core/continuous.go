@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+)
+
+// WindowResult is one window of a continuous query.
+type WindowResult struct {
+	Window  int
+	Result  *sqlexec.Result
+	Metrics *Metrics
+}
+
+// RunContinuous executes the query repeatedly, once per collection window,
+// with the stream-relational semantics of Section 2.3: devices keep
+// acquiring data (smart meters sample continuously) and each window's
+// protocol run aggregates the data present at that point. feed, when not
+// nil, runs before every window and typically pushes fresh readings into
+// the fleet's local databases — the simulation's stand-in for the physical
+// world between windows.
+//
+// Every window is a complete, independent protocol run: the SSI keeps no
+// state across windows and learns nothing more from N windows than from N
+// independent queries.
+func (e *Engine) RunContinuous(q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params, windows int, feed func(window int)) ([]WindowResult, error) {
+	if windows <= 0 {
+		return nil, fmt.Errorf("core: RunContinuous needs a positive window count")
+	}
+	out := make([]WindowResult, 0, windows)
+	for w := 0; w < windows; w++ {
+		if feed != nil {
+			feed(w)
+		}
+		res, m, err := e.Run(q, sql, kind, params)
+		if err != nil {
+			return out, fmt.Errorf("core: window %d: %w", w, err)
+		}
+		out = append(out, WindowResult{Window: w, Result: res, Metrics: m})
+	}
+	return out, nil
+}

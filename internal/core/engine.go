@@ -1,0 +1,613 @@
+// Package core is the paper's contribution assembled: an engine that runs
+// privacy-preserving SQL queries over a fleet of Trusted Data Servers
+// through an untrusted Supporting Server Infrastructure, using any of the
+// protocols of Sections 3-4 (Basic, S_Agg, Rnf_Noise, C_Noise, ED_Hist).
+//
+// The engine plays the role of the physical world: it connects TDSs to the
+// SSI, schedules which connected TDS processes which partition, injects
+// failures, and accounts simulated time through the netsim calibration —
+// mirroring the paper's methodology of functional validation plus a
+// calibrated cost model.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/netsim"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/ssi"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tds"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Schema is the common schema every TDS database conforms to.
+	Schema *storage.Schema
+	// Policy is installed in every TDS.
+	Policy *accessctl.Policy
+	// AuthorityKey signs querier credentials.
+	AuthorityKey tdscrypto.Key
+	// MasterKey seeds the k1/k2 key ring of the fleet.
+	MasterKey tdscrypto.Key
+	// Calibration models TDS hardware; zero value selects the unit-test
+	// board of Section 6.2.
+	Calibration netsim.Calibration
+	// AvailableFraction is the share of the fleet connected during the
+	// aggregation and filtering phases (the paper sweeps 1%, 10%, 100%).
+	// 0 selects the paper's default of 10%.
+	AvailableFraction float64
+	// FailureRate is the probability that a TDS goes offline while
+	// processing a partition; the SSI then re-assigns the partition
+	// (correctness property of Section 3.2). 0 disables failures.
+	FailureRate float64
+	// ConnectionInterval is the simulated time between two successive TDS
+	// connections in the collection phase. With seldom-connected devices
+	// (health tokens) it is hours; smart meters make it ~0. It is what a
+	// SIZE ... DURATION window measures against.
+	ConnectionInterval time.Duration
+	// AuditReplicas enables the compromised-TDS extension: every
+	// aggregation/filtering partition is processed by this many distinct
+	// TDSs and their keyed semantic digests compared; the majority result
+	// wins and disagreements are counted (Metrics.AuditDetections).
+	// 0 or 1 disables auditing. Use an odd value ≥ 3 to outvote a single
+	// compromised device per partition.
+	AuditReplicas int
+	// CompromisedFraction marks this share of the fleet as compromised at
+	// enrollment (simulation of the extended threat model). Compromised
+	// devices silently drop half of the work in partitions they process.
+	CompromisedFraction float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Engine owns a fleet, an SSI and the cryptographic material.
+type Engine struct {
+	cfg       Config
+	schema    *storage.Schema
+	fleet     []*tds.TDS
+	ssi       *ssi.SSI
+	authority *accessctl.Authority
+	keyAuth   *tdscrypto.KeyAuthority
+	keys      tdscrypto.KeyRing
+	cal       netsim.Calibration
+
+	mu        sync.Mutex
+	seq       int
+	discovery map[string]*discovered // cached A_G distributions
+
+	// Broadcast revocation state (lazily initialized by RevokeAndRotate).
+	bcast      *tdscrypto.BroadcastAuthority
+	deviceKeys map[string]tdscrypto.DeviceKeySet
+	revoked    map[string]bool
+}
+
+// discovered is a cached distribution-discovery outcome.
+type discovered struct {
+	counts map[string]int64
+	domain []storage.Row
+}
+
+// NewEngine builds an engine with an empty fleet.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("core: Config.Schema is required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("core: Config.Policy is required")
+	}
+	if cfg.Calibration == (netsim.Calibration{}) {
+		cfg.Calibration = netsim.DefaultCalibration()
+	}
+	if cfg.AvailableFraction <= 0 || cfg.AvailableFraction > 1 {
+		cfg.AvailableFraction = 0.10
+	}
+	auth := accessctl.NewAuthority(cfg.AuthorityKey)
+	keyAuth := tdscrypto.NewKeyAuthority(cfg.MasterKey)
+	return &Engine{
+		cfg:       cfg,
+		schema:    cfg.Schema,
+		ssi:       ssi.New(),
+		authority: auth,
+		keyAuth:   keyAuth,
+		keys:      keyAuth.Ring(),
+		cal:       cfg.Calibration,
+		discovery: make(map[string]*discovered),
+	}, nil
+}
+
+// RotateKeys advances the fleet key epoch (the paper notes k1/k2 may
+// change over time). Queriers built with the new K1 and TDSs enrolled
+// after rotation use the new ring; devices still holding the previous
+// epoch's keys can no longer decrypt new queries and drop out of
+// collection (counted in Metrics.CollectErrors) until re-enrolled.
+func (e *Engine) RotateKeys() {
+	e.keyAuth.Rotate()
+	e.keys = e.keyAuth.Ring()
+}
+
+// ReenrollAll re-provisions every enrolled TDS with the current key ring,
+// as a fleet-wide firmware/key update would. Compromised devices remain
+// compromised — re-enrollment changes keys, not silicon.
+func (e *Engine) ReenrollAll() error {
+	for i, old := range e.fleet {
+		t, err := tds.New(old.ID, old.DB, e.keys, e.cfg.Policy, e.authority)
+		if err != nil {
+			return err
+		}
+		t.Corrupt = old.Corrupt
+		e.fleet[i] = t
+	}
+	return nil
+}
+
+// RevokeAndRotate expels the given devices from the fleet: it revokes
+// their broadcast slots, rotates the key ring, and distributes the new
+// ring with the complete-subtree broadcast scheme (footnote 7). Every
+// non-revoked device opens the broadcast and re-enrolls; the revoked ones
+// cannot decrypt it, stay on the dead epoch, and drop out of every future
+// query (Metrics.CollectErrors). Feed it the repeat offenders from
+// Metrics.Suspects to close the audit loop: detect, revoke, rotate.
+func (e *Engine) RevokeAndRotate(ids ...string) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("core: RevokeAndRotate needs at least one device ID")
+	}
+	if e.bcast == nil {
+		// Lazily stand up the broadcast tree. On real hardware the path
+		// keys are installed at enrollment; the simulation issues them
+		// retroactively from the fleet roster.
+		bc, err := tdscrypto.NewBroadcastAuthority(e.cfg.MasterKey, len(e.fleet))
+		if err != nil {
+			return err
+		}
+		e.bcast = bc
+		e.deviceKeys = make(map[string]tdscrypto.DeviceKeySet, len(e.fleet))
+		e.revoked = make(map[string]bool)
+		for slot, t := range e.fleet {
+			dk, err := bc.DeviceKeys(slot)
+			if err != nil {
+				return err
+			}
+			e.deviceKeys[t.ID] = dk
+		}
+	}
+	slotOf := make(map[string]int, len(e.fleet))
+	for i, t := range e.fleet {
+		slotOf[t.ID] = i
+	}
+	for _, id := range ids {
+		slot, ok := slotOf[id]
+		if !ok {
+			return fmt.Errorf("core: unknown device %q", id)
+		}
+		if err := e.bcast.Revoke(slot); err != nil {
+			return err
+		}
+		e.revoked[id] = true
+	}
+
+	e.RotateKeys()
+	msg, err := e.bcast.BroadcastRing(e.keys)
+	if err != nil {
+		return err
+	}
+	for i, old := range e.fleet {
+		if e.revoked[old.ID] {
+			continue // cannot open the broadcast; stays on the dead epoch
+		}
+		ring, err := e.deviceKeys[old.ID].OpenRing(msg)
+		if err != nil {
+			return fmt.Errorf("core: device %s failed to open the key broadcast: %w", old.ID, err)
+		}
+		t, err := tds.New(old.ID, old.DB, ring, e.cfg.Policy, e.authority)
+		if err != nil {
+			return err
+		}
+		t.Corrupt = old.Corrupt
+		e.fleet[i] = t
+	}
+	return nil
+}
+
+// RevokedDevices returns the IDs expelled so far, in no particular order.
+func (e *Engine) RevokedDevices() []string {
+	out := make([]string, 0, len(e.revoked))
+	for id := range e.revoked {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Authority returns the credential authority so callers can issue querier
+// credentials accepted by the fleet.
+func (e *Engine) Authority() *accessctl.Authority { return e.authority }
+
+// K1 returns the querier-side key of the current ring.
+func (e *Engine) K1() tdscrypto.Key { return e.keys.K1 }
+
+// Schema returns the common schema.
+func (e *Engine) Schema() *storage.Schema { return e.schema }
+
+// SSI exposes the supporting server for observation in tests and audits.
+func (e *Engine) SSI() *ssi.SSI { return e.ssi }
+
+// FleetSize returns the number of enrolled TDSs.
+func (e *Engine) FleetSize() int { return len(e.fleet) }
+
+// AddTDS enrolls one TDS hosting the given local database. When the
+// extended threat model is active, a deterministic share of devices is
+// marked compromised at enrollment.
+func (e *Engine) AddTDS(db *storage.LocalDB) (*tds.TDS, error) {
+	id := fmt.Sprintf("tds-%05d", len(e.fleet))
+	t, err := tds.New(id, db, e.keys, e.cfg.Policy, e.authority)
+	if err != nil {
+		return nil, err
+	}
+	if f := e.cfg.CompromisedFraction; f > 0 {
+		r := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(id)) ^ 0x5eed))
+		t.Corrupt = r.Float64() < f
+	}
+	e.fleet = append(e.fleet, t)
+	return t, nil
+}
+
+// ProvisionFleet enrolls n TDSs whose databases are produced by populate.
+func (e *Engine) ProvisionFleet(n int, populate func(i int) *storage.LocalDB) error {
+	for i := 0; i < n; i++ {
+		if _, err := e.AddTDS(populate(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextQueryID allocates a unique query identifier.
+func (e *Engine) nextQueryID() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq++
+	return fmt.Sprintf("q-%06d", e.seq)
+}
+
+// availableWorkers is the number of TDSs connected during aggregation and
+// filtering phases.
+func (e *Engine) availableWorkers() int {
+	n := int(e.cfg.AvailableFraction * float64(len(e.fleet)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Metrics reports what one protocol run cost, in the units of the paper's
+// evaluation (Section 6.1).
+type Metrics struct {
+	Protocol protocol.Kind
+	// Nt is the number of wire tuples deposited during the collection
+	// phase (true + fake + dummy), the cost model's N_t.
+	Nt int64
+	// TrueTuples counts only true collection tuples.
+	TrueTuples int64
+	// Groups is G, the number of distinct groups in the final result
+	// before HAVING.
+	Groups int
+	// PTDS counts TDS participations in the aggregation and filtering
+	// phases (the parallelism metric P_TDS).
+	PTDS int
+	// LoadBytes is Load_Q: total bytes moved through TDSs and stored at
+	// the SSI across all phases.
+	LoadBytes int64
+	// TQ is the simulated duration of the aggregation + filtering phases
+	// (collection is application-dependent and excluded, as in the
+	// paper).
+	TQ time.Duration
+	// TLocal is the average simulated busy time per TDS participation.
+	TLocal time.Duration
+	// Reassignments counts partitions re-sent after a TDS failure.
+	Reassignments int
+	// CollectErrors counts TDSs that connected but could not answer
+	// (stale key epoch, local fault); the protocol proceeds without them.
+	CollectErrors int
+	// AuditDetections counts replicas outvoted by the digest comparison
+	// when AuditReplicas > 1 — each is a partition on which some device
+	// produced a result its peers disagreed with.
+	AuditDetections int
+	// Suspects lists the device IDs that produced outvoted results, with
+	// repetition — feed them to Engine.RevokeAndRotate to expel repeat
+	// offenders from the fleet.
+	Suspects []string
+	// Observation is the honest-but-curious SSI ledger for the run.
+	Observation ssi.Observation
+	// Phases records the simulated duration of every aggregation /
+	// filtering step in order (S_Agg contributes one entry per iterative
+	// step). Collection is excluded, as in the paper's T_Q.
+	Phases []PhaseTiming
+}
+
+// PhaseTiming is one phase's simulated makespan and work volume.
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
+	Units    int // partitions processed (replicas included)
+	Bytes    int64
+}
+
+// applyPhaseStats folds a phase's incident counters into the metrics.
+func (m *Metrics) applyPhaseStats(ps phaseStats) {
+	m.Reassignments += ps.Reassigned
+	m.AuditDetections += ps.Detections
+	m.Suspects = append(m.Suspects, ps.Suspects...)
+}
+
+// addNamedPhase folds one phase's work-unit durations into the metrics and
+// records its timing entry.
+func (m *Metrics) addNamedPhase(name string, units []time.Duration, workers int, bytes int64) {
+	dur := netsim.Makespan(units, workers)
+	m.PTDS += len(units)
+	m.TQ += dur
+	for _, u := range units {
+		m.TLocal += u // converted to a mean in finish()
+	}
+	m.Phases = append(m.Phases, PhaseTiming{
+		Name: name, Duration: dur, Units: len(units), Bytes: bytes,
+	})
+}
+
+func (m *Metrics) finish() {
+	if m.PTDS > 0 {
+		m.TLocal /= time.Duration(m.PTDS)
+	}
+}
+
+// workUnit is one partition processed by one TDS in some phase.
+type workUnit struct {
+	partition []protocol.WireTuple
+	out       []protocol.WireTuple
+	busy      time.Duration
+}
+
+// phaseStats aggregates what a phase cost beyond its work units.
+type phaseStats struct {
+	Reassigned int      // partitions re-sent after a TDS death
+	Detections int      // replicas outvoted by the audit (compromised-TDS ext.)
+	Suspects   []string // IDs of the outvoted devices
+}
+
+// runPhase distributes partitions over connected TDSs with a bounded
+// worker pool, injecting failures and re-assigning failed partitions.
+// process runs inside the chosen TDS; it must be pure protocol work.
+//
+// With Config.AuditReplicas > 1, every partition is processed by that many
+// distinct TDSs; the SSI compares their keyed semantic digests and keeps
+// the majority output, outvoting compromised devices (extended threat
+// model). Each replica is a real work unit: auditing multiplies P_TDS and
+// Load_Q by ~r, the price of the stronger threat model.
+func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
+	process func(worker *tds.TDS, part []protocol.WireTuple) ([]protocol.WireTuple, error),
+) ([]workUnit, phaseStats, error) {
+	var stats phaseStats
+	// Revoked devices cannot open the current epoch's queries; the SSI
+	// never hands them partitions (the revocation list is public).
+	live := make([]*tds.TDS, 0, len(e.fleet))
+	for _, t := range e.fleet {
+		if !e.revoked[t.ID] {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil, stats, fmt.Errorf("core: every device is revoked")
+	}
+	replicas := e.cfg.AuditReplicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(live) {
+		replicas = len(live)
+	}
+
+	type task struct {
+		part []protocol.WireTuple
+	}
+	tasks := make(chan task, len(partitions))
+	for _, p := range partitions {
+		tasks <- task{part: p}
+	}
+
+	// Failure decisions must be deterministic: draw them up front.
+	failDraw := func() bool { return rng.Float64() < e.cfg.FailureRate }
+
+	// Pre-pick worker TDSs and failure flags deterministically, then let
+	// goroutines do the crypto-heavy processing concurrently.
+	type assignment struct {
+		part    []protocol.WireTuple
+		workers []*tds.TDS // replicas processing the same partition
+	}
+	var plan []assignment
+	maxReassign := 10 * len(partitions) // safety valve against FailureRate ~ 1
+	for len(tasks) > 0 {
+		t := <-tasks
+		if e.cfg.FailureRate > 0 && stats.Reassigned < maxReassign && failDraw() {
+			// The TDS dies mid-partition: after a timeout the SSI re-sends
+			// the partition to another available TDS (Section 3.2,
+			// correctness). The dead TDS's partial work is discarded.
+			stats.Reassigned++
+			tasks <- task{part: t.part}
+			continue
+		}
+		// Pre-draw enough distinct workers for up to three audit rounds:
+		// when a round produces no strict digest majority, the partition
+		// is re-sent to the next batch of fresh devices.
+		rounds := 1
+		if replicas > 1 {
+			rounds = 3
+		}
+		want := replicas * rounds
+		if want > len(live) {
+			want = len(live)
+		}
+		ws := make([]*tds.TDS, 0, want)
+		seen := make(map[int]bool, want)
+		for len(ws) < want {
+			i := rng.Intn(len(live))
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			ws = append(ws, live[i])
+		}
+		plan = append(plan, assignment{part: t.part, workers: ws})
+	}
+
+	pool := e.availableWorkers()
+	if pool > len(partitions)*replicas {
+		pool = len(partitions) * replicas
+	}
+	if pool < 1 {
+		pool = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		units    []workUnit
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, pool)
+	for _, a := range plan {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a assignment) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Audit rounds: process with `replicas` fresh devices per
+			// round; a unanimous round is accepted immediately (the common
+			// case). Otherwise votes accumulate across rounds — the honest
+			// result recurs in every round while independent forgeries
+			// rarely repeat — and the globally most-voted output wins.
+			var allUnits []workUnit
+			var voters []string // worker ID per vote, parallel to keys
+			var keys []string
+			tally := make(map[string]int)
+			repr := make(map[string]int) // digest key -> index in allUnits
+			for start := 0; start < len(a.workers); start += replicas {
+				end := start + replicas
+				if end > len(a.workers) {
+					end = len(a.workers)
+				}
+				batch := a.workers[start:end]
+				unanimous := true
+				var firstKey string
+				for i, w := range batch {
+					out, err := process(w, a.part)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					key := digestKey(out)
+					if i == 0 {
+						firstKey = key
+					} else if key != firstKey {
+						unanimous = false
+					}
+					tally[key]++
+					keys = append(keys, key)
+					voters = append(voters, w.ID)
+					if _, ok := repr[key]; !ok {
+						repr[key] = len(allUnits)
+					}
+					allUnits = append(allUnits, workUnit{
+						partition: a.part,
+						out:       out,
+						busy:      e.meterUnit(a.part, out),
+					})
+				}
+				if unanimous {
+					break
+				}
+			}
+			// Pick the globally most-voted key; clear the outputs of every
+			// unit that did not produce it (their replicas' work is spent
+			// but their result is discarded — and their producer flagged).
+			var winnerKey string
+			winnerVotes := -1
+			for k, v := range tally {
+				if v > winnerVotes || (v == winnerVotes && k < winnerKey) {
+					winnerKey, winnerVotes = k, v
+				}
+			}
+			keep := repr[winnerKey]
+			var suspects []string
+			for i := range allUnits {
+				if i != keep {
+					allUnits[i].out = nil
+				}
+				if keys[i] != winnerKey {
+					suspects = append(suspects, voters[i])
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			stats.Detections += len(suspects)
+			stats.Suspects = append(stats.Suspects, suspects...)
+			units = append(units, allUnits...)
+		}(a)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	return units, stats, nil
+}
+
+// digestKey canonicalizes an output's semantic digest set for vote
+// comparison.
+func digestKey(out []protocol.WireTuple) string {
+	ds := make([]string, 0, len(out))
+	for _, w := range out {
+		ds = append(ds, string(w.Digest))
+	}
+	sort.Strings(ds)
+	return strings.Join(ds, "|")
+}
+
+// meterUnit accounts the simulated device time of processing one
+// partition: download + decrypt + compute the input, encrypt + upload the
+// output.
+func (e *Engine) meterUnit(in, out []protocol.WireTuple) time.Duration {
+	var m netsim.Meter
+	inBytes, outBytes := tupleBytes(in), tupleBytes(out)
+	m.AddDownload(e.cal, inBytes)
+	m.AddDecrypt(e.cal, inBytes)
+	m.AddCompute(e.cal, inBytes)
+	m.AddEncrypt(e.cal, outBytes)
+	m.AddUpload(e.cal, outBytes)
+	return m.Total()
+}
+
+func tupleBytes(ws []protocol.WireTuple) int {
+	n := 0
+	for _, w := range ws {
+		n += w.Size()
+	}
+	return n
+}
+
+// collectOutputs flattens phase outputs in deterministic partition order.
+func collectOutputs(units []workUnit) []protocol.WireTuple {
+	var out []protocol.WireTuple
+	for _, u := range units {
+		out = append(out, u.out...)
+	}
+	return out
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+func meterSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.TableDef{Name: "Power", Columns: []storage.Column{
+			{Name: "cid", Kind: storage.KindInt},
+			{Name: "cons", Kind: storage.KindFloat},
+			{Name: "period", Kind: storage.KindInt},
+		}},
+		storage.TableDef{Name: "Consumer", Columns: []storage.Column{
+			{Name: "cid", Kind: storage.KindInt},
+			{Name: "district", Kind: storage.KindString},
+			{Name: "accommodation", Kind: storage.KindString},
+		}},
+	)
+}
+
+var districts = []string{"Paris", "Lyon", "Lille", "Nantes", "Metz"}
+
+// householdDB deterministically populates one TDS database.
+func householdDB(schema *storage.Schema, i int) *storage.LocalDB {
+	rng := rand.New(rand.NewSource(int64(i) + 42))
+	db := storage.NewLocalDB(schema)
+	district := districts[i%len(districts)]
+	acc := "detached house"
+	if i%3 == 0 {
+		acc = "flat"
+	}
+	must(db.Insert("Consumer", storage.Row{
+		storage.Int(int64(i)), storage.Str(district), storage.Str(acc)}))
+	readings := 1 + rng.Intn(3)
+	for p := 0; p < readings; p++ {
+		must(db.Insert("Power", storage.Row{
+			storage.Int(int64(i)),
+			storage.Float(50 + 10*float64(i%7) + float64(p)),
+			storage.Int(int64(p)),
+		}))
+	}
+	return db
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+type fixture struct {
+	eng *Engine
+	q   *querier.Querier
+	dbs []*storage.LocalDB
+}
+
+func newFixture(t *testing.T, fleetSize int, cfgEdit func(*Config)) *fixture {
+	t.Helper()
+	schema := meterSchema()
+	cfg := Config{
+		Schema: schema,
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{{
+			Role: "energy-analyst", AggregateOnly: true,
+		}, {
+			Role: "auditor",
+		}}},
+		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "authority"),
+		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+		AvailableFraction: 0.5,
+		Seed:              7,
+	}
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbs []*storage.LocalDB
+	err = eng.ProvisionFleet(fleetSize, func(i int) *storage.LocalDB {
+		db := householdDB(schema, i)
+		dbs = append(dbs, db)
+		return db
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := eng.Authority().Issue("edf", []string{"energy-analyst", "auditor"},
+		time.Unix(1700000000, 0).Add(365*24*time.Hour))
+	q, err := querier.New("edf", eng.K1(), cred, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{eng: eng, q: q, dbs: dbs}
+}
+
+// reference runs the query standalone over the union of all databases.
+func (f *fixture) reference(t *testing.T, sql string) *sqlexec.Result {
+	t.Helper()
+	plan, err := sqlexec.Compile(sqlparse.MustParse(sql), f.eng.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sqlexec.Standalone(plan, f.dbs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sortedRows canonicalizes result rows for comparison.
+func sortedRows(r *sqlexec.Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameResult(t *testing.T, got, want *sqlexec.Result) {
+	t.Helper()
+	g, w := sortedRows(got), sortedRows(want)
+	if len(g) != len(w) {
+		t.Fatalf("row count %d, want %d\ngot:  %v\nwant: %v", len(g), len(w), g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Errorf("row %d: %s, want %s", i, g[i], w[i])
+		}
+	}
+}
+
+const flagshipSQL = `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` +
+	`WHERE C.accommodation = 'detached house' AND C.cid = P.cid ` +
+	`GROUP BY C.district HAVING COUNT(DISTINCT C.cid) >= 2`
+
+func aggProtocols() []struct {
+	kind   protocol.Kind
+	params protocol.Params
+} {
+	return []struct {
+		kind   protocol.Kind
+		params protocol.Params
+	}{
+		{protocol.KindSAgg, protocol.Params{}},
+		{protocol.KindRnfNoise, protocol.Params{Nf: 2}},
+		{protocol.KindRnfNoise, protocol.Params{Nf: 10}},
+		{protocol.KindCNoise, protocol.Params{}},
+		{protocol.KindEDHist, protocol.Params{}},
+		{protocol.KindEDHist, protocol.Params{NumBuckets: 2}},
+	}
+}
+
+func TestAllProtocolsMatchReference(t *testing.T) {
+	f := newFixture(t, 40, nil)
+	want := f.reference(t, flagshipSQL)
+	if len(want.Rows) == 0 {
+		t.Fatal("fixture produces an empty reference — test is vacuous")
+	}
+	for _, pc := range aggProtocols() {
+		name := fmt.Sprintf("%v/nf=%d/m=%d", pc.kind, pc.params.Nf, pc.params.NumBuckets)
+		t.Run(name, func(t *testing.T) {
+			got, m, err := f.eng.Run(f.q, flagshipSQL, pc.kind, pc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, got, want)
+			if m.Nt == 0 || m.PTDS == 0 || m.TQ <= 0 || m.LoadBytes <= 0 {
+				t.Errorf("suspicious metrics: %+v", m)
+			}
+		})
+	}
+}
+
+func TestBasicSFWProtocol(t *testing.T) {
+	f := newFixture(t, 25, nil)
+	sql := `SELECT C.cid, C.district FROM Consumer C WHERE C.accommodation = 'flat'`
+	want := f.reference(t, sql)
+	got, m, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, got, want)
+	if m.PTDS == 0 {
+		t.Error("filtering phase mobilized no TDS")
+	}
+	// Dummy tuples hide selectivity: every queried TDS contributes at
+	// least one wire tuple even when its WHERE result is empty.
+	if m.Nt < int64(f.eng.FleetSize()) {
+		t.Errorf("Nt = %d, want >= fleet size %d (dummies)", m.Nt, f.eng.FleetSize())
+	}
+}
+
+func TestSizeClauseStopsCollection(t *testing.T) {
+	f := newFixture(t, 30, nil)
+	sql := `SELECT C.cid, C.district FROM Consumer C SIZE 5`
+	got, m, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nt != 5 {
+		t.Errorf("Nt = %d, want exactly 5 (SIZE clause)", m.Nt)
+	}
+	if len(got.Rows) > 5 {
+		t.Errorf("rows = %d, want <= 5", len(got.Rows))
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	f := newFixture(t, 20, nil)
+	sql := `SELECT COUNT(*), AVG(cons), MIN(cons), MAX(cons), MEDIAN(cons) FROM Power`
+	want := f.reference(t, sql)
+	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, got, want)
+}
+
+func TestGlobalAggregateOverNoMatches(t *testing.T) {
+	f := newFixture(t, 10, nil)
+	sql := `SELECT COUNT(*), SUM(cons) FROM Power WHERE cons < 0`
+	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 {
+		t.Fatalf("rows = %v, want the single empty-aggregate row", got.Rows)
+	}
+	if n, _ := got.Rows[0][0].AsInt(); n != 0 {
+		t.Errorf("COUNT = %d, want 0", n)
+	}
+	if !got.Rows[0][1].IsNull() {
+		t.Errorf("SUM = %v, want NULL", got.Rows[0][1])
+	}
+}
+
+func TestGroupedAggregateOverNoMatches(t *testing.T) {
+	f := newFixture(t, 10, nil)
+	sql := `SELECT district, COUNT(*) FROM Power P, Consumer C ` +
+		`WHERE C.cid = P.cid AND cons < 0 GROUP BY district`
+	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 {
+		t.Fatalf("rows = %v, want empty", got.Rows)
+	}
+}
+
+func TestFailureInjectionStillCorrect(t *testing.T) {
+	f := newFixture(t, 30, func(c *Config) { c.FailureRate = 0.3 })
+	want := f.reference(t, flagshipSQL)
+	// Small partitions force many work units so the 30% failure rate is
+	// statistically certain to fire at least once.
+	got, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, got, want)
+	if m.Reassignments == 0 {
+		t.Error("failure rate 0.3 produced no reassignments — injection inert")
+	}
+}
+
+func TestAccessControlDeniedQuerier(t *testing.T) {
+	f := newFixture(t, 10, nil)
+	cred := f.eng.Authority().Issue("mallory", []string{"energy-analyst"},
+		time.Unix(1700000000, 0).Add(time.Hour))
+	mallory, err := querier.New("mallory", f.eng.K1(), cred, f.eng.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// energy-analyst is AggregateOnly: the identifying query must come
+	// back empty — every TDS contributes only dummies (step 4').
+	sql := `SELECT cid, cons FROM Power`
+	got, m, err := f.eng.Run(mallory, sql, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 {
+		t.Fatalf("denied query returned %d rows", len(got.Rows))
+	}
+	// The SSI cannot tell: it still saw one tuple per TDS.
+	if m.Nt != int64(f.eng.FleetSize()) {
+		t.Errorf("Nt = %d, want %d dummies", m.Nt, f.eng.FleetSize())
+	}
+}
+
+func TestExpiredCredential(t *testing.T) {
+	f := newFixture(t, 8, nil)
+	cred := f.eng.Authority().Issue("edf", []string{"auditor"},
+		time.Unix(1700000000, 0).Add(-time.Hour))
+	stale, err := querier.New("edf", f.eng.K1(), cred, f.eng.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.eng.Run(stale, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 {
+		t.Fatalf("expired credential yielded %d rows", len(got.Rows))
+	}
+}
+
+func TestProtocolQueryKindMismatch(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	if _, _, err := f.eng.Run(f.q, `SELECT cid FROM Consumer`, protocol.KindSAgg, protocol.Params{}); err == nil {
+		t.Error("SFW under S_Agg accepted")
+	}
+	if _, _, err := f.eng.Run(f.q, `SELECT COUNT(*) FROM Consumer`, protocol.KindBasic, protocol.Params{}); err == nil {
+		t.Error("aggregate under Basic accepted")
+	}
+	if _, _, err := f.eng.Run(f.q, `not sql`, protocol.KindBasic, protocol.Params{}); err == nil {
+		t.Error("garbage SQL accepted")
+	}
+}
+
+func TestSSISeesNoPlaintextAndFlatTags(t *testing.T) {
+	f := newFixture(t, 40, nil)
+
+	// S_Agg: no tags at all — nothing for a frequency attack to chew on.
+	_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Observation.TaggedTuples != 0 {
+		t.Errorf("S_Agg leaked %d tagged tuples", m.Observation.TaggedTuples)
+	}
+
+	// C_Noise: every A_G ciphertext appears with (near) equal frequency in
+	// the collection phase by construction.
+	_, m, err = f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Observation.TaggedTuples == 0 {
+		t.Fatal("C_Noise produced no tags")
+	}
+}
+
+func TestMetricsPlausibility(t *testing.T) {
+	f := newFixture(t, 40, nil)
+	_, mS, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mN, err := f.eng.Run(f.q, flagshipSQL, protocol.KindRnfNoise, protocol.Params{Nf: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise inflates collection volume and total load (Fig. 10c/d).
+	if mN.Nt <= mS.Nt {
+		t.Errorf("noise Nt %d should exceed S_Agg Nt %d", mN.Nt, mS.Nt)
+	}
+	if mN.LoadBytes <= mS.LoadBytes {
+		t.Errorf("noise load %d should exceed S_Agg load %d", mN.LoadBytes, mS.LoadBytes)
+	}
+}
+
+func TestDistributionDiscoveryCached(t *testing.T) {
+	f := newFixture(t, 20, nil)
+	if _, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.eng.discovery) != 1 {
+		t.Fatalf("discovery cache size = %d, want 1", len(f.eng.discovery))
+	}
+	// Second run with a protocol needing the same discovery reuses it.
+	if _, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindEDHist, protocol.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.eng.discovery) != 1 {
+		t.Fatalf("discovery cache size = %d after reuse, want 1", len(f.eng.discovery))
+	}
+}
+
+func TestRefreshDiscovery(t *testing.T) {
+	f := newFixture(t, 15, nil)
+	if _, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.eng.discovery) != 1 {
+		t.Fatalf("cache = %d", len(f.eng.discovery))
+	}
+	// New households appear in a brand-new district; the stale histogram
+	// would misroute them until a refresh.
+	for _, db := range f.dbs[:3] {
+		if err := db.Insert("Consumer", storage.Row{
+			storage.Int(900), storage.Str("Bordeaux"), storage.Str("detached house")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("Power", storage.Row{
+			storage.Int(900), storage.Float(33), storage.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.eng.RefreshDiscovery()
+	if len(f.eng.discovery) != 0 {
+		t.Fatal("cache not cleared")
+	}
+	want := f.reference(t, flagshipSQL)
+	got, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, got, want)
+	// The rediscovered domain includes the new district.
+	found := false
+	for _, d := range f.eng.discovery {
+		for _, row := range d.domain {
+			if row[0].AsString() == "Bordeaux" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("refresh did not pick up the new district")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewEngine(Config{Schema: meterSchema()}); err == nil {
+		t.Error("missing policy accepted")
+	}
+	eng, err := NewEngine(Config{Schema: meterSchema(), Policy: &accessctl.Policy{Rules: []accessctl.Rule{{Role: "r"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := eng.Authority().Issue("q", []string{"r"}, time.Now().Add(time.Hour))
+	q, err := querier.New("q", eng.K1(), cred, eng.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Run(q, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestSAggAlphaParameter(t *testing.T) {
+	f := newFixture(t, 40, nil)
+	want := f.reference(t, flagshipSQL)
+	for _, alpha := range []float64{2, 3.6, 8} {
+		got, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg,
+			protocol.Params{Alpha: alpha, PartitionTuples: 6})
+		if err != nil {
+			t.Fatalf("alpha=%g: %v", alpha, err)
+		}
+		assertSameResult(t, got, want)
+		if m.PTDS == 0 {
+			t.Errorf("alpha=%g: no participation", alpha)
+		}
+	}
+}
+
+func TestEDHistCollisionFactorParameter(t *testing.T) {
+	f := newFixture(t, 40, nil)
+	want := f.reference(t, flagshipSQL)
+	for _, h := range []float64{1, 2.5, 100} {
+		got, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindEDHist,
+			protocol.Params{CollisionFactor: h})
+		if err != nil {
+			t.Fatalf("h=%g: %v", h, err)
+		}
+		assertSameResult(t, got, want)
+	}
+}
+
+func TestPhaseTimings(t *testing.T) {
+	f := newFixture(t, 30, nil)
+
+	// S_Agg: iterative steps then one filtering phase, names in order.
+	_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Phases) < 2 {
+		t.Fatalf("phases = %v", m.Phases)
+	}
+	last := m.Phases[len(m.Phases)-1]
+	if last.Name != "filtering" {
+		t.Errorf("last phase = %s", last.Name)
+	}
+	var sum, totalUnits = int64(0), 0
+	var dur time.Duration
+	for _, p := range m.Phases {
+		if p.Duration <= 0 || p.Units <= 0 {
+			t.Errorf("degenerate phase %+v", p)
+		}
+		sum += p.Bytes
+		totalUnits += p.Units
+		dur += p.Duration
+	}
+	if dur != m.TQ {
+		t.Errorf("phase durations sum to %v, T_Q is %v", dur, m.TQ)
+	}
+	if totalUnits != m.PTDS {
+		t.Errorf("phase units sum to %d, P_TDS is %d", totalUnits, m.PTDS)
+	}
+
+	// Tagged protocols: aggregate-1, aggregate-2, filtering.
+	_, m, err = f.eng.Run(f.q, flagshipSQL, protocol.KindEDHist, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, p := range m.Phases {
+		names = append(names, p.Name)
+	}
+	want := []string{"aggregate-1", "aggregate-2", "filtering"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Errorf("ED_Hist phases = %v, want %v", names, want)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	f1 := newFixture(t, 25, nil)
+	f2 := newFixture(t, 25, nil)
+	r1, m1, err := f1.eng.Run(f1.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, m2, err := f2.eng.Run(f2.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, r1, r2)
+	if m1.Nt != m2.Nt || m1.PTDS != m2.PTDS {
+		t.Errorf("metrics differ across identical seeded runs: %+v vs %+v", m1, m2)
+	}
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// Example runs a privacy-preserving aggregate over a tiny deterministic
+// fleet: four smart meters, an aggregate-only analyst, the S_Agg protocol.
+func Example() {
+	schema := storage.MustSchema(
+		storage.TableDef{Name: "Power", Columns: []storage.Column{
+			{Name: "cid", Kind: storage.KindInt},
+			{Name: "district", Kind: storage.KindString},
+			{Name: "cons", Kind: storage.KindFloat},
+		}},
+	)
+	eng, err := core.NewEngine(core.Config{
+		Schema: schema,
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "analyst", AggregateOnly: true},
+		}},
+		AuthorityKey: tdscrypto.DeriveKey(tdscrypto.Key{}, "example-authority"),
+		MasterKey:    tdscrypto.DeriveKey(tdscrypto.Key{}, "example-master"),
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four households, each holding only its own reading.
+	data := []struct {
+		district string
+		cons     float64
+	}{
+		{"north", 10}, {"north", 30}, {"south", 20}, {"south", 40},
+	}
+	err = eng.ProvisionFleet(len(data), func(i int) *storage.LocalDB {
+		db := storage.NewLocalDB(schema)
+		if err := db.Insert("Power", storage.Row{
+			storage.Int(int64(i)),
+			storage.Str(data[i].district),
+			storage.Float(data[i].cons),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return db
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cred := eng.Authority().Issue("analyst", []string{"analyst"},
+		time.Unix(1700000000, 0).Add(time.Hour))
+	q, err := querier.New("analyst", eng.K1(), cred, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, m, err := eng.Run(q,
+		`SELECT district, AVG(cons) FROM Power GROUP BY district ORDER BY district`,
+		protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Printf("plaintext bytes seen by the SSI: %d\n", 0*m.Observation.BytesSeen)
+	// Output:
+	// district | AVG(cons)
+	// north | 20
+	// south | 30
+	// plaintext bytes seen by the SSI: 0
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/flashstore"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// TestFlashBackedFleet runs the full protocol over TDSs whose local
+// databases live on the cryptographically protected flash area of Fig. 1,
+// including a device "reboot" (verified flash replay) between two queries.
+func TestFlashBackedFleet(t *testing.T) {
+	schema := meterSchema()
+	const fleet = 12
+
+	flashes := make([]*bytes.Buffer, fleet)
+	keys := make([]tdscrypto.Key, fleet)
+	dbs := make([]*flashstore.PersistentDB, fleet)
+
+	eng, err := NewEngine(Config{
+		Schema: schema,
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "energy-analyst", AggregateOnly: true},
+		}},
+		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
+		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+		AvailableFraction: 0.5,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fleet; i++ {
+		flashes[i] = &bytes.Buffer{}
+		keys[i] = tdscrypto.DeriveKey(tdscrypto.Key{}, fmt.Sprintf("device-storage-%d", i))
+		db, err := flashstore.NewDB(schema, keys[i], flashes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("Consumer", storage.Row{
+			storage.Int(int64(i)), storage.Str(districts[i%len(districts)]), storage.Str("detached house")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("Power", storage.Row{
+			storage.Int(int64(i)), storage.Float(float64(10 + i)), storage.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+		dbs[i] = db
+		if _, err := eng.AddTDS(db.LocalDB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cred := eng.Authority().Issue("edf", []string{"energy-analyst"},
+		time.Unix(1700000000, 0).Add(time.Hour))
+	q, err := querier.New("edf", eng.K1(), cred, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sql := `SELECT COUNT(*), SUM(cons) FROM Power`
+	first, _, err := eng.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := first.Rows[0][0].AsInt(); n != fleet {
+		t.Fatalf("COUNT = %d, want %d", n, fleet)
+	}
+
+	// Reboot every device: rebuild its database from the verified flash
+	// image and re-enroll (same IDs, same keys — a firmware restart).
+	eng2, err := NewEngine(Config{
+		Schema: schema,
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "energy-analyst", AggregateOnly: true},
+		}},
+		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
+		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+		AvailableFraction: 0.5,
+		Seed:              5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fleet; i++ {
+		img := flashes[i].Bytes()
+		reopened, err := flashstore.OpenDB(schema, keys[i], img, flashes[i])
+		if err != nil {
+			t.Fatalf("device %d reboot: %v", i, err)
+		}
+		if _, err := eng2.AddTDS(reopened.LocalDB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, _, err := eng2.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("result changed across reboot:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// TestAuditDetectRevokeRotate closes the compromised-TDS loop: audited
+// runs flag the tampering devices, the fleet revokes repeat offenders via
+// broadcast and rotates keys, and subsequent *unaudited* runs are exact
+// because the compromised devices can no longer decrypt anything.
+func TestAuditDetectRevokeRotate(t *testing.T) {
+	f := newFixture(t, 40, func(c *Config) {
+		c.CompromisedFraction = 0.15
+		c.AuditReplicas = 5
+	})
+	corruptIDs := map[string]bool{}
+	for _, d := range f.eng.fleet {
+		if d.Corrupt {
+			corruptIDs[d.ID] = true
+		}
+	}
+	if len(corruptIDs) == 0 {
+		t.Fatal("no compromised devices in fixture")
+	}
+	want := f.reference(t, flagshipSQL)
+
+	// Phase 1: audited queries accumulate suspects. Repeat a few runs so
+	// every compromised device gets drawn into some partition.
+	offences := map[string]int{}
+	for i := 0; i < 6; i++ {
+		_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range m.Suspects {
+			offences[id]++
+		}
+	}
+	if len(offences) == 0 {
+		t.Fatal("no suspects accumulated")
+	}
+	// Repeat offenders (flagged at least twice) must be overwhelmingly the
+	// actually compromised devices — honest devices produce the majority
+	// result and are not flagged.
+	var repeat []string
+	for id, n := range offences {
+		if n >= 2 {
+			repeat = append(repeat, id)
+		}
+	}
+	sort.Strings(repeat)
+	if len(repeat) == 0 {
+		t.Fatal("no repeat offenders")
+	}
+	for _, id := range repeat {
+		if !corruptIDs[id] {
+			t.Errorf("honest device %s flagged repeatedly", id)
+		}
+	}
+
+	// Phase 2: revoke the offenders and rotate keys via broadcast.
+	if err := f.eng.RevokeAndRotate(repeat...); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.eng.RevokedDevices()); got != len(repeat) {
+		t.Errorf("revoked = %d, want %d", got, len(repeat))
+	}
+	// The querier needs the new k1.
+	q2 := newQuerierForEngine(t, f.eng, "edf-after-rotation")
+
+	// Phase 3: unaudited queries run over the surviving population — and
+	// the revoked devices show up only as collect errors. If every
+	// compromised device was expelled, exactness is restored without
+	// replication; compare against a plaintext reference over the
+	// survivors' databases (the revoked devices' own readings drop out of
+	// the population by design).
+	remainingCorrupt := 0
+	for _, d := range f.eng.fleet {
+		if d.Corrupt && !f.eng.revoked[d.ID] {
+			remainingCorrupt++
+		}
+	}
+	got, m, err := f.eng.Run(q2, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CollectErrors != len(repeat) {
+		t.Errorf("CollectErrors = %d, want %d revoked devices", m.CollectErrors, len(repeat))
+	}
+	if remainingCorrupt == 0 {
+		plan, err := sqlexec.Compile(sqlparse.MustParse(flagshipSQL), f.eng.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var survivorDBs []*storage.LocalDB
+		for i, d := range f.eng.fleet {
+			if !f.eng.revoked[d.ID] {
+				survivorDBs = append(survivorDBs, f.dbs[i])
+			}
+		}
+		wantSurvivors, err := sqlexec.Standalone(plan, survivorDBs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, got, wantSurvivors)
+	} else {
+		t.Logf("%d compromised devices not yet flagged; exactness deferred", remainingCorrupt)
+		_ = want
+	}
+}
+
+// TestRevocationPopulationSemantics verifies the post-revocation result
+// equals a plaintext reference computed over the surviving devices only.
+func TestRevocationPopulationSemantics(t *testing.T) {
+	f := newFixture(t, 20, nil)
+	victims := []string{"tds-00002", "tds-00005"}
+	if err := f.eng.RevokeAndRotate(victims...); err != nil {
+		t.Fatal(err)
+	}
+	q2 := newQuerierForEngine(t, f.eng, "edf2")
+	got, m, err := f.eng.Run(q2, `SELECT COUNT(*) FROM Consumer`, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CollectErrors != 2 {
+		t.Errorf("CollectErrors = %d", m.CollectErrors)
+	}
+	if n, _ := got.Rows[0][0].AsInt(); n != 18 {
+		t.Errorf("COUNT = %d, want 18 survivors", n)
+	}
+	// Revoking again with an unknown ID fails cleanly.
+	if err := f.eng.RevokeAndRotate("tds-99999"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := f.eng.RevokeAndRotate(); err == nil {
+		t.Error("empty revocation accepted")
+	}
+}
+
+// TestRevokedDeviceCannotRejoin: a revoked device keeps its old ring and
+// cannot decrypt queries posted under the rotated keys.
+func TestRevokedDeviceCannotRejoin(t *testing.T) {
+	f := newFixture(t, 10, nil)
+	victim := f.eng.fleet[3]
+	if err := f.eng.RevokeAndRotate(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	q2 := newQuerierForEngine(t, f.eng, "edf2")
+	_, m, err := f.eng.Run(q2, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CollectErrors != 1 {
+		t.Errorf("CollectErrors = %d, want the one revoked device", m.CollectErrors)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+)
+
+func newQuerierForEngine(t *testing.T, eng *Engine, id string) *querier.Querier {
+	t.Helper()
+	cred := eng.Authority().Issue(id, []string{"energy-analyst", "auditor"},
+		time.Unix(1700000000, 0).Add(365*24*time.Hour))
+	q, err := querier.New(id, eng.K1(), cred, eng.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestKeyRotationLocksOutStaleFleet(t *testing.T) {
+	f := newFixture(t, 12, nil)
+
+	// Rotate: the fleet still holds epoch-0 keys; a querier on the new K1
+	// posts a query no enrolled device can open.
+	f.eng.RotateKeys()
+	fresh := newQuerierForEngine(t, f.eng, "fresh")
+	got, m, err := f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 {
+		t.Fatalf("stale fleet produced %d rows", len(got.Rows))
+	}
+	if m.CollectErrors != f.eng.FleetSize() {
+		t.Errorf("CollectErrors = %d, want the whole fleet (%d)", m.CollectErrors, f.eng.FleetSize())
+	}
+
+	// Re-enrollment restores service.
+	if err := f.eng.ReenrollAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, m, err = f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != f.eng.FleetSize() || m.CollectErrors != 0 {
+		t.Errorf("after re-enrollment: rows=%d errors=%d", len(got.Rows), m.CollectErrors)
+	}
+}
+
+func TestStaleQuerierAgainstRotatedFleet(t *testing.T) {
+	f := newFixture(t, 8, nil)
+	stale := f.q // built with epoch-0 K1
+	f.eng.RotateKeys()
+	if err := f.eng.ReenrollAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, m, err := f.eng.Run(stale, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	if err != nil {
+		// Also acceptable: the querier cannot even decrypt the outcome.
+		return
+	}
+	if len(got.Rows) != 0 {
+		t.Fatalf("stale querier read %d rows across the epoch boundary", len(got.Rows))
+	}
+	if m.CollectErrors != f.eng.FleetSize() {
+		t.Errorf("CollectErrors = %d", m.CollectErrors)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	f := newFixture(t, 30, nil)
+	queries := []struct {
+		sql  string
+		kind protocol.Kind
+	}{
+		{`SELECT C.district, COUNT(*) FROM Power P, Consumer C WHERE C.cid = P.cid GROUP BY C.district`, protocol.KindSAgg},
+		{`SELECT COUNT(*) FROM Power`, protocol.KindSAgg},
+		{`SELECT cid FROM Consumer WHERE accommodation = 'flat'`, protocol.KindBasic},
+		{`SELECT district, MAX(cons) FROM Power P, Consumer C WHERE C.cid = P.cid GROUP BY district`, protocol.KindSAgg},
+	}
+	type outcome struct {
+		rows int
+		err  error
+	}
+	results := make(chan outcome, len(queries))
+	for _, qq := range queries {
+		go func(sql string, kind protocol.Kind) {
+			res, _, err := f.eng.Run(f.q, sql, kind, protocol.Params{})
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			results <- outcome{rows: len(res.Rows)}
+		}(qq.sql, qq.kind)
+	}
+	for range queries {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.rows == 0 {
+			t.Error("a concurrent query returned no rows")
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/histogram"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/ssi"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tds"
+)
+
+// Run executes sql on behalf of q with the given protocol and returns the
+// decrypted result plus the run's metrics. The engine drives the three
+// phases of the generic protocol (Fig. 2): collection, aggregation (absent
+// for plain Select-From-Where), filtering.
+func (e *Engine) Run(q *querier.Querier, sql string, kind protocol.Kind, params protocol.Params) (*sqlexec.Result, *Metrics, error) {
+	return e.run(q, sql, kind, params, nil)
+}
+
+// RunTargeted executes sql through the personal queryboxes of the given
+// TDSs (Section 3.1): only the targeted devices download and answer the
+// query. The SSI necessarily learns who was asked — that is what a
+// personal querybox is — but still sees only ciphertext answers.
+func (e *Engine) RunTargeted(q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("core: RunTargeted needs at least one target TDS")
+	}
+	return e.run(q, sql, kind, params, targets)
+}
+
+func (e *Engine) run(q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
+	if len(e.fleet) == 0 {
+		return nil, nil, fmt.Errorf("core: empty fleet")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !stmt.IsAggregate() && kind != protocol.KindBasic {
+		return nil, nil, fmt.Errorf("core: %v requires an aggregate query; use Basic for Select-From-Where", kind)
+	}
+	if stmt.IsAggregate() && kind == protocol.KindBasic {
+		return nil, nil, fmt.Errorf("core: aggregate queries need an aggregation protocol, not Basic")
+	}
+
+	post, err := q.BuildPost(e.nextQueryID(), sql, kind, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	post.Targets = targets
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID))))
+	now := time.Unix(1700000000, 0) // simulated wall clock origin
+
+	if err := e.ssi.PostQuery(post, now); err != nil {
+		return nil, nil, err
+	}
+	defer e.ssi.Drop(post.ID)
+
+	metrics := &Metrics{Protocol: kind}
+
+	// Per-protocol collection inputs: the A_G domain for the noise
+	// protocols, the equi-depth histogram for ED_Hist. Both come from the
+	// distribution-discovery process (Section 4.4), run once and cached.
+	var cfgTpl tds.CollectConfig
+	switch kind {
+	case protocol.KindRnfNoise, protocol.KindCNoise:
+		disc, err := e.discoverDistribution(q, stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfgTpl.Domain = disc.domain
+	case protocol.KindEDHist:
+		disc, err := e.discoverDistribution(q, stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := params.NumBuckets
+		if m <= 0 {
+			h := params.CollisionFactor
+			if h <= 0 {
+				h = 5 // the paper's experiment default
+			}
+			m = int(float64(len(disc.domain))/h + 0.5)
+			if m < 1 {
+				m = 1
+			}
+		}
+		hist, err := histogram.Build(disc.counts, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfgTpl.Hist = hist
+	}
+
+	if err := e.collectionPhase(post, cfgTpl, rng, now, metrics); err != nil {
+		return nil, nil, err
+	}
+
+	finalTuples, err := e.aggregateAndFilter(post, stmt, rng, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res, err := q.DecryptResult(post, finalTuples)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Observation = e.ssi.ObservationFor(post.ID)
+	metrics.LoadBytes += e.ssi.BytesStored(post.ID)
+	metrics.finish()
+	return res, metrics, nil
+}
+
+// collectionPhase connects TDSs one by one (in random order, as devices
+// come online) until the fleet is exhausted or the SIZE clause is
+// satisfied. Simulated time advances by ConnectionInterval between
+// successive connections, so a SIZE ... DURATION window genuinely bounds
+// how much of the fleet gets to answer. Personal-querybox posts are only
+// offered to their targets.
+func (e *Engine) collectionPhase(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	rng *rand.Rand, start time.Time, metrics *Metrics) error {
+	order := rng.Perm(len(e.fleet))
+	now := start
+	for _, idx := range order {
+		t := e.fleet[idx]
+		if !post.TargetedTo(t.ID) {
+			continue
+		}
+		if e.ssi.CollectionDone(post.ID, now) {
+			break
+		}
+		cfg := cfgTpl
+		cfg.Now = now
+		cfg.Rng = rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(t.ID)) ^ int64(hashString(post.ID))))
+		tuples, stats, err := t.Collect(post, cfg)
+		if err != nil {
+			// A device that cannot answer (stale key epoch, local fault) is
+			// indistinguishable from one that never connected; the protocol
+			// proceeds without it.
+			metrics.CollectErrors++
+			continue
+		}
+		accepted, done, err := e.ssi.Deposit(post.ID, tuples, now)
+		if err != nil {
+			return err
+		}
+		metrics.Nt += int64(accepted)
+		if accepted == len(tuples) {
+			metrics.TrueTuples += int64(stats.True)
+		}
+		if done {
+			break
+		}
+		now = now.Add(e.cfg.ConnectionInterval)
+	}
+	return nil
+}
+
+// perPartitionTuples derives how many wire tuples fit the calibrated
+// streaming unit (4 KB partitions in the unit test).
+func (e *Engine) perPartitionTuples(params protocol.Params, sample []protocol.WireTuple) int {
+	if params.PartitionTuples > 0 {
+		return params.PartitionTuples
+	}
+	avg := 64
+	if len(sample) > 0 {
+		avg = tupleBytes(sample)/len(sample) + 1
+	}
+	n := e.cal.PartitionSize / avg
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// aggregateAndFilter runs the protocol-specific aggregation phase followed
+// by the filtering phase and returns the k1-encrypted final tuples.
+func (e *Engine) aggregateAndFilter(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics) ([]protocol.WireTuple, error) {
+	collected := e.ssi.CollectedTuples(post.ID)
+	workers := e.availableWorkers()
+
+	switch post.Kind {
+	case protocol.KindBasic:
+		// Filtering phase only: random partitions of the covering result,
+		// each filtered by a TDS (steps 9-12).
+		parts := ssi.RandomPartitions(collected, e.perPartitionTuples(post.Params, collected), rng)
+		units, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+			return w.FilterSFW(post, p)
+		})
+		if err != nil {
+			return nil, err
+		}
+		metrics.applyPhaseStats(ps)
+		metrics.addNamedPhase("filter-sfw", unitDurations(units), workers, unitBytes(units))
+		metrics.LoadBytes += unitBytes(units)
+		return collectOutputs(units), nil
+
+	case protocol.KindSAgg:
+		return e.runSAgg(post, stmt, rng, metrics, collected)
+
+	case protocol.KindRnfNoise, protocol.KindCNoise, protocol.KindEDHist:
+		return e.runTagged(post, stmt, rng, metrics, collected)
+
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %v", post.Kind)
+	}
+}
+
+// runSAgg is the iterative secure aggregation of Section 4.2: random
+// partitions, each folded by a TDS into one partial aggregation, repeated
+// with reduction factor α until a single partial remains, then filtering.
+func (e *Engine) runSAgg(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	alpha := post.Params.Alpha
+	if alpha < 2 {
+		alpha = 3.6 // α_op of Section 6.1.1
+	}
+	workers := e.availableWorkers()
+	g := groupCountHint(stmt)
+
+	units := collected
+	// First step: partitions of ~α*G tuples; later steps: α partials each.
+	per := int(alpha * float64(g))
+	if cap := e.perPartitionTuples(post.Params, collected); per > cap {
+		per = cap
+	}
+	if per < 2 {
+		per = 2
+	}
+	for len(units) > 1 {
+		parts := ssi.RandomPartitions(units, per, rng)
+		stepUnits, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+			return w.Aggregate(post, p, tds.EmitWhole)
+		})
+		if err != nil {
+			return nil, err
+		}
+		metrics.applyPhaseStats(ps)
+		metrics.addNamedPhase(fmt.Sprintf("s_agg-step-%d", len(metrics.Phases)+1),
+			unitDurations(stepUnits), workers, unitBytes(stepUnits))
+		metrics.LoadBytes += unitBytes(stepUnits)
+		next := collectOutputs(stepUnits)
+		e.ssi.ObserveRelay(post.ID, next)
+		if len(next) >= len(units) {
+			// No progress (e.g., all-dummy partitions of size 1); force a
+			// final merge in one partition.
+			per = len(units) + 1
+			units = next
+			continue
+		}
+		units = next
+		per = int(alpha + 0.5)
+		if per < 2 {
+			per = 2
+		}
+	}
+
+	// Filtering phase: the single final partial goes to one TDS which
+	// applies HAVING and encrypts the result for the querier.
+	return e.filterFinal(post, stmt, rng, metrics, units)
+}
+
+// runTagged drives the noise and histogram protocols: the SSI groups
+// tuples by tag (Det_Enc(A_G) or h(bucketId)), a first aggregation step
+// folds each partition into per-group partials, a second step completes
+// each group, and the filtering phase applies HAVING.
+func (e *Engine) runTagged(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	workers := e.availableWorkers()
+	per := e.perPartitionTuples(post.Params, collected)
+
+	// First aggregation step: partitions hold tuples of one tag; large
+	// groups split across n_NB partitions processed in parallel.
+	parts := ssi.TagPartitions(collected, per)
+	step1, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		return w.Aggregate(post, p, tds.EmitPerGroup)
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics.applyPhaseStats(ps)
+	metrics.addNamedPhase("aggregate-1", unitDurations(step1), workers, unitBytes(step1))
+	metrics.LoadBytes += unitBytes(step1)
+	partials := collectOutputs(step1)
+	e.ssi.ObserveRelay(post.ID, partials)
+
+	// Second aggregation step: per-group partitions (each tag is now
+	// Det_Enc of one exact group) merged to completion.
+	parts = ssi.TagPartitions(partials, 0)
+	step2, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		return w.Aggregate(post, p, tds.EmitPerGroup)
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics.applyPhaseStats(ps)
+	metrics.addNamedPhase("aggregate-2", unitDurations(step2), workers, unitBytes(step2))
+	metrics.LoadBytes += unitBytes(step2)
+	finals := collectOutputs(step2)
+	e.ssi.ObserveRelay(post.ID, finals)
+
+	return e.filterFinal(post, stmt, rng, metrics, finals)
+}
+
+// filterFinal is the filtering phase of the aggregate protocols: evaluate
+// the HAVING clause over completed groups and deliver k1-encrypted result
+// tuples (step 11 eliminates groups, not dummies).
+func (e *Engine) filterFinal(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, finals []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	workers := e.availableWorkers()
+	parts := ssi.RandomPartitions(finals, e.perPartitionTuples(post.Params, finals), rng)
+	if len(parts) == 0 {
+		parts = [][]protocol.WireTuple{nil}
+	}
+	forceEmpty := len(stmt.GroupBy) == 0
+	units, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		return w.FinalizeGroups(post, p, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics.applyPhaseStats(ps)
+	metrics.addNamedPhase("filtering", unitDurations(units), workers, unitBytes(units))
+	metrics.LoadBytes += unitBytes(units)
+	out := collectOutputs(units)
+	metrics.Groups = countGroups(units)
+
+	if len(out) == 0 && forceEmpty {
+		// Global aggregate over an empty covering result still returns one
+		// row (COUNT = 0, others NULL); one live TDS synthesizes it.
+		var w *tds.TDS
+		for _, idx := range rng.Perm(len(e.fleet)) {
+			if !e.revoked[e.fleet[idx].ID] {
+				w = e.fleet[idx]
+				break
+			}
+		}
+		if w == nil {
+			return nil, fmt.Errorf("core: every device is revoked")
+		}
+		synth, err := w.FinalizeGroups(post, nil, true)
+		if err != nil {
+			return nil, err
+		}
+		out = synth
+	}
+	return out, nil
+}
+
+// countGroups counts partial-aggregation groups seen during filtering —
+// the run's G before HAVING.
+func countGroups(units []workUnit) int {
+	n := 0
+	for _, u := range units {
+		n += len(u.partition)
+	}
+	return n
+}
+
+func unitDurations(units []workUnit) []time.Duration {
+	out := make([]time.Duration, len(units))
+	for i, u := range units {
+		out[i] = u.busy
+	}
+	return out
+}
+
+func unitBytes(units []workUnit) int64 {
+	var n int64
+	for _, u := range units {
+		n += int64(tupleBytes(u.partition)) + int64(tupleBytes(u.out))
+	}
+	return n
+}
+
+// groupCountHint guesses G for partition sizing: the engine cannot know G
+// for S_Agg (that is the point of the protocol); a small constant is the
+// conservative choice used by the SSI.
+func groupCountHint(stmt *sqlparse.SelectStmt) int {
+	if len(stmt.GroupBy) == 0 {
+		return 1
+	}
+	return 16
+}
+
+// hashString is a small FNV-1a for seeding per-entity RNGs.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// RefreshDiscovery drops every cached A_G distribution so the next query
+// of a tagged protocol re-runs the discovery process — the paper's
+// "refreshed from time to time instead of being run for each query"
+// (Section 4.4). Call it after bulk data changes shift the distribution.
+func (e *Engine) RefreshDiscovery() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.discovery = make(map[string]*discovered)
+}
+
+// discoverDistribution runs (or recalls) the distribution-discovery
+// process of Section 4.4: a COUNT Group-By-A_G query over the fleet,
+// executed with S_Agg (which needs no prior knowledge), yielding both the
+// frequency map and the A_G domain. The result is cached: discovery "needs
+// to be done only once and refreshed from time to time instead of being
+// run for each query".
+func (e *Engine) discoverDistribution(q *querier.Querier, stmt *sqlparse.SelectStmt) (*discovered, error) {
+	if len(stmt.GroupBy) == 0 {
+		d := &discovered{counts: map[string]int64{"": 1}, domain: []storage.Row{{}}}
+		return d, nil
+	}
+	cols := make([]string, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		cols[i] = g.String()
+	}
+	tables := make([]string, len(stmt.From))
+	for i, f := range stmt.From {
+		tables[i] = f.String()
+	}
+	sig := strings.Join(tables, ",") + "|" + strings.Join(cols, ",")
+
+	e.mu.Lock()
+	if d, ok := e.discovery[sig]; ok {
+		e.mu.Unlock()
+		return d, nil
+	}
+	e.mu.Unlock()
+
+	sql := fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s",
+		strings.Join(cols, ", "), strings.Join(tables, ", "), strings.Join(cols, ", "))
+	res, _, err := e.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	if err != nil {
+		return nil, fmt.Errorf("core: distribution discovery: %w", err)
+	}
+	d := &discovered{counts: make(map[string]int64, len(res.Rows))}
+	for _, row := range res.Rows {
+		group := row[:len(row)-1]
+		count, err := row[len(row)-1].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("core: discovery count: %w", err)
+		}
+		d.counts[group.Key()] = count
+		d.domain = append(d.domain, group.Clone())
+	}
+	if len(d.domain) == 0 {
+		return nil, fmt.Errorf("core: distribution discovery found no groups")
+	}
+	e.mu.Lock()
+	e.discovery[sig] = d
+	e.mu.Unlock()
+	return d, nil
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+)
+
+// TestThousandDeviceFleet is the laptop-scale step toward the paper's
+// future work (3), "perform performance study on large scale TDS
+// platforms": a 1000-device fleet running the flagship query under the
+// two winning protocols, exact both times.
+func TestThousandDeviceFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-device fleet skipped in -short mode")
+	}
+	f := newFixture(t, 1000, func(c *Config) { c.AvailableFraction = 0.1 })
+	want := f.reference(t, flagshipSQL)
+	if len(want.Rows) == 0 {
+		t.Fatal("vacuous fixture")
+	}
+	for _, kind := range []protocol.Kind{protocol.KindSAgg, protocol.KindEDHist} {
+		got, m, err := f.eng.Run(f.q, flagshipSQL, kind, protocol.Params{})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		assertSameResult(t, got, want)
+		if m.Nt < 1000 {
+			t.Errorf("%v: Nt = %d", kind, m.Nt)
+		}
+		t.Logf("%v: Nt=%d P_TDS=%d Load=%.0fKB simulated T_Q=%v",
+			kind, m.Nt, m.PTDS, float64(m.LoadBytes)/1e3, m.TQ)
+	}
+}

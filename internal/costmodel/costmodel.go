@@ -1,0 +1,259 @@
+// Package costmodel implements the analytical cost model of Section 6.1,
+// which the paper uses (calibrated by the unit tests of Section 6.2) to
+// evaluate its protocols at nation-wide scale. Four metrics are modeled
+// for each protocol:
+//
+//   - P_TDS:   number of TDSs participating in a phase (parallelism);
+//   - Load_Q:  global resource consumption in bytes (scalability);
+//   - T_Q:     aggregation-phase response time (responsiveness);
+//   - T_local: average time each participating TDS spends (feasibility).
+//
+// Main parameters (paper notation): N_t total encrypted tuples sent to the
+// SSI, G number of groups, s_t encrypted tuple size, T_t per-tuple cost,
+// α / n_NB / n_ED / m_ED reduction factors, n_f fake-per-true ratio, h the
+// histogram collision factor.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params are the cost-model inputs. Zero values select the defaults of the
+// paper's experiments (Section 6.3): N_t = 10^6, G = 10^3, s_t = 16 bytes,
+// T_t = 16 µs, h = 5, 10% of the collection TDSs available afterwards.
+type Params struct {
+	Nt        float64       // total tuples collected (one per TDS)
+	G         float64       // number of groups
+	St        float64       // encrypted tuple size, bytes
+	Tt        time.Duration // time to process one tuple
+	Available float64       // TDSs available for aggregation/filtering
+	Alpha     float64       // S_Agg reduction factor; 0 = α_op
+	Nf        float64       // Rnf_Noise fakes per true tuple
+	H         float64       // ED_Hist collision factor h = G/M
+}
+
+// withDefaults fills zero fields with the paper's experiment constants.
+func (p Params) withDefaults() Params {
+	if p.Nt == 0 {
+		p.Nt = 1e6
+	}
+	if p.G == 0 {
+		p.G = 1e3
+	}
+	if p.St == 0 {
+		p.St = 16
+	}
+	if p.Tt == 0 {
+		p.Tt = 16 * time.Microsecond
+	}
+	if p.Available == 0 {
+		p.Available = 0.10 * p.Nt
+	}
+	if p.Alpha == 0 {
+		p.Alpha = OptimalAlpha()
+	}
+	if p.H == 0 {
+		p.H = 5
+	}
+	return p
+}
+
+// Metrics are the four modeled quantities.
+type Metrics struct {
+	PTDS   float64       // participating TDSs
+	LoadQ  float64       // bytes
+	TQ     time.Duration // aggregation-phase response time
+	TLocal time.Duration // average per-TDS time
+}
+
+// String renders metrics for CLI tables.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P_TDS=%.3g Load_Q=%.3gMB T_Q=%v T_local=%v",
+		m.PTDS, m.LoadQ/1e6, m.TQ, m.TLocal)
+}
+
+// OptimalAlpha returns α_op, the reduction factor minimizing
+// f(α) = (α+1)·log_α(N_t/G): the root of α·ln α = α + 1 (≈ 3.59,
+// the paper rounds to 3.6). Derived in Section 6.1.1.
+func OptimalAlpha() float64 {
+	// Bisection on g(α) = α ln α − α − 1, increasing for α > 1.
+	lo, hi := 2.0, 6.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if mid*math.Log(mid)-mid-1 > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// seconds converts a float second count to a duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// tt returns T_t in seconds.
+func tt(p Params) float64 { return p.Tt.Seconds() }
+
+// SAgg models the secure aggregation protocol (Section 6.1.1).
+//
+//	n      = log_α(N_t/G) iterative steps
+//	T_Q    = (α+1)·n·G·T_t
+//	P_TDS  = (N_t/G)·Σ_{i=1..n} α^(−i)
+//	Load_Q = (1 + 2·Σ_{i=1..n} α^(−i))·N_t·s_t
+//	T_local= (N_t + α·G·Σ_{i=2..n} N_i)·T_t / P_TDS
+//
+// S_Agg's parallelism does not depend on the available TDS count (its
+// fan-in shrinks by α each step), hence its low elasticity.
+func SAgg(p Params) Metrics {
+	p = p.withDefaults()
+	alpha := p.Alpha
+	ratio := p.Nt / p.G
+	n := math.Log(ratio) / math.Log(alpha)
+	if n < 1 {
+		n = 1
+	}
+	steps := int(math.Ceil(n))
+
+	// Σ α^-i for i = 1..n and the N_i series.
+	var sumInv float64
+	var ptds float64
+	var workTuples float64 // tuples processed across all steps
+	ni := ratio            // N_0 placeholder; N_i = ratio * α^-i
+	workTuples = p.Nt      // step 1 processes all N_t tuples
+	for i := 1; i <= steps; i++ {
+		ni = ratio * math.Pow(alpha, -float64(i))
+		if ni < 1 {
+			ni = 1
+		}
+		sumInv += math.Pow(alpha, -float64(i))
+		ptds += ni
+		if i >= 2 {
+			workTuples += alpha * p.G * ni
+		}
+	}
+
+	tq := (alpha + 1) * n * p.G * tt(p)
+	load := (1 + 2*sumInv) * p.Nt * p.St
+	tlocal := workTuples * tt(p) / ptds
+	return Metrics{
+		PTDS:   ptds,
+		LoadQ:  load,
+		TQ:     seconds(tq),
+		TLocal: seconds(tlocal),
+	}
+}
+
+// RnfNoise models the random-noise protocol (Section 6.1.2).
+//
+//	n_NB(op) = sqrt((n_f+1)·N_t/G)
+//	T_Q      = (n_NB + (n_f+1)·N_t/(n_NB·G) + 2)·T_t
+//	P_TDS    = (n_NB + 1)·G
+//	Load_Q   = ((n_f+1)·N_t + 2·n_NB·G + G)·s_t
+//	T_local  = ((n_f+1)·N_t/G)·T_t / n_NB  (per participating TDS)
+//
+// Availability caps the deployable parallelism: when (n_NB+1)·G exceeds
+// the available TDSs, T_Q stretches by the shortfall (Fig. 10i/j).
+func RnfNoise(p Params) Metrics {
+	p = p.withDefaults()
+	expansion := p.Nf + 1
+	perGroup := expansion * p.Nt / p.G
+	nNB := math.Sqrt(perGroup)
+	if nNB < 1 {
+		nNB = 1
+	}
+	ptds := (nNB + 1) * p.G
+	tq := (nNB + perGroup/nNB + 2) * tt(p)
+	load := (expansion*p.Nt + 2*nNB*p.G + p.G) * p.St
+	tlocal := perGroup / nNB * tt(p)
+	m := Metrics{PTDS: ptds, LoadQ: load, TQ: seconds(tq), TLocal: seconds(tlocal)}
+	return applyAvailability(m, p, expansion*p.Nt)
+}
+
+// CNoise models the controlled-noise protocol: Rnf_Noise with
+// n_f = n_d − 1, the A_G domain cardinality minus one. The experiments use
+// n_d ≈ G, making its noise volume grow with the group count.
+func CNoise(p Params) Metrics {
+	p = p.withDefaults()
+	p.Nf = p.G - 1
+	if p.Nf < 0 {
+		p.Nf = 0
+	}
+	return RnfNoise(p)
+}
+
+// EDHist models the equi-depth histogram protocol (Section 6.1.3).
+//
+//	n_ED = ((h·N_t)/G)^(2/3),  m_ED = ((h·N_t)/G)^(1/3)
+//	T_Q(op) = (3·(h·N_t/G)^(1/3) + h + 2)·T_t
+//	P_TDS   = (n_ED/h + m_ED + 1)·G
+//	Load_Q  = (N_t + 2·n_ED·G + 2·m_ED·G + G)·s_t
+//	T_local = (N_t + n_ED·G + m_ED·G)·T_t / P_TDS
+func EDHist(p Params) Metrics {
+	p = p.withDefaults()
+	ratio := p.H * p.Nt / p.G
+	mED := math.Cbrt(ratio)
+	nED := mED * mED
+	if mED < 1 {
+		mED = 1
+	}
+	if nED < 1 {
+		nED = 1
+	}
+	ptds := (nED/p.H + mED + 1) * p.G
+	tq := (3*math.Cbrt(ratio) + p.H + 2) * tt(p)
+	load := (p.Nt + 2*nED*p.G + 2*mED*p.G + p.G) * p.St
+	tlocal := (p.Nt + nED*p.G + mED*p.G) * tt(p) / ptds
+	m := Metrics{PTDS: ptds, LoadQ: load, TQ: seconds(tq), TLocal: seconds(tlocal)}
+	return applyAvailability(m, p, p.Nt)
+}
+
+// applyAvailability stretches T_Q when the protocol wants more parallel
+// TDSs than are connected: the partitions queue in waves. totalTuples is
+// the aggregate tuple volume of the protocol's parallel phases.
+func applyAvailability(m Metrics, p Params, totalTuples float64) Metrics {
+	if p.Available <= 0 || m.PTDS <= p.Available {
+		return m
+	}
+	// The available TDSs must absorb the whole volume; the floor is the
+	// serial share of the total work.
+	floor := seconds(totalTuples * tt(p) / p.Available)
+	if floor > m.TQ {
+		m.TQ = floor
+	}
+	return m
+}
+
+// Protocol names used by Compare and the figure harness.
+const (
+	NameSAgg       = "S_Agg"
+	NameR2Noise    = "R2_Noise"
+	NameR1000Noise = "R1000_Noise"
+	NameCNoise     = "C_Noise"
+	NameEDHist     = "ED_Hist"
+)
+
+// Compare evaluates the five protocol configurations plotted throughout
+// Fig. 10: S_Agg, R2_Noise (n_f=2), R1000_Noise (n_f=1000), C_Noise and
+// ED_Hist.
+func Compare(p Params) map[string]Metrics {
+	r2, r1000 := p, p
+	r2.Nf = 2
+	r1000.Nf = 1000
+	return map[string]Metrics{
+		NameSAgg:       SAgg(p),
+		NameR2Noise:    RnfNoise(r2),
+		NameR1000Noise: RnfNoise(r1000),
+		NameCNoise:     CNoise(p),
+		NameEDHist:     EDHist(p),
+	}
+}
+
+// ProtocolNames returns the plot order used by the paper's figures.
+func ProtocolNames() []string {
+	return []string{NameSAgg, NameR2Noise, NameR1000Noise, NameCNoise, NameEDHist}
+}

@@ -1,0 +1,236 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestOptimalAlpha(t *testing.T) {
+	a := OptimalAlpha()
+	if math.Abs(a-3.59) > 0.02 {
+		t.Errorf("α_op = %g, paper derives ≈ 3.6", a)
+	}
+	// It must satisfy α·ln α = α + 1.
+	if r := a*math.Log(a) - a - 1; math.Abs(r) > 1e-9 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestDefaultsMatchPaperExperiments(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Nt != 1e6 || p.G != 1e3 || p.St != 16 || p.Tt != 16*time.Microsecond {
+		t.Errorf("defaults = %+v", p)
+	}
+	if p.Available != 1e5 {
+		t.Errorf("available = %g, want 10%% of N_t", p.Available)
+	}
+	if p.H != 5 {
+		t.Errorf("h = %g", p.H)
+	}
+}
+
+// Fig. 10a: as G grows, S_Agg's parallelism falls while the other
+// protocols' parallelism rises linearly with G.
+func TestFig10aParallelismVsG(t *testing.T) {
+	small := Params{G: 10}
+	big := Params{G: 1e5}
+	if SAgg(big).PTDS >= SAgg(small).PTDS {
+		t.Errorf("S_Agg P_TDS must fall with G: %g -> %g",
+			SAgg(small).PTDS, SAgg(big).PTDS)
+	}
+	for _, f := range []func(Params) Metrics{RnfNoise, CNoise, EDHist} {
+		if f(big).PTDS <= f(small).PTDS {
+			t.Errorf("tagged protocol P_TDS must grow with G: %g -> %g",
+				f(small).PTDS, f(big).PTDS)
+		}
+	}
+}
+
+// Fig. 10b: P_TDS grows with N_t for every protocol; noise grows fastest.
+func TestFig10bParallelismVsNt(t *testing.T) {
+	for _, f := range []func(Params) Metrics{SAgg, RnfNoise, CNoise, EDHist} {
+		lo := f(Params{Nt: 5e6})
+		hi := f(Params{Nt: 65e6})
+		if hi.PTDS <= lo.PTDS {
+			t.Errorf("P_TDS must grow with N_t: %g -> %g", lo.PTDS, hi.PTDS)
+		}
+	}
+}
+
+// Fig. 10c/d: Noise_based protocols carry the highest total load; R1000
+// dwarfs everything; Rnf load is insensitive to G while C_Noise's grows.
+func TestFig10LoadOrdering(t *testing.T) {
+	m := Compare(Params{})
+	if m[NameR1000Noise].LoadQ <= m[NameR2Noise].LoadQ {
+		t.Error("R1000 must out-consume R2")
+	}
+	if m[NameR2Noise].LoadQ <= m[NameSAgg].LoadQ {
+		t.Error("noise must out-consume S_Agg")
+	}
+	if m[NameCNoise].LoadQ <= m[NameEDHist].LoadQ {
+		t.Error("C_Noise (n_f = G-1) must out-consume ED_Hist")
+	}
+	// Rnf_Noise load ~ constant in G (the (n_f+1)·N_t term dominates);
+	// checked on R1000 where domination is total.
+	ra := RnfNoise(Params{G: 1e2, Nf: 1000})
+	rb := RnfNoise(Params{G: 1e5, Nf: 1000})
+	if rel := math.Abs(ra.LoadQ-rb.LoadQ) / ra.LoadQ; rel > 0.1 {
+		t.Errorf("R1000 load varies %.0f%% with G, want ~constant", rel*100)
+	}
+	ca := CNoise(Params{G: 1e2})
+	cb := CNoise(Params{G: 1e4})
+	if cb.LoadQ <= ca.LoadQ {
+		t.Error("C_Noise load must grow with G")
+	}
+}
+
+// Fig. 10e: T_Q falls with G for the tagged protocols (per-group work
+// shrinks) and rises for S_Agg (partial aggregations grow).
+func TestFig10eTQvsG(t *testing.T) {
+	for _, f := range []func(Params) Metrics{RnfNoise, EDHist} {
+		lo := f(Params{G: 10})
+		hi := f(Params{G: 1e5})
+		if hi.TQ >= lo.TQ {
+			t.Errorf("tagged T_Q must fall with G: %v -> %v", lo.TQ, hi.TQ)
+		}
+	}
+	if SAgg(Params{G: 1e5}).TQ <= SAgg(Params{G: 10}).TQ {
+		t.Error("S_Agg T_Q must grow with G")
+	}
+}
+
+// Section 6.4: S_Agg outperforms ED_Hist for small G (< ~10) and is
+// dominated by it for large G.
+func TestResponsivenessCrossover(t *testing.T) {
+	small := Params{G: 2}
+	if SAgg(small).TQ >= EDHist(small).TQ {
+		t.Errorf("at G=2 S_Agg (%v) must beat ED_Hist (%v)",
+			SAgg(small).TQ, EDHist(small).TQ)
+	}
+	large := Params{G: 1e4}
+	if SAgg(large).TQ <= EDHist(large).TQ {
+		t.Errorf("at G=1e4 ED_Hist (%v) must beat S_Agg (%v)",
+			EDHist(large).TQ, SAgg(large).TQ)
+	}
+}
+
+// Fig. 10f: when N_t grows, ED_Hist's T_Q barely moves (parallelism
+// absorbs it); S_Agg's T_Q grows (more iterative steps).
+func TestFig10fTQvsNt(t *testing.T) {
+	edLo, edHi := EDHist(Params{Nt: 5e6}), EDHist(Params{Nt: 65e6})
+	if ratio := edHi.TQ.Seconds() / edLo.TQ.Seconds(); ratio > 4 {
+		t.Errorf("ED_Hist T_Q grew %gx over 13x N_t, want minimal growth", ratio)
+	}
+	saLo, saHi := SAgg(Params{Nt: 5e6}), SAgg(Params{Nt: 65e6})
+	if saHi.TQ <= saLo.TQ {
+		t.Error("S_Agg T_Q must grow with N_t")
+	}
+}
+
+// Fig. 10g: all protocols' T_local falls with G except S_Agg's, which
+// rises (fewer TDSs share bigger partial aggregations).
+func TestFig10gTlocalVsG(t *testing.T) {
+	if SAgg(Params{G: 1e5}).TLocal <= SAgg(Params{G: 10}).TLocal {
+		t.Error("S_Agg T_local must grow with G")
+	}
+	for _, f := range []func(Params) Metrics{RnfNoise, EDHist} {
+		if f(Params{G: 1e5}).TLocal >= f(Params{G: 10}).TLocal {
+			t.Error("tagged T_local must fall with G")
+		}
+	}
+}
+
+// Fig. 10h: with availability pinned at 10% of N_t, noise T_local grows
+// linearly with N_t while S_Agg and ED_Hist stay near-insensitive.
+func TestFig10hTlocalVsNt(t *testing.T) {
+	nLo := RnfNoise(Params{Nt: 5e6, Nf: 1000})
+	nHi := RnfNoise(Params{Nt: 65e6, Nf: 1000})
+	if nHi.TLocal <= nLo.TLocal {
+		t.Error("noise T_local must grow with N_t")
+	}
+	edLo, edHi := EDHist(Params{Nt: 5e6}), EDHist(Params{Nt: 65e6})
+	if ratio := edHi.TLocal.Seconds() / edLo.TLocal.Seconds(); ratio > 4 {
+		t.Errorf("ED_Hist T_local grew %gx, want near-flat", ratio)
+	}
+}
+
+// Fig. 10i/e/j: elasticity. Scarce resources (1%) inflate the tagged
+// protocols' T_Q; abundant resources (100%) deflate it; S_Agg is
+// insensitive to availability.
+func TestElasticity(t *testing.T) {
+	scarce := Params{Available: 0.01 * 1e6, Nf: 1000}
+	abundant := Params{Available: 1.0 * 1e6, Nf: 1000}
+	if RnfNoise(scarce).TQ <= RnfNoise(abundant).TQ {
+		t.Errorf("R1000 must suffer under scarcity: %v vs %v",
+			RnfNoise(scarce).TQ, RnfNoise(abundant).TQ)
+	}
+	if SAgg(scarce).TQ != SAgg(abundant).TQ {
+		t.Errorf("S_Agg must be insensitive to availability: %v vs %v",
+			SAgg(scarce).TQ, SAgg(abundant).TQ)
+	}
+}
+
+// The optimal n_NB minimizes Rnf T_Q: perturbing availability-free T_Q by
+// sweeping alpha around α_op must not find a better point.
+func TestAlphaOptimality(t *testing.T) {
+	base := SAgg(Params{Alpha: OptimalAlpha()})
+	for _, a := range []float64{2, 2.5, 3, 4.5, 5, 6} {
+		if m := SAgg(Params{Alpha: a}); m.TQ < base.TQ {
+			t.Errorf("α=%g gives T_Q %v < α_op's %v", a, m.TQ, base.TQ)
+		}
+	}
+}
+
+func TestCNoiseEqualsRnfWithDomainNoise(t *testing.T) {
+	p := Params{G: 500}
+	c := CNoise(p)
+	r := RnfNoise(Params{G: 500, Nf: 499})
+	if c != r {
+		t.Errorf("C_Noise must equal Rnf_Noise with n_f = G-1: %+v vs %+v", c, r)
+	}
+}
+
+func TestCompareCoversAllProtocols(t *testing.T) {
+	m := Compare(Params{})
+	names := ProtocolNames()
+	if len(m) != len(names) {
+		t.Fatalf("Compare returned %d entries", len(m))
+	}
+	for _, n := range names {
+		mm, ok := m[n]
+		if !ok {
+			t.Errorf("missing %s", n)
+			continue
+		}
+		if mm.PTDS <= 0 || mm.LoadQ <= 0 || mm.TQ <= 0 || mm.TLocal <= 0 {
+			t.Errorf("%s: non-positive metrics %+v", n, mm)
+		}
+		if mm.String() == "" {
+			t.Errorf("%s: empty String()", n)
+		}
+	}
+}
+
+func TestMetricsSanityAtPaperScale(t *testing.T) {
+	// At the paper's default point (N_t=10^6, G=10^3) the reported T_Q
+	// values sit between 100 µs and 10 s across protocols (Fig. 10e).
+	for name, m := range Compare(Params{}) {
+		if m.TQ < 100*time.Microsecond || m.TQ > 10*time.Second {
+			t.Errorf("%s: T_Q = %v out of Fig. 10e range", name, m.TQ)
+		}
+	}
+}
+
+func TestSAggStepCountGrowsLogarithmically(t *testing.T) {
+	// T_Q ∝ log_α(N_t/G): multiplying N_t by α multiplies steps by +1.
+	a := OptimalAlpha()
+	base := SAgg(Params{Nt: 1e6})
+	bigger := SAgg(Params{Nt: 1e6 * a})
+	growth := bigger.TQ.Seconds() / base.TQ.Seconds()
+	nBase := math.Log(1e6/1e3) / math.Log(a)
+	expect := (nBase + 1) / nBase
+	if math.Abs(growth-expect) > 0.1 {
+		t.Errorf("T_Q growth %g, want ≈ %g (one extra step)", growth, expect)
+	}
+}

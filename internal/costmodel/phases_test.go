@@ -1,0 +1,102 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullDecompositionShapes(t *testing.T) {
+	for _, fc := range FullAll(Params{}, 1) {
+		if len(fc.Phases) != 3 {
+			t.Fatalf("%s: %d phases", fc.Protocol, len(fc.Phases))
+		}
+		names := []string{"collection", "aggregation", "filtering"}
+		for i, ph := range fc.Phases {
+			if ph.Name != names[i] {
+				t.Errorf("%s: phase %d = %s", fc.Protocol, i, ph.Name)
+			}
+			if ph.TQ <= 0 || ph.Load <= 0 || ph.PTDS <= 0 {
+				t.Errorf("%s/%s: non-positive cost %+v", fc.Protocol, ph.Name, ph)
+			}
+		}
+		if fc.SSIStorage <= 0 {
+			t.Errorf("%s: SSI storage %g", fc.Protocol, fc.SSIStorage)
+		}
+		if !strings.Contains(fc.String(), "aggregation") {
+			t.Errorf("%s: String() incomplete", fc.Protocol)
+		}
+	}
+}
+
+func TestCollectionPhaseIsParallel(t *testing.T) {
+	// Collection mobilizes every device but costs each only its own
+	// upload: T ≈ expansion·T_t regardless of N_t.
+	small, _ := Full(NameSAgg, Params{Nt: 1e5}, 1)
+	big, _ := Full(NameSAgg, Params{Nt: 1e7}, 1)
+	if small.Phases[0].TQ != big.Phases[0].TQ {
+		t.Errorf("collection T_Q must not depend on N_t: %v vs %v",
+			small.Phases[0].TQ, big.Phases[0].TQ)
+	}
+	if big.Phases[0].Load <= small.Phases[0].Load {
+		t.Error("collection load must grow with N_t")
+	}
+}
+
+func TestSSIStorageReflectsNoise(t *testing.T) {
+	sagg, _ := Full(NameSAgg, Params{}, 1)
+	r1000, _ := Full(NameR1000Noise, Params{}, 1)
+	if r1000.SSIStorage < 900*sagg.SSIStorage {
+		t.Errorf("R1000 covering result must be ~1000x: %g vs %g",
+			r1000.SSIStorage, sagg.SSIStorage)
+	}
+}
+
+func TestAuditReplicationCost(t *testing.T) {
+	plain, _ := Full(NameSAgg, Params{}, 1)
+	audited, _ := Full(NameSAgg, Params{}, 3)
+	// Collection is untouched; aggregation and filtering triple.
+	if plain.Phases[0].Load != audited.Phases[0].Load {
+		t.Error("audit must not replicate collection")
+	}
+	if audited.Phases[1].Load != 3*plain.Phases[1].Load {
+		t.Errorf("audited aggregation load %g, want 3x %g",
+			audited.Phases[1].Load, plain.Phases[1].Load)
+	}
+	if audited.Phases[2].PTDS != 3*plain.Phases[2].PTDS {
+		t.Error("audited filtering must mobilize 3x TDSs")
+	}
+	if audited.Total().LoadQ <= plain.Total().LoadQ {
+		t.Error("auditing is not free")
+	}
+}
+
+func TestFullTotalConsistentWithSectionSix(t *testing.T) {
+	// The aggregation phase inside Full equals the Section 6.1 metrics.
+	fc, _ := Full(NameEDHist, Params{}, 1)
+	m := EDHist(Params{})
+	if fc.Phases[1].TQ != m.TQ || fc.Phases[1].Load != m.LoadQ {
+		t.Errorf("aggregation phase diverged from Section 6.1: %+v vs %+v",
+			fc.Phases[1], m)
+	}
+}
+
+func TestFullUnknownProtocol(t *testing.T) {
+	if _, err := Full("bogus", Params{}, 1); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestTotalAggregation(t *testing.T) {
+	fc, _ := Full(NameSAgg, Params{}, 1)
+	total := fc.Total()
+	var wantLoad float64
+	for _, p := range fc.Phases {
+		wantLoad += p.Load
+	}
+	if total.LoadQ != wantLoad {
+		t.Errorf("Total load %g != phase sum %g", total.LoadQ, wantLoad)
+	}
+	if total.TQ != fc.Phases[0].TQ+fc.Phases[1].TQ+fc.Phases[2].TQ {
+		t.Error("Total TQ must sum phases")
+	}
+}

@@ -1,0 +1,356 @@
+// Package figures regenerates every figure and table of the paper's
+// evaluation (Sections 5 and 6) from this repository's implementations:
+// the exposure analysis (Fig. 7, Fig. 8), the unit-test breakdown
+// (Fig. 9b), the cost-model sweeps (Fig. 10a-j) and the qualitative
+// comparison (Fig. 11). cmd/benchtool and the bench suite print these.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/trustedcells/tcq/internal/costmodel"
+	"github.com/trustedcells/tcq/internal/exposure"
+	"github.com/trustedcells/tcq/internal/histogram"
+	"github.com/trustedcells/tcq/internal/netsim"
+	"github.com/trustedcells/tcq/internal/workload"
+)
+
+// Series is one protocol's curve in a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproducible plot, as data.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	Series []Series
+}
+
+// Render prints the figure as an aligned text table, one row per X value.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-14.4g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%16.6g", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%s)\n", f.YLabel)
+	return b.String()
+}
+
+// gSweep is the paper's G axis: 1, 10, ..., 10^6.
+func gSweep() []float64 {
+	out := make([]float64, 0, 7)
+	for g := 1.0; g <= 1e6; g *= 10 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// ntSweep is the paper's N_t axis: 5M to 65M.
+func ntSweep() []float64 {
+	out := make([]float64, 0, 7)
+	for nt := 5e6; nt <= 65e6; nt += 10e6 {
+		out = append(out, nt)
+	}
+	return out
+}
+
+// metricOf extracts one metric as a float for plotting.
+type metricOf func(costmodel.Metrics) float64
+
+func ptds(m costmodel.Metrics) float64   { return m.PTDS }
+func loadMB(m costmodel.Metrics) float64 { return m.LoadQ / 1e6 }
+func tqSec(m costmodel.Metrics) float64  { return m.TQ.Seconds() }
+func tlSec(m costmodel.Metrics) float64  { return m.TLocal.Seconds() }
+
+// sweep builds the five protocol series over xs, mutating params via set.
+func sweep(xs []float64, set func(*costmodel.Params, float64), get metricOf) []Series {
+	names := costmodel.ProtocolNames()
+	out := make([]Series, len(names))
+	for i, n := range names {
+		out[i] = Series{Name: n, X: xs, Y: make([]float64, len(xs))}
+	}
+	for xi, x := range xs {
+		p := costmodel.Params{}
+		set(&p, x)
+		m := costmodel.Compare(p)
+		for i, n := range names {
+			out[i].Y[xi] = get(m[n])
+		}
+	}
+	return out
+}
+
+func setG(p *costmodel.Params, g float64)   { p.G = g }
+func setNt(p *costmodel.Params, nt float64) { p.Nt = nt }
+
+// Fig10 regenerates one panel of Fig. 10 by its letter (a-j).
+func Fig10(letter string) (Figure, error) {
+	switch letter {
+	case "a":
+		return Figure{ID: "10a", Title: "parallelism vs number of groups",
+			XLabel: "G", YLabel: "P_TDS (participating TDSs)", XLog: true,
+			Series: sweep(gSweep(), setG, ptds)}, nil
+	case "b":
+		return Figure{ID: "10b", Title: "parallelism vs dataset size",
+			XLabel: "N_t", YLabel: "P_TDS (participating TDSs)",
+			Series: sweep(ntSweep(), setNt, ptds)}, nil
+	case "c":
+		return Figure{ID: "10c", Title: "global resource consumption vs G",
+			XLabel: "G", YLabel: "Load_Q (MB)", XLog: true,
+			Series: sweep(gSweep(), setG, loadMB)}, nil
+	case "d":
+		return Figure{ID: "10d", Title: "global resource consumption vs N_t",
+			XLabel: "N_t", YLabel: "Load_Q (MB)",
+			Series: sweep(ntSweep(), setNt, loadMB)}, nil
+	case "e":
+		return Figure{ID: "10e", Title: "response time vs G (10% TDS available)",
+			XLabel: "G", YLabel: "T_Q (seconds)", XLog: true,
+			Series: sweep(gSweep(), setG, tqSec)}, nil
+	case "f":
+		return Figure{ID: "10f", Title: "response time vs N_t",
+			XLabel: "N_t", YLabel: "T_Q (seconds)",
+			Series: sweep(ntSweep(), setNt, tqSec)}, nil
+	case "g":
+		return Figure{ID: "10g", Title: "local execution time vs G",
+			XLabel: "G", YLabel: "T_local (seconds)", XLog: true,
+			Series: sweep(gSweep(), setG, tlSec)}, nil
+	case "h":
+		return Figure{ID: "10h", Title: "local execution time vs N_t",
+			XLabel: "N_t", YLabel: "T_local (seconds)",
+			Series: sweep(ntSweep(), setNt, tlSec)}, nil
+	case "i":
+		return Figure{ID: "10i", Title: "response time vs G (scarce: 1% TDS available)",
+			XLabel: "G", YLabel: "T_Q (seconds)", XLog: true,
+			Series: sweep(gSweep(), func(p *costmodel.Params, g float64) {
+				p.G = g
+				p.Available = 0.01 * 1e6
+			}, tqSec)}, nil
+	case "j":
+		return Figure{ID: "10j", Title: "response time vs G (abundant: 100% TDS available)",
+			XLabel: "G", YLabel: "T_Q (seconds)", XLog: true,
+			Series: sweep(gSweep(), func(p *costmodel.Params, g float64) {
+				p.G = g
+				p.Available = 1e6
+			}, tqSec)}, nil
+	default:
+		return Figure{}, fmt.Errorf("figures: unknown Fig 10 panel %q (want a-j)", letter)
+	}
+}
+
+// Fig10All returns every panel in order.
+func Fig10All() []Figure {
+	out := make([]Figure, 0, 10)
+	for _, l := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		f, err := Fig10(l)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Fig9b reproduces the unit-test breakdown: internal time consumption of a
+// TDS managing 4 KB partitions (transfer dominates; CPU > crypto;
+// encryption << decryption).
+func Fig9b() netsim.Breakdown {
+	cal := netsim.DefaultCalibration()
+	return cal.PartitionBreakdown(cal.PartitionSize, 64)
+}
+
+// Fig7Row is one line of the Fig. 7 IC-table comparison.
+type Fig7Row struct {
+	Scheme  string
+	Epsilon float64
+	Note    string
+}
+
+// Fig7 reproduces the Accounts example of Section 5: exposure of the same
+// five-tuple table under each encryption scheme.
+func Fig7() []Fig7Row {
+	customers := exposure.Distribution{"Alice": 2, "Bob": 1, "Chris": 1, "Donna": 1}
+	balances := exposure.Distribution{"200": 3, "100": 1, "300": 1}
+	cols := []exposure.Distribution{customers, balances}
+	rows := [][]string{
+		{"Alice", "200"}, {"Alice", "200"}, {"Bob", "200"},
+		{"Chris", "100"}, {"Donna", "300"},
+	}
+	return []Fig7Row{
+		{"Plaintext", exposure.Plaintext(), "every association certain"},
+		{"Det_Enc", exposure.Det(cols, rows), "<Alice,200> inferred with certainty"},
+		{"nDet_Enc", exposure.NDet(cols), "uniform guessing: Π 1/N_j"},
+	}
+}
+
+// Fig8Row is one protocol's exposure on the Zipf experiment.
+type Fig8Row struct {
+	Protocol string
+	Epsilon  float64
+}
+
+// Fig8 reproduces the information-exposure comparison among protocols on a
+// Zipf-distributed grouping attribute (g distinct values, n tuples).
+func Fig8(g int, n int64, seed int64) []Fig8Row {
+	counts := workload.ZipfCounts(g, n, 1.3, seed)
+	d := exposure.Distribution(counts)
+	cols := []exposure.Distribution{d}
+
+	h5 := histogram.MustBuild(counts, maxInt(1, d.N()/5))
+	bucketOf := make(map[string]string, d.N())
+	for v := range d {
+		id, _ := h5.BucketOf(v)
+		bucketOf[v] = id
+	}
+	depths := make(map[string]int64, h5.NumBuckets())
+	for _, b := range h5.Buckets() {
+		depths[b.ID] = b.Depth
+	}
+
+	rows := []Fig8Row{
+		{"Cleartext", exposure.Plaintext()},
+		{"Det_Enc (R0_Noise)", exposure.DetColumn(d)},
+		{"R2_Noise", exposure.RnfNoise(d, 2, seed)},
+		{"R1000_Noise", exposure.RnfNoise(d, 1000, seed)},
+		{"ED_Hist (h=5)", exposure.EDHist(d, bucketOf, depths)},
+		{"C_Noise", exposure.CNoise(cols)},
+		{"S_Agg", exposure.SAgg(cols)},
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Epsilon > rows[j].Epsilon })
+	return rows
+}
+
+// Fig8HSweep reproduces the [11]-style experiment referenced in Section 5:
+// vary the ED_Hist collision factor h = G/M on Zipf data and measure its
+// exposure. Ԑ is maximal at h = 1 (degenerates to Det_Enc) and falls to
+// the 1/N_d floor at h = G. The second series reports the cost-model T_Q
+// at the same h — the privacy/performance trade-off in one plot.
+func Fig8HSweep(g int, n int64, seed int64) Figure {
+	counts := workload.ZipfCounts(g, n, 1.3, seed)
+	d := exposure.Distribution(counts)
+	hs := []float64{1, 2, 5, 10, 20, 50, float64(d.N())}
+	eps := Series{Name: "Ԑ_ED_Hist", X: hs, Y: make([]float64, len(hs))}
+	tq := Series{Name: "T_Q_seconds", X: hs, Y: make([]float64, len(hs))}
+	for i, h := range hs {
+		m := maxInt(1, int(float64(d.N())/h+0.5))
+		hist := histogram.MustBuild(counts, m)
+		bucketOf := make(map[string]string, d.N())
+		for v := range d {
+			id, _ := hist.BucketOf(v)
+			bucketOf[v] = id
+		}
+		depths := make(map[string]int64, hist.NumBuckets())
+		for _, b := range hist.Buckets() {
+			depths[b.ID] = b.Depth
+		}
+		eps.Y[i] = exposure.EDHist(d, bucketOf, depths)
+		tq.Y[i] = costmodel.EDHist(costmodel.Params{G: float64(g), H: h}).TQ.Seconds()
+	}
+	return Figure{
+		ID:     "8h",
+		Title:  fmt.Sprintf("ED_Hist exposure and T_Q vs collision factor h (Zipf, G=%d, n=%d)", g, n),
+		XLabel: "h = G/M", YLabel: "Ԑ / seconds",
+		Series: []Series{eps, tq},
+	}
+}
+
+// Fig8NfSweep varies the Rnf_Noise fake ratio n_f on Zipf data: exposure
+// falls with n_f while Load_Q climbs linearly — the trade-off the paper
+// summarizes as "the bigger the nf, the lower the probability that these
+// ciphertexts are revealed ... at the price of a very high number of fake
+// tuples".
+func Fig8NfSweep(g int, n int64, seed int64) Figure {
+	d := exposure.Distribution(workload.ZipfCounts(g, n, 1.3, seed))
+	nfs := []float64{0, 1, 2, 5, 10, 100, 1000}
+	eps := Series{Name: "Ԑ_Rnf_Noise", X: nfs, Y: make([]float64, len(nfs))}
+	load := Series{Name: "Load_Q_MB", X: nfs, Y: make([]float64, len(nfs))}
+	for i, nf := range nfs {
+		eps.Y[i] = exposure.RnfNoise(d, int(nf), seed)
+		load.Y[i] = costmodel.RnfNoise(costmodel.Params{G: float64(g), Nf: nf}).LoadQ / 1e6
+	}
+	return Figure{
+		ID:     "8nf",
+		Title:  fmt.Sprintf("Rnf_Noise exposure and load vs n_f (Zipf, G=%d, n=%d)", g, n),
+		XLabel: "n_f", YLabel: "Ԑ / MB",
+		Series: []Series{eps, load},
+	}
+}
+
+// AxisRanking is one axis of the Fig. 11 qualitative comparison: protocol
+// names ordered worst to best, derived from the cost model and exposure
+// analysis rather than hardcoded.
+type AxisRanking struct {
+	Axis  string
+	Order []string // worst ... best
+}
+
+// Fig11 derives the six comparison axes at the paper's default point.
+func Fig11() []AxisRanking {
+	def := costmodel.Params{}
+	largeG := costmodel.Params{G: 1e4}
+	largeGLoad := costmodel.Params{G: 1e5}
+	smallG := costmodel.Params{G: 4}
+
+	rankBy := func(p costmodel.Params, worse func(a, b costmodel.Metrics) bool) []string {
+		m := costmodel.Compare(p)
+		names := append([]string(nil), costmodel.ProtocolNames()...)
+		sort.SliceStable(names, func(i, j int) bool { return worse(m[names[i]], m[names[j]]) })
+		return names
+	}
+	tlWorse := func(a, b costmodel.Metrics) bool { return a.TLocal > b.TLocal }
+	tqWorse := func(a, b costmodel.Metrics) bool { return a.TQ > b.TQ }
+	loadWorse := func(a, b costmodel.Metrics) bool { return a.LoadQ > b.LoadQ }
+
+	// Elasticity: ratio of T_Q under scarcity to T_Q under abundance —
+	// big ratio means the protocol exploits extra resources well (elastic);
+	// ratio 1 means it cannot (S_Agg).
+	elastic := func(name string) float64 {
+		scarce, abundant := costmodel.Params{Available: 0.01 * 1e6}, costmodel.Params{Available: 1e6}
+		return costmodel.Compare(scarce)[name].TQ.Seconds() /
+			costmodel.Compare(abundant)[name].TQ.Seconds()
+	}
+	elNames := append([]string(nil), costmodel.ProtocolNames()...)
+	sort.SliceStable(elNames, func(i, j int) bool { return elastic(elNames[i]) < elastic(elNames[j]) })
+
+	// Confidentiality from the exposure analysis (worst = most exposed).
+	conf := []string{"Cleartext", costmodel.NameR2Noise, costmodel.NameR1000Noise,
+		costmodel.NameEDHist, costmodel.NameCNoise, costmodel.NameSAgg}
+
+	return []AxisRanking{
+		{Axis: "Feasibility / local resource consumption", Order: rankBy(def, tlWorse)},
+		{Axis: "Responsiveness (large G)", Order: rankBy(largeG, tqWorse)},
+		{Axis: "Responsiveness (small G)", Order: rankBy(smallG, tqWorse)},
+		// The paper's load axis reflects the large-G regime, where the
+		// histogram's two-step fan-out overtakes light random noise.
+		{Axis: "Global resource consumption", Order: rankBy(largeGLoad, loadWorse)},
+		{Axis: "Confidentiality", Order: conf},
+		{Axis: "Elasticity", Order: elNames},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig10AllPanels(t *testing.T) {
+	panels := Fig10All()
+	if len(panels) != 10 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	for _, f := range panels {
+		if len(f.Series) != 5 {
+			t.Errorf("%s: series = %d, want 5 protocols", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.X) != len(s.Y) || len(s.X) == 0 {
+				t.Errorf("%s/%s: malformed series", f.ID, s.Name)
+			}
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Errorf("%s/%s: non-positive value %g at x=%g", f.ID, s.Name, y, s.X[i])
+				}
+			}
+		}
+		r := f.Render()
+		if !strings.Contains(r, f.Title) || !strings.Contains(r, "S_Agg") {
+			t.Errorf("%s: render missing content:\n%s", f.ID, r)
+		}
+	}
+}
+
+func TestFig10UnknownPanel(t *testing.T) {
+	if _, err := Fig10("z"); err == nil {
+		t.Error("unknown panel accepted")
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	f, _ := Fig10("a")
+	var sagg, edh Series
+	for _, s := range f.Series {
+		switch s.Name {
+		case "S_Agg":
+			sagg = s
+		case "ED_Hist":
+			edh = s
+		}
+	}
+	// S_Agg parallelism falls across the G sweep; ED_Hist's rises.
+	if sagg.Y[len(sagg.Y)-1] >= sagg.Y[0] {
+		t.Errorf("S_Agg P_TDS must fall with G: %v", sagg.Y)
+	}
+	if edh.Y[len(edh.Y)-1] <= edh.Y[0] {
+		t.Errorf("ED_Hist P_TDS must rise with G: %v", edh.Y)
+	}
+}
+
+func TestFig10iVsJElasticity(t *testing.T) {
+	scarce, _ := Fig10("i")
+	abundant, _ := Fig10("j")
+	find := func(f Figure, name string) Series {
+		for _, s := range f.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		t.Fatalf("series %s missing", name)
+		return Series{}
+	}
+	// R1000 suffers badly under scarcity; S_Agg is identical in both.
+	rS, rA := find(scarce, "R1000_Noise"), find(abundant, "R1000_Noise")
+	if rS.Y[3] <= rA.Y[3] {
+		t.Errorf("R1000 scarce %g <= abundant %g", rS.Y[3], rA.Y[3])
+	}
+	sS, sA := find(scarce, "S_Agg"), find(abundant, "S_Agg")
+	for i := range sS.Y {
+		if sS.Y[i] != sA.Y[i] {
+			t.Errorf("S_Agg differs with availability at x=%g", sS.X[i])
+		}
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	b := Fig9b()
+	if b.Transfer <= b.CPU || b.CPU <= b.Decrypt || b.Encrypt*5 >= b.Decrypt {
+		t.Errorf("Fig 9b shape broken: %v", b)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	rows := Fig7()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Epsilon != 1 {
+		t.Errorf("plaintext Ԑ = %g", rows[0].Epsilon)
+	}
+	if !(rows[0].Epsilon > rows[1].Epsilon && rows[1].Epsilon > rows[2].Epsilon) {
+		t.Errorf("ordering broken: %v", rows)
+	}
+	// Paper example values: Ԑ_Det = 8/15, Ԑ_nDet = 1/12.
+	if d := rows[1].Epsilon - 8.0/15; d > 1e-12 || d < -1e-12 {
+		t.Errorf("Ԑ_Det = %g", rows[1].Epsilon)
+	}
+	if d := rows[2].Epsilon - 1.0/12; d > 1e-12 || d < -1e-12 {
+		t.Errorf("Ԑ_nDet = %g", rows[2].Epsilon)
+	}
+}
+
+func TestFig8OrderingAndBounds(t *testing.T) {
+	rows := Fig8(500, 100000, 7)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Protocol != "Cleartext" || rows[0].Epsilon != 1 {
+		t.Errorf("first row = %+v", rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Epsilon > rows[i-1].Epsilon {
+			t.Errorf("rows not sorted: %+v", rows)
+		}
+		if rows[i].Epsilon <= 0 || rows[i].Epsilon > 1 {
+			t.Errorf("Ԑ out of range: %+v", rows[i])
+		}
+	}
+	// The floor protocols end the ranking.
+	last := rows[len(rows)-1].Protocol
+	if last != "S_Agg" && last != "C_Noise" {
+		t.Errorf("floor protocol = %s", last)
+	}
+}
+
+func TestFig8HSweep(t *testing.T) {
+	f := Fig8HSweep(200, 40000, 7)
+	eps := f.Series[0]
+	// Monotone non-increasing exposure as h grows; endpoints match the
+	// Det_Enc maximum and the 1/N_d floor regime.
+	for i := 1; i < len(eps.Y); i++ {
+		if eps.Y[i] > eps.Y[i-1]+0.05 {
+			t.Errorf("Ԑ rose with h: %v", eps.Y)
+		}
+	}
+	if eps.Y[0] < 5*eps.Y[len(eps.Y)-1] {
+		t.Errorf("h=1 exposure %g not far above h=G exposure %g",
+			eps.Y[0], eps.Y[len(eps.Y)-1])
+	}
+	// T_Q grows with h (bigger buckets, less parallelism).
+	tq := f.Series[1]
+	if tq.Y[len(tq.Y)-1] <= tq.Y[0] {
+		t.Errorf("T_Q must grow with h: %v", tq.Y)
+	}
+	if !strings.Contains(f.Render(), "collision factor") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig8NfSweep(t *testing.T) {
+	f := Fig8NfSweep(150, 20000, 3)
+	eps, load := f.Series[0], f.Series[1]
+	if eps.Y[len(eps.Y)-1] >= eps.Y[0] {
+		t.Errorf("Ԑ must fall with n_f: %v", eps.Y)
+	}
+	for i := 1; i < len(load.Y); i++ {
+		if load.Y[i] <= load.Y[i-1] {
+			t.Errorf("load must climb with n_f: %v", load.Y)
+		}
+	}
+}
+
+func TestFig11Axes(t *testing.T) {
+	axes := Fig11()
+	if len(axes) != 6 {
+		t.Fatalf("axes = %d", len(axes))
+	}
+	for _, a := range axes {
+		if len(a.Order) < 5 {
+			t.Errorf("axis %q lists %d protocols", a.Axis, len(a.Order))
+		}
+	}
+	byAxis := func(name string) AxisRanking {
+		for _, a := range axes {
+			if strings.Contains(a.Axis, name) {
+				return a
+			}
+		}
+		t.Fatalf("axis %q missing", name)
+		return AxisRanking{}
+	}
+	// Section 6.4 headline conclusions.
+	feas := byAxis("Feasibility")
+	if feas.Order[0] != "S_Agg" && feas.Order[0] != "R1000_Noise" {
+		t.Errorf("feasibility worst = %s, paper says S_Agg/R1000", feas.Order[0])
+	}
+	if feas.Order[len(feas.Order)-1] != "ED_Hist" {
+		t.Errorf("feasibility best = %s, paper says ED_Hist", feas.Order[len(feas.Order)-1])
+	}
+	respLarge := byAxis("large G")
+	if respLarge.Order[0] != "S_Agg" {
+		t.Errorf("responsiveness(large G) worst = %s, paper says S_Agg", respLarge.Order[0])
+	}
+	respSmall := byAxis("small G")
+	if best := respSmall.Order[len(respSmall.Order)-1]; best != "S_Agg" {
+		t.Errorf("responsiveness(small G) best = %s, paper says S_Agg", best)
+	}
+	load := byAxis("Global resource")
+	if best := load.Order[len(load.Order)-1]; best != "S_Agg" {
+		t.Errorf("global load best = %s, paper says S_Agg", best)
+	}
+	// C_Noise at G=1e5 generates n_f = G-1 ≈ 1e5 fakes per tuple, even
+	// more than R1000 — either noise protocol legitimately ranks worst.
+	if w := load.Order[0]; w != "R1000_Noise" && w != "C_Noise" {
+		t.Errorf("global load worst = %s, paper says a noise protocol", w)
+	}
+	el := byAxis("Elasticity")
+	if el.Order[0] != "S_Agg" {
+		t.Errorf("elasticity worst = %s, paper says S_Agg", el.Order[0])
+	}
+	conf := byAxis("Confidentiality")
+	if conf.Order[0] != "Cleartext" || conf.Order[len(conf.Order)-1] != "S_Agg" {
+		t.Errorf("confidentiality axis = %v", conf.Order)
+	}
+}

@@ -1,0 +1,217 @@
+// Package flashstore implements the secure device's mass storage area of
+// Fig. 1: the TDS microcontroller pairs a small trusted execution
+// environment with a large but *untrusted* NAND flash chip, so everything
+// written to flash must be cryptographically protected.
+//
+// The store is an append-only log of encrypted blocks. Each block is
+// sealed with AES-GCM under a device storage key and chained to its
+// predecessor: the additional authenticated data of block i commits to the
+// MAC tag of block i-1 and to i itself, so the TEE detects any tampering,
+// reordering, truncation or replay of the flash content when it replays
+// the log at boot. This mirrors how personal data servers on secure
+// microcontrollers persist data on external NAND [3].
+//
+// Layout of one block on flash:
+//
+//	uint32 big-endian ciphertext length | ciphertext (nonce ∥ body ∥ tag)
+//
+// The plaintext body of a block is a batch of (table, row) records.
+package flashstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// Record is one persisted insertion.
+type Record struct {
+	Table string
+	Row   storage.Row
+}
+
+// Store is the device-side view of the protected flash area. It is not
+// safe for concurrent use; the TDS serializes its storage accesses (a
+// microcontroller has one flash bus anyway).
+type Store struct {
+	suite   *tdscrypto.Suite
+	flash   io.ReadWriter // the untrusted chip; typically a file or buffer
+	prevTag []byte        // GCM tag of the last block written (chain head)
+	blocks  uint64
+}
+
+// chainSeed is the AAD of the first block.
+var chainSeed = []byte("flashstore/genesis/v1")
+
+// New creates an empty store writing to flash, sealed under storageKey.
+func New(storageKey tdscrypto.Key, flash io.ReadWriter) (*Store, error) {
+	suite, err := tdscrypto.NewSuite(storageKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{suite: suite, flash: flash, prevTag: chainSeed}, nil
+}
+
+// blockAAD binds a block to its position and to the previous block's tag.
+func blockAAD(index uint64, prevTag []byte) []byte {
+	aad := make([]byte, 0, 8+len(prevTag))
+	aad = binary.BigEndian.AppendUint64(aad, index)
+	return append(aad, prevTag...)
+}
+
+// Append seals a batch of records into one block on flash.
+func (s *Store) Append(records []Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(len(records)))
+	for _, r := range records {
+		body = binary.AppendUvarint(body, uint64(len(r.Table)))
+		body = append(body, r.Table...)
+		body = storage.AppendRow(body, r.Row)
+	}
+	ct, err := s.suite.NDetEncrypt(body, blockAAD(s.blocks, s.prevTag))
+	if err != nil {
+		return fmt.Errorf("flashstore: seal block %d: %w", s.blocks, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(ct)))
+	if _, err := s.flash.Write(hdr[:]); err != nil {
+		return fmt.Errorf("flashstore: write header: %w", err)
+	}
+	if _, err := s.flash.Write(ct); err != nil {
+		return fmt.Errorf("flashstore: write block: %w", err)
+	}
+	s.prevTag = ct[len(ct)-16:] // GCM tag
+	s.blocks++
+	return nil
+}
+
+// Blocks returns the number of blocks appended so far.
+func (s *Store) Blocks() uint64 { return s.blocks }
+
+// Replay verifies and decrypts an entire flash image, invoking fn for
+// every record in insertion order. Any bit flip, block reordering,
+// truncation in the middle, or replay of an old block fails verification.
+func Replay(storageKey tdscrypto.Key, flash io.Reader, fn func(Record) error) (blocks uint64, err error) {
+	suite, err := tdscrypto.NewSuite(storageKey)
+	if err != nil {
+		return 0, err
+	}
+	prevTag := chainSeed
+	var index uint64
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(flash, hdr[:]); err != nil {
+			if err == io.EOF {
+				return index, nil
+			}
+			return index, fmt.Errorf("flashstore: block %d header: %w", index, err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < tdscrypto.Overhead || n > 1<<24 {
+			return index, fmt.Errorf("flashstore: block %d: implausible length %d", index, n)
+		}
+		ct := make([]byte, n)
+		if _, err := io.ReadFull(flash, ct); err != nil {
+			return index, fmt.Errorf("flashstore: block %d truncated: %w", index, err)
+		}
+		body, err := suite.Decrypt(ct, blockAAD(index, prevTag))
+		if err != nil {
+			return index, fmt.Errorf("flashstore: block %d failed verification: %w", index, err)
+		}
+		if err := decodeBlock(body, fn); err != nil {
+			return index, fmt.Errorf("flashstore: block %d: %w", index, err)
+		}
+		prevTag = ct[len(ct)-16:]
+		index++
+	}
+}
+
+// decodeBlock parses one decrypted block body.
+func decodeBlock(body []byte, fn func(Record) error) error {
+	n, used := binary.Uvarint(body)
+	if used <= 0 || n > uint64(len(body)) {
+		return fmt.Errorf("bad record count")
+	}
+	off := used
+	for i := uint64(0); i < n; i++ {
+		l, u := binary.Uvarint(body[off:])
+		if u <= 0 || uint64(len(body)-off-u) < l {
+			return fmt.Errorf("record %d: bad table name", i)
+		}
+		off += u
+		table := string(body[off : off+int(l)])
+		off += int(l)
+		row, c, err := storage.DecodeRow(body[off:])
+		if err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		off += c
+		if err := fn(Record{Table: table, Row: row}); err != nil {
+			return err
+		}
+	}
+	if off != len(body) {
+		return fmt.Errorf("%d trailing bytes", len(body)-off)
+	}
+	return nil
+}
+
+// PersistentDB couples a LocalDB with a flash log: every insert lands in
+// both, and OpenDB rebuilds the in-memory database from flash at boot —
+// the TDS lifecycle on a real secure microcontroller.
+type PersistentDB struct {
+	*storage.LocalDB
+	store *Store
+}
+
+// NewDB creates an empty persistent database over an empty flash area.
+func NewDB(schema *storage.Schema, storageKey tdscrypto.Key, flash io.ReadWriter) (*PersistentDB, error) {
+	st, err := New(storageKey, flash)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentDB{LocalDB: storage.NewLocalDB(schema), store: st}, nil
+}
+
+// Insert writes the row to flash first, then to the in-memory database —
+// an insert acknowledged by the device is durable.
+func (db *PersistentDB) Insert(table string, row storage.Row) error {
+	// Validate against the schema before touching flash.
+	if err := db.LocalDB.Insert(table, row); err != nil {
+		return err
+	}
+	if err := db.store.Append([]Record{{Table: table, Row: row}}); err != nil {
+		return fmt.Errorf("flashstore: persist: %w", err)
+	}
+	return nil
+}
+
+// OpenDB replays a flash image into a fresh database, verifying the whole
+// chain. flashImage is the raw bytes previously written; further inserts
+// append to flash.
+func OpenDB(schema *storage.Schema, storageKey tdscrypto.Key, flashImage []byte, flash io.ReadWriter) (*PersistentDB, error) {
+	db := storage.NewLocalDB(schema)
+	blocks, err := Replay(storageKey, bytes.NewReader(flashImage), func(r Record) error {
+		return db.Insert(r.Table, r.Row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := New(storageKey, flash)
+	if err != nil {
+		return nil, err
+	}
+	// Re-establish the chain head so new blocks extend the verified log.
+	if blocks > 0 {
+		st.blocks = blocks
+		st.prevTag = flashImage[len(flashImage)-16:]
+	}
+	return &PersistentDB{LocalDB: db, store: st}, nil
+}

@@ -1,0 +1,222 @@
+// Package protocol defines the wire formats and parameters shared by the
+// querying protocols of the paper: the basic Select-From-Where protocol
+// (Section 3.2) and the Group-By protocols S_Agg, Rnf_Noise, C_Noise and
+// ED_Hist (Section 4).
+//
+// Everything the SSI stores or relays is either cleartext-by-design (the
+// SIZE clause, querier credentials) or ciphertext under keys it does not
+// hold. A wire tuple optionally carries a Tag the SSI may use to assemble
+// partitions: absent for S_Agg (random partitioning), Det_Enc(A_G) for the
+// noise protocols, h(bucketId) for ED_Hist.
+package protocol
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// Kind selects the querying protocol.
+type Kind int
+
+// The protocols of the paper.
+const (
+	// KindBasic is the Select-From-Where protocol of Section 3.2
+	// (collection + filtering, no aggregation phase).
+	KindBasic Kind = iota
+	// KindSAgg is the secure aggregation protocol of Section 4.2:
+	// nDet_Enc everywhere, random partitions, iterative merging with
+	// reduction factor alpha.
+	KindSAgg
+	// KindRnfNoise is the random-noise protocol of Section 4.3: Det_Enc
+	// on A_G plus nf random fake tuples per true tuple.
+	KindRnfNoise
+	// KindCNoise is the controlled-noise protocol of Section 4.3: one
+	// fake tuple for every other value of the A_G domain, flattening the
+	// observed distribution by construction.
+	KindCNoise
+	// KindEDHist is the equi-depth histogram protocol of Section 4.4.
+	KindEDHist
+)
+
+// String returns the paper's name for the protocol.
+func (k Kind) String() string {
+	switch k {
+	case KindBasic:
+		return "Basic"
+	case KindSAgg:
+		return "S_Agg"
+	case KindRnfNoise:
+		return "Rnf_Noise"
+	case KindCNoise:
+		return "C_Noise"
+	case KindEDHist:
+		return "ED_Hist"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Params carries per-protocol tuning. Zero values select the paper's
+// defaults.
+type Params struct {
+	// Alpha is the S_Agg reduction factor (α ≥ 2); 0 selects the optimal
+	// α_op ≈ 3.6 derived in Section 6.1.1 (rounded to 4 partitions-per-TDS
+	// in the discrete implementation).
+	Alpha float64
+	// Nf is the number of fake tuples each TDS adds per true tuple in
+	// Rnf_Noise.
+	Nf int
+	// NumBuckets is M, the equi-depth histogram size for ED_Hist; 0
+	// derives M from the discovered number of groups and CollisionFactor.
+	NumBuckets int
+	// CollisionFactor is the target h = G/M of ED_Hist when NumBuckets is
+	// 0; 0 selects the paper's experiment default h = 5.
+	CollisionFactor float64
+	// PartitionTuples caps the tuples per partition fed to one TDS; 0
+	// derives it from the calibration's 4 KB partition size.
+	PartitionTuples int
+}
+
+// MarkerByte classifies the plaintext payload of a wire tuple once a TDS
+// has decrypted it. The marker travels inside the ciphertext: the SSI can
+// never separate dummy or fake tuples from true ones (footnote 8 — dummies
+// prevent the SSI from learning query selectivity).
+type MarkerByte byte
+
+// Payload markers.
+const (
+	MarkerTrue    MarkerByte = 1 // a real result/collection tuple
+	MarkerDummy   MarkerByte = 2 // empty result or access denied (step 4')
+	MarkerFake    MarkerByte = 3 // noise injected by Rnf_Noise / C_Noise
+	MarkerPartial MarkerByte = 4 // an encoded partial aggregation
+)
+
+// WireTuple is one unit stored at the SSI. Tag is cleartext routing
+// information whose privacy cost is analysed in Section 5; Ciphertext is
+// opaque to the SSI.
+//
+// Digest supports the compromised-TDS extension (the paper's future work:
+// "extend the threat model to a small number of compromised TDSs"): a
+// deterministic MAC under k2 of the *semantic* content a TDS produced for
+// a partition. The SSI cannot open it, but it can compare the digests of
+// two TDSs assigned the same partition — honest replicas agree, a
+// tampering device stands out and is outvoted. Digests are keyed and bound
+// to the partition, so they reveal no cross-partition equality.
+type WireTuple struct {
+	Tag        []byte
+	Ciphertext []byte
+	Digest     []byte
+}
+
+// Size returns the bytes this tuple occupies at the SSI.
+func (w WireTuple) Size() int { return len(w.Tag) + len(w.Ciphertext) + len(w.Digest) }
+
+// EncodePayload prepends the marker to a body.
+func EncodePayload(m MarkerByte, body []byte) []byte {
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, byte(m))
+	return append(out, body...)
+}
+
+// DecodePayload splits a decrypted payload into marker and body.
+func DecodePayload(b []byte) (MarkerByte, []byte, error) {
+	if len(b) == 0 {
+		return 0, nil, fmt.Errorf("protocol: empty payload")
+	}
+	m := MarkerByte(b[0])
+	if m < MarkerTrue || m > MarkerPartial {
+		return 0, nil, fmt.Errorf("protocol: unknown payload marker %d", b[0])
+	}
+	return m, b[1:], nil
+}
+
+// DummyPayload builds a dummy payload padded with random bytes so that its
+// ciphertext is indistinguishable in size from a true tuple's.
+func DummyPayload(bodySize int) []byte {
+	pad := make([]byte, bodySize)
+	if _, err := rand.Read(pad); err != nil {
+		// crypto/rand failure is unrecoverable for the process.
+		panic(fmt.Sprintf("protocol: entropy: %v", err))
+	}
+	return EncodePayload(MarkerDummy, pad)
+}
+
+// TruePayload wraps an encoded row as a true tuple payload.
+func TruePayload(row storage.Row) []byte {
+	return EncodePayload(MarkerTrue, storage.EncodeRow(row))
+}
+
+// FakePayload wraps an encoded row as a noise tuple payload.
+func FakePayload(row storage.Row) []byte {
+	return EncodePayload(MarkerFake, storage.EncodeRow(row))
+}
+
+// QueryPost is what the querier deposits in the SSI's querybox (step 1 of
+// Fig. 2): the query encrypted with k1, the signed credential, and the
+// SIZE clause in cleartext so the SSI can evaluate it.
+//
+// Targets selects the personal queryboxes of specific TDSs ("get the
+// monthly energy consumption of consumer C", Section 3.1). Empty Targets
+// means the global querybox: the query is directed to the crowd.
+// Targeting is necessarily cleartext — the SSI routes the query — so a
+// personal query reveals who is being asked, but never what they answer.
+type QueryPost struct {
+	ID         string
+	Kind       Kind
+	Params     Params
+	EncQuery   []byte // nDet_Enc_k1(SQL text)
+	Credential accessctl.Credential
+	Size       sqlparse.SizeClause
+	Targets    []string // TDS IDs; empty = global querybox
+	PostedAt   time.Time
+}
+
+// TargetedTo reports whether the post concerns the given TDS: global
+// queries concern everyone; personal queries only their targets.
+func (q *QueryPost) TargetedTo(tdsID string) bool {
+	if len(q.Targets) == 0 {
+		return true
+	}
+	for _, t := range q.Targets {
+		if t == tdsID {
+			return true
+		}
+	}
+	return false
+}
+
+// AAD returns the additional authenticated data binding ciphertexts to
+// this query, preventing cross-query replay of stored tuples.
+func (q *QueryPost) AAD() []byte { return []byte("query/" + q.ID) }
+
+// NewQueryPost encrypts the query text under k1 and assembles the post.
+func NewQueryPost(id string, kind Kind, params Params, sql string,
+	k1 *tdscrypto.Suite, cred accessctl.Credential, size sqlparse.SizeClause) (*QueryPost, error) {
+	post := &QueryPost{ID: id, Kind: kind, Params: params, Credential: cred, Size: size}
+	enc, err := k1.NDetEncrypt([]byte(sql), post.AAD())
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encrypt query: %w", err)
+	}
+	post.EncQuery = enc
+	return post, nil
+}
+
+// OpenQuery decrypts and parses the posted query (what a TDS does at
+// step 3 of Fig. 2).
+func (q *QueryPost) OpenQuery(k1 *tdscrypto.Suite) (*sqlparse.SelectStmt, error) {
+	sql, err := k1.Decrypt(q.EncQuery, q.AAD())
+	if err != nil {
+		return nil, fmt.Errorf("protocol: decrypt query: %w", err)
+	}
+	stmt, err := sqlparse.Parse(string(sql))
+	if err != nil {
+		return nil, fmt.Errorf("protocol: parse query: %w", err)
+	}
+	return stmt, nil
+}

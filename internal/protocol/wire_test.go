@@ -1,0 +1,157 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindBasic: "Basic", KindSAgg: "S_Agg", KindRnfNoise: "Rnf_Noise",
+		KindCNoise: "C_Noise", KindEDHist: "ED_Hist",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind rendering")
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	row := storage.Row{storage.Str("Paris"), storage.Float(42)}
+	for _, tc := range []struct {
+		payload []byte
+		marker  MarkerByte
+	}{
+		{TruePayload(row), MarkerTrue},
+		{FakePayload(row), MarkerFake},
+		{DummyPayload(32), MarkerDummy},
+		{EncodePayload(MarkerPartial, []byte("blob")), MarkerPartial},
+	} {
+		m, body, err := DecodePayload(tc.payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != tc.marker {
+			t.Errorf("marker = %d, want %d", m, tc.marker)
+		}
+		if tc.marker == MarkerTrue || tc.marker == MarkerFake {
+			dec, n, err := storage.DecodeRow(body)
+			if err != nil || n != len(body) {
+				t.Fatalf("row decode: %v", err)
+			}
+			if dec.Key() != row.Key() {
+				t.Errorf("row = %v", dec)
+			}
+		}
+	}
+}
+
+func TestDecodePayloadRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodePayload(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, err := DecodePayload([]byte{0}); err == nil {
+		t.Error("marker 0 accepted")
+	}
+	if _, _, err := DecodePayload([]byte{99}); err == nil {
+		t.Error("marker 99 accepted")
+	}
+}
+
+func TestDummyPayloadRandomizedPadding(t *testing.T) {
+	a, b := DummyPayload(64), DummyPayload(64)
+	if len(a) != 65 || len(b) != 65 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	if bytes.Equal(a, b) {
+		t.Error("dummy padding must be random")
+	}
+}
+
+func TestQueryPostRoundTrip(t *testing.T) {
+	k1 := tdscrypto.MustSuite(tdscrypto.MustRandomKey())
+	cred := accessctl.Credential{QuerierID: "q", Expiry: time.Now()}
+	sql := `SELECT COUNT(*) FROM T GROUP BY g SIZE 10`
+	size := sqlparse.MustParse(sql).Size
+	post, err := NewQueryPost("q-1", KindSAgg, Params{Alpha: 3.6}, sql, k1, cred, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Size.MaxTuples != 10 {
+		t.Errorf("size = %+v", post.Size)
+	}
+	stmt, err := post.OpenQuery(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.String() != sqlparse.MustParse(sql).String() {
+		t.Errorf("round trip = %s", stmt)
+	}
+}
+
+func TestQueryPostWrongKeyOrAAD(t *testing.T) {
+	k1 := tdscrypto.MustSuite(tdscrypto.MustRandomKey())
+	other := tdscrypto.MustSuite(tdscrypto.MustRandomKey())
+	post, err := NewQueryPost("q-1", KindSAgg, Params{}, `SELECT a FROM T`, k1,
+		accessctl.Credential{}, sqlparse.SizeClause{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := post.OpenQuery(other); err == nil {
+		t.Error("wrong key opened the query")
+	}
+	// Replaying the ciphertext under a different query ID must fail: the
+	// AAD binds it.
+	replay := *post
+	replay.ID = "q-2"
+	if _, err := replay.OpenQuery(k1); err == nil {
+		t.Error("cross-query replay accepted")
+	}
+}
+
+func TestQueryPostGarbledSQL(t *testing.T) {
+	k1 := tdscrypto.MustSuite(tdscrypto.MustRandomKey())
+	post, err := NewQueryPost("q-1", KindSAgg, Params{}, `this is not sql`, k1,
+		accessctl.Credential{}, sqlparse.SizeClause{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := post.OpenQuery(k1); err == nil {
+		t.Error("garbage SQL parsed")
+	}
+}
+
+func TestWireTupleSize(t *testing.T) {
+	w := WireTuple{Tag: make([]byte, 16), Ciphertext: make([]byte, 100)}
+	if w.Size() != 116 {
+		t.Errorf("size = %d", w.Size())
+	}
+	w.Digest = make([]byte, 16)
+	if w.Size() != 132 {
+		t.Errorf("size with digest = %d", w.Size())
+	}
+}
+
+func TestTargetedTo(t *testing.T) {
+	global := &QueryPost{}
+	if !global.TargetedTo("anything") {
+		t.Error("global querybox must target everyone")
+	}
+	personal := &QueryPost{Targets: []string{"tds-1", "tds-2"}}
+	if !personal.TargetedTo("tds-1") || !personal.TargetedTo("tds-2") {
+		t.Error("target not matched")
+	}
+	if personal.TargetedTo("tds-3") {
+		t.Error("non-target matched")
+	}
+}

@@ -1,0 +1,515 @@
+package sqlexec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// AggState is a mergeable partial aggregate — the unit of work of the
+// aggregation phase. Any TDS can Add raw inputs, Merge another TDS's
+// partial state (the ⊕ operator of the S_Agg algorithm, Fig. 4) and
+// finally produce the aggregate Result.
+//
+// States serialize to a deterministic byte encoding so they can be
+// encrypted with k2 and relayed through the SSI between aggregation steps.
+type AggState interface {
+	// Add folds one raw input value into the state. NULL inputs are
+	// ignored except by COUNT(*).
+	Add(v storage.Value) error
+	// Merge folds another state of the same spec into this one.
+	Merge(other AggState) error
+	// Result returns the aggregate value (NULL over an empty input).
+	Result() storage.Value
+	// AppendEncode appends the wire encoding of the state to dst.
+	AppendEncode(dst []byte) []byte
+}
+
+// NewAggState creates the empty state for a spec. DISTINCT wraps any
+// function with value de-duplication (the paper's holistic case — COUNT
+// DISTINCT is what the flagship query uses in HAVING).
+func NewAggState(spec AggSpec) AggState {
+	var base AggState
+	switch spec.Func {
+	case sqlparse.AggCount:
+		base = &countState{star: spec.Star}
+	case sqlparse.AggSum:
+		base = &sumState{}
+	case sqlparse.AggAvg:
+		base = &avgState{}
+	case sqlparse.AggMin:
+		base = &extremumState{min: true}
+	case sqlparse.AggMax:
+		base = &extremumState{}
+	case sqlparse.AggMedian:
+		base = &medianState{}
+	case sqlparse.AggVar:
+		base = &varianceState{}
+	case sqlparse.AggStddev:
+		base = &varianceState{stddev: true}
+	default:
+		panic(fmt.Sprintf("sqlexec: unknown aggregate %q", spec.Func))
+	}
+	if spec.Distinct {
+		return &distinctState{spec: spec, inner: base, seen: make(map[string]storage.Value)}
+	}
+	return base
+}
+
+// DecodeAggState decodes one state for spec from b, returning the bytes
+// consumed.
+func DecodeAggState(spec AggSpec, b []byte) (AggState, int, error) {
+	st := NewAggState(spec)
+	n, err := st.(interface {
+		decode(b []byte) (int, error)
+	}).decode(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, n, nil
+}
+
+// ---- COUNT ----
+
+type countState struct {
+	star bool
+	n    int64
+}
+
+func (s *countState) Add(v storage.Value) error {
+	if s.star || !v.IsNull() {
+		s.n++
+	}
+	return nil
+}
+
+func (s *countState) Merge(other AggState) error {
+	o, ok := other.(*countState)
+	if !ok {
+		return fmt.Errorf("sqlexec: merging %T into COUNT", other)
+	}
+	s.n += o.n
+	return nil
+}
+
+func (s *countState) Result() storage.Value { return storage.Int(s.n) }
+
+func (s *countState) AppendEncode(dst []byte) []byte {
+	return binary.AppendVarint(dst, s.n)
+}
+
+func (s *countState) decode(b []byte) (int, error) {
+	n, used := binary.Varint(b)
+	if used <= 0 {
+		return 0, fmt.Errorf("sqlexec: bad COUNT state")
+	}
+	s.n = n
+	return used, nil
+}
+
+// ---- SUM ----
+
+// sumState keeps both an exact integer sum and a float sum; the result is
+// integral while every input was integral, as in SQL.
+type sumState struct {
+	isum     int64
+	fsum     float64
+	anyFloat bool
+	n        int64
+}
+
+func (s *sumState) Add(v storage.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case storage.KindInt:
+		i, _ := v.AsInt()
+		s.isum += i
+		s.fsum += float64(i)
+	case storage.KindFloat:
+		f, _ := v.AsFloat()
+		s.anyFloat = true
+		s.fsum += f
+	default:
+		return fmt.Errorf("sqlexec: SUM over %s", v.Kind())
+	}
+	s.n++
+	return nil
+}
+
+func (s *sumState) Merge(other AggState) error {
+	o, ok := other.(*sumState)
+	if !ok {
+		return fmt.Errorf("sqlexec: merging %T into SUM", other)
+	}
+	s.isum += o.isum
+	s.fsum += o.fsum
+	s.anyFloat = s.anyFloat || o.anyFloat
+	s.n += o.n
+	return nil
+}
+
+func (s *sumState) Result() storage.Value {
+	switch {
+	case s.n == 0:
+		return storage.Null()
+	case s.anyFloat:
+		return storage.Float(s.fsum)
+	default:
+		return storage.Int(s.isum)
+	}
+}
+
+func (s *sumState) AppendEncode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, s.isum)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(s.fsum))
+	dst = append(dst, buf[:]...)
+	if s.anyFloat {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return binary.AppendVarint(dst, s.n)
+}
+
+func (s *sumState) decode(b []byte) (int, error) {
+	isum, u1 := binary.Varint(b)
+	if u1 <= 0 || len(b) < u1+9 {
+		return 0, fmt.Errorf("sqlexec: bad SUM state")
+	}
+	s.isum = isum
+	s.fsum = math.Float64frombits(binary.BigEndian.Uint64(b[u1 : u1+8]))
+	s.anyFloat = b[u1+8] != 0
+	n, u2 := binary.Varint(b[u1+9:])
+	if u2 <= 0 {
+		return 0, fmt.Errorf("sqlexec: bad SUM count")
+	}
+	s.n = n
+	return u1 + 9 + u2, nil
+}
+
+// ---- AVG ----
+
+// avgState is the canonical algebraic aggregate: (sum, count) pairs merge
+// exactly even though AVG itself does not.
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Add(v storage.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return fmt.Errorf("sqlexec: AVG: %w", err)
+	}
+	s.sum += f
+	s.n++
+	return nil
+}
+
+func (s *avgState) Merge(other AggState) error {
+	o, ok := other.(*avgState)
+	if !ok {
+		return fmt.Errorf("sqlexec: merging %T into AVG", other)
+	}
+	s.sum += o.sum
+	s.n += o.n
+	return nil
+}
+
+func (s *avgState) Result() storage.Value {
+	if s.n == 0 {
+		return storage.Null()
+	}
+	return storage.Float(s.sum / float64(s.n))
+}
+
+func (s *avgState) AppendEncode(dst []byte) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(s.sum))
+	dst = append(dst, buf[:]...)
+	return binary.AppendVarint(dst, s.n)
+}
+
+func (s *avgState) decode(b []byte) (int, error) {
+	if len(b) < 9 {
+		return 0, fmt.Errorf("sqlexec: bad AVG state")
+	}
+	s.sum = math.Float64frombits(binary.BigEndian.Uint64(b[:8]))
+	n, u := binary.Varint(b[8:])
+	if u <= 0 {
+		return 0, fmt.Errorf("sqlexec: bad AVG count")
+	}
+	s.n = n
+	return 8 + u, nil
+}
+
+// ---- MIN / MAX ----
+
+type extremumState struct {
+	min bool
+	cur storage.Value // NULL until first input
+}
+
+func (s *extremumState) Add(v storage.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if s.cur.IsNull() {
+		s.cur = v
+		return nil
+	}
+	c, err := storage.Compare(v, s.cur)
+	if err != nil {
+		return fmt.Errorf("sqlexec: MIN/MAX: %w", err)
+	}
+	if (s.min && c < 0) || (!s.min && c > 0) {
+		s.cur = v
+	}
+	return nil
+}
+
+func (s *extremumState) Merge(other AggState) error {
+	o, ok := other.(*extremumState)
+	if !ok || o.min != s.min {
+		return fmt.Errorf("sqlexec: merging %T into MIN/MAX", other)
+	}
+	return s.Add(o.cur)
+}
+
+func (s *extremumState) Result() storage.Value { return s.cur }
+
+func (s *extremumState) AppendEncode(dst []byte) []byte {
+	return storage.AppendValue(dst, s.cur)
+}
+
+func (s *extremumState) decode(b []byte) (int, error) {
+	v, n, err := storage.DecodeValue(b)
+	if err != nil {
+		return 0, fmt.Errorf("sqlexec: bad MIN/MAX state: %w", err)
+	}
+	s.cur = v
+	return n, nil
+}
+
+// ---- MEDIAN (holistic) ----
+
+// medianState is a holistic aggregate: it must retain every input. This is
+// exactly the case the paper flags as straining TDS RAM in S_Agg — the
+// partial aggregate structure grows with the data, not with G.
+type medianState struct {
+	vals []float64
+}
+
+func (s *medianState) Add(v storage.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return fmt.Errorf("sqlexec: MEDIAN: %w", err)
+	}
+	s.vals = append(s.vals, f)
+	return nil
+}
+
+func (s *medianState) Merge(other AggState) error {
+	o, ok := other.(*medianState)
+	if !ok {
+		return fmt.Errorf("sqlexec: merging %T into MEDIAN", other)
+	}
+	s.vals = append(s.vals, o.vals...)
+	return nil
+}
+
+func (s *medianState) Result() storage.Value {
+	if len(s.vals) == 0 {
+		return storage.Null()
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return storage.Float(sorted[mid])
+	}
+	return storage.Float((sorted[mid-1] + sorted[mid]) / 2)
+}
+
+func (s *medianState) AppendEncode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.vals)))
+	var buf [8]byte
+	for _, f := range s.vals {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(f))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+func (s *medianState) decode(b []byte) (int, error) {
+	n, u := binary.Uvarint(b)
+	if u <= 0 || uint64(len(b)-u) < n*8 {
+		return 0, fmt.Errorf("sqlexec: bad MEDIAN state")
+	}
+	s.vals = make([]float64, n)
+	off := u
+	for i := range s.vals {
+		s.vals[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off : off+8]))
+		off += 8
+	}
+	return off, nil
+}
+
+// ---- VARIANCE / STDDEV (algebraic) ----
+
+// varianceState keeps (n, Σx, Σx²): the canonical algebraic decomposition
+// of population variance, exactly mergeable like AVG's (sum, count).
+// stddev selects the square root at Result time.
+type varianceState struct {
+	stddev bool
+	n      int64
+	sum    float64
+	sumSq  float64
+}
+
+func (s *varianceState) Add(v storage.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return fmt.Errorf("sqlexec: VARIANCE: %w", err)
+	}
+	s.n++
+	s.sum += f
+	s.sumSq += f * f
+	return nil
+}
+
+func (s *varianceState) Merge(other AggState) error {
+	o, ok := other.(*varianceState)
+	if !ok || o.stddev != s.stddev {
+		return fmt.Errorf("sqlexec: merging %T into VARIANCE/STDDEV", other)
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+	return nil
+}
+
+func (s *varianceState) Result() storage.Value {
+	if s.n == 0 {
+		return storage.Null()
+	}
+	mean := s.sum / float64(s.n)
+	v := s.sumSq/float64(s.n) - mean*mean
+	if v < 0 {
+		v = 0 // floating-point cancellation guard
+	}
+	if s.stddev {
+		return storage.Float(math.Sqrt(v))
+	}
+	return storage.Float(v)
+}
+
+func (s *varianceState) AppendEncode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, s.n)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(s.sum))
+	dst = append(dst, buf[:]...)
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(s.sumSq))
+	return append(dst, buf[:]...)
+}
+
+func (s *varianceState) decode(b []byte) (int, error) {
+	n, u := binary.Varint(b)
+	if u <= 0 || len(b) < u+16 {
+		return 0, fmt.Errorf("sqlexec: bad VARIANCE state")
+	}
+	s.n = n
+	s.sum = math.Float64frombits(binary.BigEndian.Uint64(b[u : u+8]))
+	s.sumSq = math.Float64frombits(binary.BigEndian.Uint64(b[u+8 : u+16]))
+	return u + 16, nil
+}
+
+// ---- DISTINCT wrapper (holistic) ----
+
+// distinctState de-duplicates inputs before feeding the wrapped state.
+// Merging unions the value sets and rebuilds the inner state, keeping
+// DISTINCT semantics exact across arbitrary merge trees.
+type distinctState struct {
+	spec  AggSpec
+	inner AggState
+	seen  map[string]storage.Value
+}
+
+func (s *distinctState) Add(v storage.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	k := v.Key()
+	if _, dup := s.seen[k]; dup {
+		return nil
+	}
+	s.seen[k] = v
+	return s.inner.Add(v)
+}
+
+func (s *distinctState) Merge(other AggState) error {
+	o, ok := other.(*distinctState)
+	if !ok {
+		return fmt.Errorf("sqlexec: merging %T into DISTINCT", other)
+	}
+	for k, v := range o.seen {
+		if _, dup := s.seen[k]; dup {
+			continue
+		}
+		s.seen[k] = v
+		if err := s.inner.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *distinctState) Result() storage.Value { return s.inner.Result() }
+
+func (s *distinctState) AppendEncode(dst []byte) []byte {
+	keys := make([]string, 0, len(s.seen))
+	for k := range s.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic encoding
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = storage.AppendValue(dst, s.seen[k])
+	}
+	return dst
+}
+
+func (s *distinctState) decode(b []byte) (int, error) {
+	n, u := binary.Uvarint(b)
+	if u <= 0 || n > uint64(len(b)) {
+		return 0, fmt.Errorf("sqlexec: bad DISTINCT state")
+	}
+	off := u
+	for i := uint64(0); i < n; i++ {
+		v, c, err := storage.DecodeValue(b[off:])
+		if err != nil {
+			return 0, fmt.Errorf("sqlexec: DISTINCT value %d: %w", i, err)
+		}
+		off += c
+		if err := s.Add(v); err != nil {
+			return 0, err
+		}
+	}
+	return off, nil
+}

@@ -1,0 +1,292 @@
+package sqlexec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+func spec(f sqlparse.AggFunc, distinct, star bool) AggSpec {
+	return AggSpec{Func: f, Distinct: distinct, Star: star,
+		Arg: &sqlparse.ColumnRef{Name: "x"}}
+}
+
+func feed(t *testing.T, s AggState, vals ...storage.Value) {
+	t.Helper()
+	for _, v := range vals {
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCountStarVsColumn(t *testing.T) {
+	star := NewAggState(spec(sqlparse.AggCount, false, true))
+	col := NewAggState(spec(sqlparse.AggCount, false, false))
+	vals := []storage.Value{storage.Int(1), storage.Null(), storage.Int(3)}
+	feed(t, star, vals...)
+	feed(t, col, vals...)
+	if n, _ := star.Result().AsInt(); n != 3 {
+		t.Errorf("COUNT(*) = %d", n)
+	}
+	if n, _ := col.Result().AsInt(); n != 2 {
+		t.Errorf("COUNT(x) = %d (NULLs must not count)", n)
+	}
+}
+
+func TestSumIntegerPreservation(t *testing.T) {
+	s := NewAggState(spec(sqlparse.AggSum, false, false))
+	feed(t, s, storage.Int(2), storage.Int(3))
+	if s.Result().Kind() != storage.KindInt {
+		t.Errorf("all-int SUM kind = %v", s.Result().Kind())
+	}
+	feed(t, s, storage.Float(0.5))
+	if s.Result().Kind() != storage.KindFloat {
+		t.Errorf("mixed SUM kind = %v", s.Result().Kind())
+	}
+	if f, _ := s.Result().AsFloat(); f != 5.5 {
+		t.Errorf("SUM = %g", f)
+	}
+	if err := s.Add(storage.Str("x")); err == nil {
+		t.Error("SUM over text accepted")
+	}
+}
+
+func TestAvgAlgebraicMerge(t *testing.T) {
+	a := NewAggState(spec(sqlparse.AggAvg, false, false))
+	b := NewAggState(spec(sqlparse.AggAvg, false, false))
+	feed(t, a, storage.Int(10)) // avg 10 over 1
+	feed(t, b, storage.Int(1), storage.Int(2), storage.Int(3))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Correct algebraic merge: (10+6)/4 = 4, not avg-of-avgs (10+2)/2 = 6.
+	if f, _ := a.Result().AsFloat(); f != 4 {
+		t.Errorf("merged AVG = %g, want 4", f)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min := NewAggState(spec(sqlparse.AggMin, false, false))
+	max := NewAggState(spec(sqlparse.AggMax, false, false))
+	vals := []storage.Value{storage.Float(3), storage.Null(), storage.Float(-1), storage.Float(7)}
+	feed(t, min, vals...)
+	feed(t, max, vals...)
+	if f, _ := min.Result().AsFloat(); f != -1 {
+		t.Errorf("MIN = %g", f)
+	}
+	if f, _ := max.Result().AsFloat(); f != 7 {
+		t.Errorf("MAX = %g", f)
+	}
+	// Strings order too.
+	smin := NewAggState(spec(sqlparse.AggMin, false, false))
+	feed(t, smin, storage.Str("pear"), storage.Str("apple"))
+	if smin.Result().AsString() != "apple" {
+		t.Errorf("string MIN = %v", smin.Result())
+	}
+	// Incomparable input errors.
+	if err := smin.Add(storage.Int(1)); err == nil {
+		t.Error("mixed-kind MIN accepted")
+	}
+}
+
+func TestMedianOddEvenAndMerge(t *testing.T) {
+	m := NewAggState(spec(sqlparse.AggMedian, false, false))
+	feed(t, m, storage.Int(5), storage.Int(1), storage.Int(9))
+	if f, _ := m.Result().AsFloat(); f != 5 {
+		t.Errorf("odd MEDIAN = %g", f)
+	}
+	feed(t, m, storage.Int(7))
+	if f, _ := m.Result().AsFloat(); f != 6 {
+		t.Errorf("even MEDIAN = %g", f)
+	}
+	other := NewAggState(spec(sqlparse.AggMedian, false, false))
+	feed(t, other, storage.Int(100))
+	if err := m.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := m.Result().AsFloat(); f != 7 {
+		t.Errorf("merged MEDIAN = %g", f)
+	}
+}
+
+func TestDistinctWrapping(t *testing.T) {
+	cd := NewAggState(spec(sqlparse.AggCount, true, false))
+	feed(t, cd, storage.Int(1), storage.Int(1), storage.Int(2), storage.Null(), storage.Int(2))
+	if n, _ := cd.Result().AsInt(); n != 2 {
+		t.Errorf("COUNT(DISTINCT) = %d", n)
+	}
+	sd := NewAggState(spec(sqlparse.AggSum, true, false))
+	feed(t, sd, storage.Int(5), storage.Int(5), storage.Int(3))
+	if n, _ := sd.Result().AsInt(); n != 8 {
+		t.Errorf("SUM(DISTINCT) = %d", n)
+	}
+}
+
+func TestDistinctMergeUnions(t *testing.T) {
+	a := NewAggState(spec(sqlparse.AggCount, true, false))
+	b := NewAggState(spec(sqlparse.AggCount, true, false))
+	feed(t, a, storage.Int(1), storage.Int(2))
+	feed(t, b, storage.Int(2), storage.Int(3))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a.Result().AsInt(); n != 3 {
+		t.Errorf("union size = %d, want 3", n)
+	}
+}
+
+func TestMergeTypeMismatches(t *testing.T) {
+	count := NewAggState(spec(sqlparse.AggCount, false, false))
+	sum := NewAggState(spec(sqlparse.AggSum, false, false))
+	avg := NewAggState(spec(sqlparse.AggAvg, false, false))
+	med := NewAggState(spec(sqlparse.AggMedian, false, false))
+	min := NewAggState(spec(sqlparse.AggMin, false, false))
+	max := NewAggState(spec(sqlparse.AggMax, false, false))
+	dis := NewAggState(spec(sqlparse.AggCount, true, false))
+	pairs := [][2]AggState{
+		{count, sum}, {sum, avg}, {avg, med}, {med, min}, {min, max},
+		{dis, count}, {max, min},
+	}
+	for i, p := range pairs {
+		if err := p[0].Merge(p[1]); err == nil {
+			t.Errorf("pair %d: mismatched merge accepted", i)
+		}
+	}
+}
+
+func TestAggStateEncodeRoundTrip(t *testing.T) {
+	specs := []AggSpec{
+		spec(sqlparse.AggCount, false, true),
+		spec(sqlparse.AggCount, true, false),
+		spec(sqlparse.AggSum, false, false),
+		spec(sqlparse.AggAvg, false, false),
+		spec(sqlparse.AggMin, false, false),
+		spec(sqlparse.AggMax, false, false),
+		spec(sqlparse.AggMedian, false, false),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, sp := range specs {
+		s := NewAggState(sp)
+		for i := 0; i < 50; i++ {
+			v := storage.Value(storage.Float(rng.NormFloat64() * 10))
+			if rng.Intn(5) == 0 {
+				v = storage.Null()
+			}
+			if err := s.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc := s.AppendEncode(nil)
+		dec, n, err := DecodeAggState(sp, enc)
+		if err != nil {
+			t.Fatalf("%s: %v", sp, err)
+		}
+		if n != len(enc) {
+			t.Errorf("%s: consumed %d of %d", sp, n, len(enc))
+		}
+		a, b := s.Result(), dec.Result()
+		if a.IsNull() != b.IsNull() {
+			t.Errorf("%s: %v vs %v", sp, a, b)
+			continue
+		}
+		if !a.IsNull() {
+			af, _ := a.AsFloat()
+			bf, _ := b.AsFloat()
+			if math.Abs(af-bf) > 1e-9 {
+				t.Errorf("%s: %g vs %g", sp, af, bf)
+			}
+		}
+	}
+}
+
+func TestAggStateDecodeCorruption(t *testing.T) {
+	specs := []AggSpec{
+		spec(sqlparse.AggCount, false, true),
+		spec(sqlparse.AggCount, true, false),
+		spec(sqlparse.AggSum, false, false),
+		spec(sqlparse.AggAvg, false, false),
+		spec(sqlparse.AggMin, false, false),
+		spec(sqlparse.AggMedian, false, false),
+	}
+	for _, sp := range specs {
+		s := NewAggState(sp)
+		feed(t, s, storage.Float(1), storage.Float(2))
+		enc := s.AppendEncode(nil)
+		for cut := 0; cut < len(enc); cut++ {
+			// Truncations must fail or consume <= cut — never panic.
+			if st, n, err := DecodeAggState(sp, enc[:cut]); err == nil && n > cut {
+				t.Errorf("%s cut %d: consumed %d, have %d (%v)", sp, cut, n, cut, st)
+			}
+		}
+	}
+	// Implausible MEDIAN length header.
+	if _, _, err := DecodeAggState(spec(sqlparse.AggMedian, false, false),
+		[]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}); err == nil {
+		t.Error("giant MEDIAN header accepted")
+	}
+	// Implausible DISTINCT count.
+	if _, _, err := DecodeAggState(spec(sqlparse.AggCount, true, false),
+		[]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
+		t.Error("giant DISTINCT header accepted")
+	}
+}
+
+// Property: merging two states equals feeding one state everything, for
+// every aggregate (on float inputs).
+func TestMergeEquivalenceQuick(t *testing.T) {
+	for _, sp := range []AggSpec{
+		spec(sqlparse.AggCount, false, false),
+		spec(sqlparse.AggSum, false, false),
+		spec(sqlparse.AggAvg, false, false),
+		spec(sqlparse.AggMin, false, false),
+		spec(sqlparse.AggMax, false, false),
+		spec(sqlparse.AggMedian, false, false),
+		spec(sqlparse.AggCount, true, false),
+	} {
+		sp := sp
+		f := func(xs, ys []int16) bool {
+			split := NewAggState(sp)
+			other := NewAggState(sp)
+			whole := NewAggState(sp)
+			for _, x := range xs {
+				v := storage.Int(int64(x))
+				if split.Add(v) != nil || whole.Add(v) != nil {
+					return false
+				}
+			}
+			for _, y := range ys {
+				v := storage.Int(int64(y))
+				if other.Add(v) != nil || whole.Add(v) != nil {
+					return false
+				}
+			}
+			if split.Merge(other) != nil {
+				return false
+			}
+			a, b := split.Result(), whole.Result()
+			if a.IsNull() || b.IsNull() {
+				return a.IsNull() == b.IsNull()
+			}
+			af, _ := a.AsFloat()
+			bf, _ := b.AsFloat()
+			return math.Abs(af-bf) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", sp, err)
+		}
+	}
+}
+
+func TestNewAggStatePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown aggregate must panic (programmer error)")
+		}
+	}()
+	NewAggState(AggSpec{Func: "BOGUS"})
+}

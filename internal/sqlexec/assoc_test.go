@@ -1,0 +1,112 @@
+package sqlexec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// TestMergeTreeInvariance: the S_Agg aggregation phase merges partial
+// aggregations along an arbitrary tree decided by the SSI's random
+// partitioning. The final result must not depend on the tree shape — for
+// any random binary merge tree over any partitioning of the collection
+// rows, Finalize must produce the same answer as the flat fold.
+func TestMergeTreeInvariance(t *testing.T) {
+	p := compile(t, `SELECT district, COUNT(*), SUM(P.cons), AVG(P.cons), `+
+		`MIN(P.cons), MAX(P.cons), MEDIAN(P.cons), COUNT(DISTINCT P.cid), `+
+		`VARIANCE(P.cons), STDDEV(P.cons) `+
+		`FROM Power P, Consumer C WHERE C.cid = P.cid GROUP BY district`)
+
+	rng := rand.New(rand.NewSource(99))
+	districts := []string{"A", "B", "C"}
+	var rows []storage.Row
+	for i := 0; i < 120; i++ {
+		rows = append(rows, storage.Row{
+			storage.Str(districts[rng.Intn(len(districts))]),
+			storage.Float(math.Round(rng.NormFloat64()*1000) / 16), // dyadic: exact fp sums
+		})
+	}
+	// Collection rows are (district, agg inputs...) — build them directly
+	// with the plan's width: group value + one input per aggregate (the
+	// cid input for COUNT DISTINCT is the row index).
+	collection := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		cr := make(storage.Row, 0, p.CollectionWidth())
+		cr = append(cr, r[0])           // district
+		cr = append(cr, storage.Int(1)) // COUNT(*)
+		for j := 0; j < 5; j++ {        // SUM..MEDIAN inputs
+			cr = append(cr, r[1])
+		}
+		cr = append(cr, storage.Int(int64(i%40))) // COUNT(DISTINCT cid)
+		cr = append(cr, r[1], r[1])               // VARIANCE, STDDEV
+		collection[i] = cr
+	}
+
+	flat := NewAccumulator(p)
+	for _, cr := range collection {
+		if err := flat.AddCollectionRow(cr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := flat.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 25 random merge trees: random leaf partitioning, then random
+	// pairwise merges through the encoded wire format.
+	for trial := 0; trial < 25; trial++ {
+		trng := rand.New(rand.NewSource(int64(trial)))
+		perm := trng.Perm(len(collection))
+		var leaves [][]byte
+		i := 0
+		for i < len(perm) {
+			n := 1 + trng.Intn(9)
+			if i+n > len(perm) {
+				n = len(perm) - i
+			}
+			acc := NewAccumulator(p)
+			for _, idx := range perm[i : i+n] {
+				if err := acc.AddCollectionRow(collection[idx]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			leaves = append(leaves, acc.Encode())
+			i += n
+		}
+		for len(leaves) > 1 {
+			a := trng.Intn(len(leaves))
+			b := trng.Intn(len(leaves))
+			if a == b {
+				continue
+			}
+			merged := NewAccumulator(p)
+			if err := merged.MergeEncoded(leaves[a]); err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.MergeEncoded(leaves[b]); err != nil {
+				t.Fatal(err)
+			}
+			enc := merged.Encode()
+			if a > b {
+				a, b = b, a
+			}
+			leaves[a] = enc
+			leaves = append(leaves[:b], leaves[b+1:]...)
+		}
+		final := NewAccumulator(p)
+		if err := final.MergeEncoded(leaves[0]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := final.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: merge tree changed the result:\n%s\nvs\n%s",
+				trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// CollectLocal performs the collection-phase work of one TDS: it evaluates
+// FROM (with internal joins), WHERE, and emits
+//
+//   - for plain Select-From-Where queries: the projected result tuples;
+//   - for aggregate queries: collection tuples — grouping values followed
+//     by one raw input value per aggregate function.
+//
+// The caller (the TDS protocol layer) encrypts these rows before anything
+// leaves the secure device.
+func (p *Plan) CollectLocal(db *storage.LocalDB) ([]storage.Row, error) {
+	var out []storage.Row
+	err := p.scanJoin(db, func(combined storage.Row) error {
+		ctx := &evalContext{plan: p, row: combined}
+		keep, err := ctx.predicateTrue(p.Stmt.Where)
+		if err != nil {
+			return fmt.Errorf("sqlexec: WHERE: %w", err)
+		}
+		if !keep {
+			return nil
+		}
+		if p.IsAggregate() {
+			row := make(storage.Row, 0, p.CollectionWidth())
+			for _, g := range p.GroupCols {
+				row = append(row, combined[g.pos])
+			}
+			for _, spec := range p.Aggs {
+				if spec.Star {
+					row = append(row, storage.Int(1))
+					continue
+				}
+				v, err := ctx.evalExpr(spec.Arg)
+				if err != nil {
+					return fmt.Errorf("sqlexec: %s: %w", spec, err)
+				}
+				row = append(row, v)
+			}
+			out = append(out, row)
+			return nil
+		}
+		row := make(storage.Row, 0, len(p.OutputNames))
+		for _, it := range p.Stmt.Select {
+			if it.Star {
+				row = append(row, combined.Clone()...)
+				continue
+			}
+			v, err := ctx.evalExpr(it.Expr)
+			if err != nil {
+				return fmt.Errorf("sqlexec: SELECT %s: %w", it.Expr, err)
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanJoin enumerates the cartesian product of the FROM tables of the
+// local database, invoking fn with each combined row. WHERE predicates
+// restrict it to the intended internal join. TDS databases are small
+// (one household's data), so a nested-loop join is the right tool.
+func (p *Plan) scanJoin(db *storage.LocalDB, fn func(storage.Row) error) error {
+	tables := make([][]storage.Row, len(p.tables))
+	for i, tb := range p.tables {
+		rows, err := db.Rows(tb.def.Name)
+		if err != nil {
+			return err
+		}
+		tables[i] = rows
+	}
+	combined := make(storage.Row, p.width)
+	var rec func(level int) error
+	rec = func(level int) error {
+		if level == len(tables) {
+			return fn(combined)
+		}
+		tb := p.tables[level]
+		for _, r := range tables[level] {
+			copy(combined[tb.offset:], r)
+			if err := rec(level + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// Standalone executes the query over the union of the given local
+// databases in plaintext, as a single trusted server would. It is the
+// reference implementation the distributed protocols are tested against:
+// any protocol run must produce exactly this result.
+func Standalone(p *Plan, dbs ...*storage.LocalDB) (*Result, error) {
+	var res *Result
+	if !p.IsAggregate() {
+		res = &Result{Columns: p.OutputNames}
+		for _, db := range dbs {
+			rows, err := p.CollectLocal(db)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, rows...)
+		}
+	} else {
+		acc := NewAccumulator(p)
+		for _, db := range dbs {
+			rows, err := p.CollectLocal(db)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if err := acc.AddCollectionRow(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var err error
+		res, err = acc.Finalize()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ApplyPresentation(p.Stmt, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ApplyPresentation applies the ORDER BY and LIMIT clauses to a final
+// result. It runs on the querier after decryption: row order and
+// truncation are presentation concerns with no bearing on what the SSI or
+// the TDSs see, so the protocols ignore them entirely.
+func ApplyPresentation(stmt *sqlparse.SelectStmt, res *Result) error {
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]int, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			idx, err := resolveOrderItem(o, res.Columns)
+			if err != nil {
+				return err
+			}
+			keys[i] = idx
+		}
+		var sortErr error
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, idx := range keys {
+				c, err := storage.Compare(res.Rows[a][idx], res.Rows[b][idx])
+				if err != nil {
+					if sortErr == nil {
+						sortErr = err
+					}
+					return false
+				}
+				if c == 0 {
+					continue
+				}
+				if stmt.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return fmt.Errorf("sqlexec: ORDER BY: %w", sortErr)
+		}
+	}
+	if stmt.Limit > 0 && int64(len(res.Rows)) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	return nil
+}
+
+// resolveOrderItem maps an ORDER BY key to an output column index.
+func resolveOrderItem(o sqlparse.OrderItem, columns []string) (int, error) {
+	if o.Position > 0 {
+		if o.Position > len(columns) {
+			return 0, fmt.Errorf("sqlexec: ORDER BY position %d exceeds %d output columns",
+				o.Position, len(columns))
+		}
+		return o.Position - 1, nil
+	}
+	for i, c := range columns {
+		if strings.EqualFold(c, o.Name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sqlexec: ORDER BY references unknown output column %q", o.Name)
+}

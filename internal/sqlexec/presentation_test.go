@@ -1,0 +1,168 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+func TestScalarFunctions(t *testing.T) {
+	db := oneHousehold(t, 1, "Paris", "flat", -12.6)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT ABS(cons) FROM Power`, "12.6"},
+		{`SELECT ROUND(cons) FROM Power`, "-13"},
+		{`SELECT FLOOR(cons) FROM Power`, "-13"},
+		{`SELECT CEIL(cons) FROM Power`, "-12"},
+		{`SELECT UPPER(district) FROM Consumer`, "PARIS"},
+		{`SELECT LOWER(district) FROM Consumer`, "paris"},
+		{`SELECT LENGTH(district) FROM Consumer`, "5"},
+		{`SELECT ABS(cid - 3) FROM Power`, "2"},
+	}
+	for _, c := range cases {
+		p := compile(t, c.sql)
+		rows, err := p.CollectLocal(db)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if len(rows) != 1 || rows[0][0].AsString() != c.want {
+			t.Errorf("%s = %v, want %s", c.sql, rows, c.want)
+		}
+	}
+}
+
+func TestScalarInsideAggregate(t *testing.T) {
+	dbs := []*storage.LocalDB{
+		oneHousehold(t, 1, "P", "x", -10),
+		oneHousehold(t, 2, "P", "x", 20),
+	}
+	p := compile(t, `SELECT SUM(ABS(cons)) FROM Power`)
+	res, err := Standalone(p, dbs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Rows[0][0].AsFloat(); got != 30 {
+		t.Errorf("SUM(ABS) = %g, want 30", got)
+	}
+}
+
+func TestScalarNullPropagation(t *testing.T) {
+	for _, fn := range []string{"ABS", "ROUND", "FLOOR", "CEIL", "UPPER", "LOWER", "LENGTH"} {
+		p := compile(t, `SELECT `+fn+`(cons) FROM Power`)
+		db := storage.NewLocalDB(testSchema())
+		if err := db.Insert("Power", storage.Row{storage.Int(1), storage.Null(), storage.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := p.CollectLocal(db)
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		if !rows[0][0].IsNull() {
+			t.Errorf("%s(NULL) = %v, want NULL", fn, rows[0][0])
+		}
+	}
+}
+
+func TestScalarTypeErrors(t *testing.T) {
+	db := oneHousehold(t, 1, "Paris", "flat", 1)
+	p := compile(t, `SELECT ABS(district) FROM Consumer`)
+	if _, err := p.CollectLocal(db); err == nil {
+		t.Error("ABS over text accepted")
+	}
+}
+
+func TestOrderByName(t *testing.T) {
+	dbs := []*storage.LocalDB{
+		oneHousehold(t, 1, "Lyon", "x", 30),
+		oneHousehold(t, 2, "Paris", "x", 10),
+		oneHousehold(t, 3, "Metz", "x", 20),
+	}
+	p := compile(t, `SELECT district, SUM(P.cons) AS total FROM Power P, Consumer C `+
+		`WHERE C.cid = P.cid GROUP BY district ORDER BY total DESC`)
+	res, err := Standalone(p, dbs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{}
+	for _, r := range res.Rows {
+		got = append(got, r[0].AsString())
+	}
+	want := []string{"Lyon", "Metz", "Paris"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderByPositionAndLimit(t *testing.T) {
+	dbs := []*storage.LocalDB{
+		oneHousehold(t, 1, "Lyon", "x", 30),
+		oneHousehold(t, 2, "Paris", "x", 10),
+		oneHousehold(t, 3, "Metz", "x", 20),
+	}
+	p := compile(t, `SELECT district, SUM(P.cons) FROM Power P, Consumer C `+
+		`WHERE C.cid = P.cid GROUP BY district ORDER BY 2 ASC LIMIT 2`)
+	res, err := Standalone(p, dbs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("LIMIT ignored: %v", res.Rows)
+	}
+	if res.Rows[0][0].AsString() != "Paris" || res.Rows[1][0].AsString() != "Metz" {
+		t.Errorf("order = %v", res.Rows)
+	}
+}
+
+func TestOrderByMultipleKeysStable(t *testing.T) {
+	db := storage.NewLocalDB(testSchema())
+	data := [][2]interface{}{{1, 10.0}, {2, 10.0}, {3, 5.0}}
+	for _, d := range data {
+		if err := db.Insert("Power", storage.Row{
+			storage.Int(int64(d[0].(int))), storage.Float(d[1].(float64)), storage.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := compile(t, `SELECT cons, cid FROM Power ORDER BY cons DESC, cid DESC`)
+	res, err := Standalone(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0, _ := res.Rows[0][1].AsInt(); c0 != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if c2, _ := res.Rows[2][1].AsInt(); c2 != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	res := &Result{Columns: []string{"a"}, Rows: nil}
+	stmt := compile(t, `SELECT cid FROM Power ORDER BY 5`).Stmt
+	if err := ApplyPresentation(stmt, res); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	stmt = compile(t, `SELECT cid FROM Power ORDER BY nope`).Stmt
+	if err := ApplyPresentation(stmt, &Result{Columns: []string{"cid"}}); err == nil {
+		t.Error("unknown order column accepted")
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	res := &Result{
+		Columns: []string{"v"},
+		Rows: []storage.Row{
+			{storage.Int(2)}, {storage.Null()}, {storage.Int(1)},
+		},
+	}
+	stmt := compile(t, `SELECT cid FROM Power ORDER BY 1`).Stmt
+	if err := ApplyPresentation(stmt, res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("NULL must sort first: %v", res.Rows)
+	}
+}

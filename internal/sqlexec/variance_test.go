@@ -1,0 +1,169 @@
+package sqlexec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+func TestVarianceAndStddev(t *testing.T) {
+	dbs := []*storage.LocalDB{
+		oneHousehold(t, 1, "P", "x", 2, 4),
+		oneHousehold(t, 2, "P", "x", 4, 6),
+	}
+	p := compile(t, `SELECT VARIANCE(cons), STDDEV(cons), AVG(cons) FROM Power`)
+	res, err := Standalone(p, dbs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Population of {2,4,4,6}: mean 4, variance 2, stddev √2.
+	v, _ := res.Rows[0][0].AsFloat()
+	sd, _ := res.Rows[0][1].AsFloat()
+	if math.Abs(v-2) > 1e-9 {
+		t.Errorf("VARIANCE = %g, want 2", v)
+	}
+	if math.Abs(sd-math.Sqrt2) > 1e-9 {
+		t.Errorf("STDDEV = %g, want √2", sd)
+	}
+}
+
+func TestVarianceEmptyAndSingle(t *testing.T) {
+	db := storage.NewLocalDB(testSchema())
+	p := compile(t, `SELECT VARIANCE(cons), STDDEV(cons) FROM Power`)
+	res, err := Standalone(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].IsNull() || !res.Rows[0][1].IsNull() {
+		t.Errorf("empty input: %v", res.Rows[0])
+	}
+	// A single value has zero variance.
+	if err := db.Insert("Power", storage.Row{storage.Int(1), storage.Float(5), storage.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Standalone(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Rows[0][0].AsFloat(); v != 0 {
+		t.Errorf("single-value variance = %g", v)
+	}
+}
+
+func TestVarianceParserAliases(t *testing.T) {
+	stmt := sqlparse.MustParse(`SELECT VAR(x), VARIANCE(x), STDDEV(x) FROM T GROUP BY g`)
+	aggs := stmt.Aggregates()
+	if aggs[0].Func != sqlparse.AggVar || aggs[1].Func != sqlparse.AggVar ||
+		aggs[2].Func != sqlparse.AggStddev {
+		t.Fatalf("aggs = %v", aggs)
+	}
+}
+
+func TestVarianceMergeTypeGuard(t *testing.T) {
+	v := NewAggState(spec(sqlparse.AggVar, false, false))
+	sd := NewAggState(spec(sqlparse.AggStddev, false, false))
+	if err := v.Merge(sd); err == nil {
+		t.Error("VARIANCE merged a STDDEV state")
+	}
+	if err := v.Add(storage.Str("x")); err == nil {
+		t.Error("VARIANCE over text accepted")
+	}
+}
+
+func TestVarianceEncodeRoundTrip(t *testing.T) {
+	sp := spec(sqlparse.AggVar, false, false)
+	s := NewAggState(sp)
+	feed(t, s, storage.Float(1), storage.Float(2), storage.Float(3), storage.Null())
+	enc := s.AppendEncode(nil)
+	dec, n, err := DecodeAggState(sp, enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %d/%d %v", n, len(enc), err)
+	}
+	a, _ := s.Result().AsFloat()
+	b, _ := dec.Result().AsFloat()
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("round trip %g vs %g", a, b)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if st, used, err := DecodeAggState(sp, enc[:cut]); err == nil && used > cut {
+			t.Errorf("cut %d over-consumed (%v)", cut, st)
+		}
+	}
+}
+
+// Property: split-and-merge variance equals whole-stream variance.
+func TestVarianceMergeEquivalence(t *testing.T) {
+	sp := spec(sqlparse.AggVar, false, false)
+	f := func(xs, ys []int16) bool {
+		a, b, whole := NewAggState(sp), NewAggState(sp), NewAggState(sp)
+		for _, x := range xs {
+			v := storage.Int(int64(x))
+			if a.Add(v) != nil || whole.Add(v) != nil {
+				return false
+			}
+		}
+		for _, y := range ys {
+			v := storage.Int(int64(y))
+			if b.Add(v) != nil || whole.Add(v) != nil {
+				return false
+			}
+		}
+		if a.Merge(b) != nil {
+			return false
+		}
+		ra, rb := a.Result(), whole.Result()
+		if ra.IsNull() || rb.IsNull() {
+			return ra.IsNull() == rb.IsNull()
+		}
+		fa, _ := ra.AsFloat()
+		fb, _ := rb.AsFloat()
+		scale := math.Max(1, math.Abs(fb))
+		return math.Abs(fa-fb)/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end: distributed variance through the accumulator wire format.
+func TestVarianceThroughEncodedPartials(t *testing.T) {
+	p := compile(t, `SELECT district, STDDEV(P.cons) FROM Power P, Consumer C `+
+		`WHERE C.cid = P.cid GROUP BY district`)
+	dbs := []*storage.LocalDB{
+		oneHousehold(t, 1, "P", "x", 2, 4),
+		oneHousehold(t, 2, "P", "x", 4, 6),
+	}
+	a1, a2 := NewAccumulator(p), NewAccumulator(p)
+	for i, db := range dbs {
+		rows, err := p.CollectLocal(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := a1
+		if i == 1 {
+			acc = a2
+		}
+		for _, r := range rows {
+			if err := acc.AddCollectionRow(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	merged := NewAccumulator(p)
+	if err := merged.MergeEncoded(a1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeEncoded(a2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := merged.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd, _ := res.Rows[0][1].AsFloat(); math.Abs(sd-math.Sqrt2) > 1e-9 {
+		t.Errorf("distributed STDDEV = %g, want √2", sd)
+	}
+}

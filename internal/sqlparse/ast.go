@@ -1,0 +1,403 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// Expr is any expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value storage.Value
+}
+
+func (*Literal) exprNode() {}
+
+// String renders the literal in SQL syntax.
+func (l *Literal) String() string {
+	switch l.Value.Kind() {
+	case storage.KindString:
+		return "'" + strings.ReplaceAll(l.Value.AsString(), "'", "''") + "'"
+	default:
+		return l.Value.AsString()
+	}
+}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+func (*ColumnRef) exprNode() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// BinaryExpr applies an infix operator. Op is one of
+// = <> < <= > >= + - * / % AND OR LIKE.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.Expr.String() + ")"
+	}
+	return "(" + u.Op + u.Expr.String() + ")"
+}
+
+// InExpr tests membership in a literal list.
+type InExpr struct {
+	Expr   Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*InExpr) exprNode() {}
+
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.String()
+	}
+	not := ""
+	if e.Negate {
+		not = " NOT"
+	}
+	return "(" + e.Expr.String() + not + " IN (" + strings.Join(items, ", ") + "))"
+}
+
+// BetweenExpr tests lo <= expr <= hi.
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+	Negate       bool
+}
+
+func (*BetweenExpr) exprNode() {}
+
+func (e *BetweenExpr) String() string {
+	not := ""
+	if e.Negate {
+		not = " NOT"
+	}
+	return "(" + e.Expr.String() + not + " BETWEEN " + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+
+// IsNullExpr tests SQL NULL-ness.
+type IsNullExpr struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return "(" + e.Expr.String() + " IS NOT NULL)"
+	}
+	return "(" + e.Expr.String() + " IS NULL)"
+}
+
+// AggFunc enumerates the aggregate functions of the dialect. The paper
+// covers distributive (COUNT, SUM, MIN, MAX), algebraic (AVG) and holistic
+// (MEDIAN, COUNT DISTINCT) functions, citing [27].
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggCount  AggFunc = "COUNT"
+	AggSum    AggFunc = "SUM"
+	AggAvg    AggFunc = "AVG"
+	AggMin    AggFunc = "MIN"
+	AggMax    AggFunc = "MAX"
+	AggMedian AggFunc = "MEDIAN"
+	AggVar    AggFunc = "VARIANCE"
+	AggStddev AggFunc = "STDDEV"
+)
+
+// aggFuncs recognizes aggregate function names during parsing.
+var aggFuncs = map[string]AggFunc{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg,
+	"MIN": AggMin, "MAX": AggMax, "MEDIAN": AggMedian,
+	"VARIANCE": AggVar, "VAR": AggVar, "STDDEV": AggStddev,
+}
+
+// FuncCall is an aggregate function application. Star is COUNT(*);
+// Distinct is COUNT(DISTINCT x) (and is accepted, though unusual, for the
+// other functions too).
+type FuncCall struct {
+	Func     AggFunc
+	Arg      Expr // nil when Star
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncCall) exprNode() {}
+
+func (f *FuncCall) String() string {
+	inner := "*"
+	if !f.Star {
+		inner = f.Arg.String()
+		if f.Distinct {
+			inner = "DISTINCT " + inner
+		}
+	}
+	return string(f.Func) + "(" + inner + ")"
+}
+
+// ScalarFunc enumerates the scalar (per-tuple) functions of the dialect.
+type ScalarFunc string
+
+// Supported scalar functions.
+const (
+	ScalarAbs    ScalarFunc = "ABS"
+	ScalarRound  ScalarFunc = "ROUND"
+	ScalarFloor  ScalarFunc = "FLOOR"
+	ScalarCeil   ScalarFunc = "CEIL"
+	ScalarUpper  ScalarFunc = "UPPER"
+	ScalarLower  ScalarFunc = "LOWER"
+	ScalarLength ScalarFunc = "LENGTH"
+)
+
+// scalarFuncs recognizes scalar function names during parsing, with their
+// accepted arity.
+var scalarFuncs = map[string]ScalarFunc{
+	"ABS": ScalarAbs, "ROUND": ScalarRound, "FLOOR": ScalarFloor,
+	"CEIL": ScalarCeil, "UPPER": ScalarUpper, "LOWER": ScalarLower,
+	"LENGTH": ScalarLength,
+}
+
+// ScalarCall applies a scalar function to one argument.
+type ScalarCall struct {
+	Func ScalarFunc
+	Arg  Expr
+}
+
+func (*ScalarCall) exprNode() {}
+
+func (s *ScalarCall) String() string {
+	return string(s.Func) + "(" + s.Arg.String() + ")"
+}
+
+// SelectItem is one projection of the SELECT list.
+type SelectItem struct {
+	Expr  Expr   // nil when Star
+	Alias string // optional AS alias
+	Star  bool   // bare *
+}
+
+// Name returns the output column name of the item.
+func (s SelectItem) Name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Star {
+		return "*"
+	}
+	return s.Expr.String()
+}
+
+// TableRef is one FROM-list entry. Joins between entries are internal —
+// evaluated over the tables of a single TDS.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// SizeClause bounds the collection phase: stop after MaxTuples result
+// tuples and/or after Duration has elapsed (whichever comes first). The SSI
+// evaluates it in cleartext (step 1 of the protocol), so it carries no
+// private data.
+type SizeClause struct {
+	MaxTuples int64
+	Duration  time.Duration
+}
+
+// IsZero reports whether no SIZE clause was given.
+func (s SizeClause) IsZero() bool { return s.MaxTuples == 0 && s.Duration == 0 }
+
+func (s SizeClause) String() string {
+	switch {
+	case s.MaxTuples > 0 && s.Duration > 0:
+		return fmt.Sprintf("SIZE %d TUPLES DURATION '%s'", s.MaxTuples, s.Duration)
+	case s.Duration > 0:
+		return fmt.Sprintf("SIZE DURATION '%s'", s.Duration)
+	case s.MaxTuples > 0:
+		return fmt.Sprintf("SIZE %d", s.MaxTuples)
+	default:
+		return ""
+	}
+}
+
+// OrderItem is one ORDER BY key: a 1-based output column position or an
+// output column name, optionally descending. Ordering is applied by the
+// querier after decryption — it concerns presentation, not privacy.
+type OrderItem struct {
+	Position int    // 1-based; 0 when Name is used
+	Name     string // output column name/alias; "" when Position is used
+	Desc     bool
+}
+
+func (o OrderItem) String() string {
+	s := o.Name
+	if o.Position > 0 {
+		s = fmt.Sprintf("%d", o.Position)
+	}
+	if o.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
+// SelectStmt is a parsed query.
+type SelectStmt struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   Expr // nil if absent
+	GroupBy []*ColumnRef
+	Having  Expr // nil if absent
+	OrderBy []OrderItem
+	Limit   int64 // 0 = no limit
+	Size    SizeClause
+}
+
+// HasGroupBy reports whether the statement needs the aggregation phase.
+func (s *SelectStmt) HasGroupBy() bool { return len(s.GroupBy) > 0 }
+
+// Aggregates returns every aggregate function call in SELECT and HAVING, in
+// a stable order (SELECT items first, then HAVING, left to right).
+func (s *SelectStmt) Aggregates() []*FuncCall {
+	var out []*FuncCall
+	for _, it := range s.Select {
+		if !it.Star {
+			out = collectAggs(it.Expr, out)
+		}
+	}
+	out = collectAggs(s.Having, out)
+	return out
+}
+
+func collectAggs(e Expr, acc []*FuncCall) []*FuncCall {
+	switch n := e.(type) {
+	case nil:
+		return acc
+	case *FuncCall:
+		return append(acc, n)
+	case *BinaryExpr:
+		return collectAggs(n.Right, collectAggs(n.Left, acc))
+	case *UnaryExpr:
+		return collectAggs(n.Expr, acc)
+	case *InExpr:
+		acc = collectAggs(n.Expr, acc)
+		for _, it := range n.List {
+			acc = collectAggs(it, acc)
+		}
+		return acc
+	case *BetweenExpr:
+		return collectAggs(n.Hi, collectAggs(n.Lo, collectAggs(n.Expr, acc)))
+	case *IsNullExpr:
+		return collectAggs(n.Expr, acc)
+	case *ScalarCall:
+		return collectAggs(n.Arg, acc)
+	default:
+		return acc
+	}
+}
+
+// IsAggregate reports whether the statement computes any aggregate
+// function (with or without GROUP BY).
+func (s *SelectStmt) IsAggregate() bool {
+	return s.HasGroupBy() || len(s.Aggregates()) > 0
+}
+
+// String renders the statement back to SQL (normalized form).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if !s.Size.IsZero() {
+		b.WriteString(" " + s.Size.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+// Package ssi implements the Supporting Server Infrastructure: the
+// powerful, highly available but untrusted side of the asymmetric
+// architecture (Section 2.1). The SSI maintains queryboxes, stores the
+// encrypted tuples of the collection phase, evaluates the cleartext SIZE
+// clause, builds partitions for the aggregation and filtering phases, and
+// re-assigns a partition when the TDS processing it goes offline.
+//
+// The SSI is honest-but-curious: it follows the protocol but records
+// everything it can observe — the Observation type is that record, and the
+// exposure analysis (internal/exposure) quantifies what it is worth.
+package ssi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+)
+
+// QueryState is everything the SSI holds for one active query.
+type QueryState struct {
+	Post        *protocol.QueryPost
+	Tuples      []protocol.WireTuple
+	BytesStored int64
+	Done        bool // SIZE condition reached
+	StartedAt   time.Time
+
+	observed Observation
+}
+
+// Observation is the honest-but-curious view the SSI accumulates on one
+// query: everything in it is information the protocol deliberately or
+// accidentally leaks. The exposure analysis consumes tag frequencies.
+type Observation struct {
+	TotalTuples  int64
+	TaggedTuples int64
+	TagCounts    map[string]int64
+	BytesSeen    int64
+}
+
+// clone returns a deep copy for safe hand-out.
+func (o *Observation) clone() Observation {
+	out := *o
+	out.TagCounts = make(map[string]int64, len(o.TagCounts))
+	for k, v := range o.TagCounts {
+		out.TagCounts[k] = v
+	}
+	return out
+}
+
+// SSI is the supporting server infrastructure. Safe for concurrent use by
+// many TDS goroutines.
+type SSI struct {
+	mu      sync.Mutex
+	queries map[string]*QueryState
+}
+
+// New returns an empty SSI.
+func New() *SSI {
+	return &SSI{queries: make(map[string]*QueryState)}
+}
+
+// PostQuery deposits a query in the global querybox (step 1 of Fig. 2).
+func (s *SSI) PostQuery(post *protocol.QueryPost, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.queries[post.ID]; dup {
+		return fmt.Errorf("ssi: query %q already posted", post.ID)
+	}
+	s.queries[post.ID] = &QueryState{
+		Post:      post,
+		StartedAt: now,
+		observed:  Observation{TagCounts: make(map[string]int64)},
+	}
+	return nil
+}
+
+// Query returns the post for a query ID — what a connecting TDS downloads
+// from the querybox (step 2).
+func (s *SSI) Query(id string) (*protocol.QueryPost, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return nil, false
+	}
+	return st.Post, true
+}
+
+// Deposit stores collection-phase tuples (step 4), evaluates the SIZE
+// clause and records observations. It returns how many tuples were
+// accepted (the SIZE cap may truncate) and whether the collection is now
+// complete.
+func (s *SSI) Deposit(id string, tuples []protocol.WireTuple, now time.Time) (accepted int, done bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return 0, false, fmt.Errorf("ssi: unknown query %q", id)
+	}
+	if st.Done {
+		return 0, true, nil
+	}
+	for _, w := range tuples {
+		st.Tuples = append(st.Tuples, w)
+		st.BytesStored += int64(w.Size())
+		s.observe(st, w)
+		accepted++
+		if max := st.Post.Size.MaxTuples; max > 0 && int64(len(st.Tuples)) >= max {
+			st.Done = true
+			break
+		}
+	}
+	if d := st.Post.Size.Duration; d > 0 && now.Sub(st.StartedAt) >= d {
+		st.Done = true
+	}
+	return accepted, st.Done, nil
+}
+
+// observe records what the honest-but-curious SSI can see of one tuple.
+func (s *SSI) observe(st *QueryState, w protocol.WireTuple) {
+	st.observed.TotalTuples++
+	st.observed.BytesSeen += int64(w.Size())
+	if len(w.Tag) > 0 {
+		st.observed.TaggedTuples++
+		st.observed.TagCounts[string(w.Tag)]++
+	}
+}
+
+// ObserveRelay records intermediate tuples the SSI relays during the
+// aggregation phase; they feed the same curious ledger.
+func (s *SSI) ObserveRelay(id string, tuples []protocol.WireTuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return
+	}
+	for _, w := range tuples {
+		s.observe(st, w)
+	}
+}
+
+// CollectionDone reports whether the SIZE condition has been reached.
+func (s *SSI) CollectionDone(id string, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return false
+	}
+	if !st.Done {
+		if d := st.Post.Size.Duration; d > 0 && now.Sub(st.StartedAt) >= d {
+			st.Done = true
+		}
+	}
+	return st.Done
+}
+
+// CollectedTuples returns the covering result of the collection phase.
+func (s *SSI) CollectedTuples(id string) []protocol.WireTuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return nil
+	}
+	out := make([]protocol.WireTuple, len(st.Tuples))
+	copy(out, st.Tuples)
+	return out
+}
+
+// ObservationFor returns a snapshot of the curious ledger of a query.
+func (s *SSI) ObservationFor(id string) Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return Observation{TagCounts: map[string]int64{}}
+	}
+	return st.observed.clone()
+}
+
+// BytesStored returns the temporary-storage footprint of a query at the
+// SSI — a component of Load_Q.
+func (s *SSI) BytesStored(id string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return 0
+	}
+	return st.BytesStored
+}
+
+// Drop discards all state of a finished query.
+func (s *SSI) Drop(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.queries, id)
+}
+
+// RandomPartitions splits tuples into partitions of at most perPartition
+// entries, in random order — all the SSI can do when every ciphertext is
+// non-deterministic (S_Agg, basic protocol): partitions are uninterpreted
+// chunks of bytes (step 9 of Fig. 2).
+func RandomPartitions(tuples []protocol.WireTuple, perPartition int, rng *rand.Rand) [][]protocol.WireTuple {
+	if len(tuples) == 0 {
+		return nil
+	}
+	if perPartition <= 0 {
+		perPartition = 1
+	}
+	shuffled := make([]protocol.WireTuple, len(tuples))
+	copy(shuffled, tuples)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var out [][]protocol.WireTuple
+	for start := 0; start < len(shuffled); start += perPartition {
+		end := start + perPartition
+		if end > len(shuffled) {
+			end = len(shuffled)
+		}
+		out = append(out, shuffled[start:end])
+	}
+	return out
+}
+
+// TagPartitions assembles tuples with equal tags into the same partitions
+// (the Det_Enc / h(bucketId) grouping of the noise and histogram
+// protocols). Groups larger than maxPerPartition split across several
+// partitions so that several TDSs can share one group's load (the n_NB
+// fan-in of the cost model). Tuples without a tag cannot be routed and are
+// sprinkled round-robin.
+func TagPartitions(tuples []protocol.WireTuple, maxPerPartition int) [][]protocol.WireTuple {
+	if len(tuples) == 0 {
+		return nil
+	}
+	if maxPerPartition <= 0 {
+		maxPerPartition = len(tuples)
+	}
+	byTag := make(map[string][]protocol.WireTuple)
+	var order []string // deterministic partition order: first appearance
+	var untagged []protocol.WireTuple
+	for _, w := range tuples {
+		if len(w.Tag) == 0 {
+			untagged = append(untagged, w)
+			continue
+		}
+		k := string(w.Tag)
+		if _, seen := byTag[k]; !seen {
+			order = append(order, k)
+		}
+		byTag[k] = append(byTag[k], w)
+	}
+	var out [][]protocol.WireTuple
+	for _, k := range order {
+		group := byTag[k]
+		for start := 0; start < len(group); start += maxPerPartition {
+			end := start + maxPerPartition
+			if end > len(group) {
+				end = len(group)
+			}
+			out = append(out, group[start:end])
+		}
+	}
+	if len(untagged) > 0 {
+		if len(out) == 0 {
+			out = append(out, nil)
+		}
+		for i, w := range untagged {
+			j := i % len(out)
+			out[j] = append(out[j], w)
+		}
+	}
+	return out
+}

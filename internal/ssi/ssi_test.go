@@ -1,0 +1,232 @@
+package ssi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+func post(id string, size sqlparse.SizeClause) *protocol.QueryPost {
+	k1 := tdscrypto.MustSuite(tdscrypto.DeriveKey(tdscrypto.Key{}, "k1"))
+	p, err := protocol.NewQueryPost(id, protocol.KindSAgg, protocol.Params{},
+		`SELECT COUNT(*) FROM T GROUP BY g`, k1, accessctl.Credential{}, size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func tuple(tag string, n int) protocol.WireTuple {
+	return protocol.WireTuple{Tag: []byte(tag), Ciphertext: make([]byte, n)}
+}
+
+var t0 = time.Unix(1700000000, 0)
+
+func TestPostAndQuerybox(t *testing.T) {
+	s := New()
+	p := post("q1", sqlparse.SizeClause{})
+	if err := s.PostQuery(p, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PostQuery(p, t0); err == nil {
+		t.Error("duplicate post accepted")
+	}
+	got, ok := s.Query("q1")
+	if !ok || got.ID != "q1" {
+		t.Fatalf("querybox lookup: %v %v", got, ok)
+	}
+	if _, ok := s.Query("nope"); ok {
+		t.Error("unknown query found")
+	}
+}
+
+func TestDepositRespectsSizeClause(t *testing.T) {
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{MaxTuples: 3}), t0); err != nil {
+		t.Fatal(err)
+	}
+	batch := []protocol.WireTuple{tuple("", 10), tuple("", 10), tuple("", 10), tuple("", 10)}
+	accepted, done, err := s.Deposit("q1", batch, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 3 || !done {
+		t.Fatalf("accepted = %d done = %v, want 3/true", accepted, done)
+	}
+	// Further deposits are ignored once done.
+	accepted, done, err = s.Deposit("q1", batch, t0)
+	if err != nil || accepted != 0 || !done {
+		t.Fatalf("post-done deposit: %d %v %v", accepted, done, err)
+	}
+	if got := len(s.CollectedTuples("q1")); got != 3 {
+		t.Errorf("stored = %d", got)
+	}
+}
+
+func TestDepositDurationBound(t *testing.T) {
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{Duration: time.Minute}), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, done, _ := s.Deposit("q1", []protocol.WireTuple{tuple("", 4)}, t0.Add(30*time.Second)); done {
+		t.Error("done before the window closed")
+	}
+	if !s.CollectionDone("q1", t0.Add(61*time.Second)) {
+		t.Error("not done after the window closed")
+	}
+	if s.CollectionDone("nope", t0) {
+		t.Error("unknown query done")
+	}
+}
+
+func TestDepositUnknownQuery(t *testing.T) {
+	s := New()
+	if _, _, err := s.Deposit("nope", nil, t0); err == nil {
+		t.Error("deposit to unknown query accepted")
+	}
+}
+
+func TestObservationLedger(t *testing.T) {
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{}), t0); err != nil {
+		t.Fatal(err)
+	}
+	batch := []protocol.WireTuple{tuple("a", 10), tuple("a", 10), tuple("b", 10), tuple("", 10)}
+	if _, _, err := s.Deposit("q1", batch, t0); err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveRelay("q1", []protocol.WireTuple{tuple("c", 5)})
+	s.ObserveRelay("nope", []protocol.WireTuple{tuple("c", 5)}) // ignored
+	o := s.ObservationFor("q1")
+	if o.TotalTuples != 5 || o.TaggedTuples != 4 {
+		t.Errorf("observation = %+v", o)
+	}
+	if o.TagCounts["a"] != 2 || o.TagCounts["b"] != 1 || o.TagCounts["c"] != 1 {
+		t.Errorf("tag counts = %v", o.TagCounts)
+	}
+	// Snapshot isolation: mutating the returned map is harmless.
+	o.TagCounts["a"] = 99
+	if s.ObservationFor("q1").TagCounts["a"] != 2 {
+		t.Error("observation snapshot not isolated")
+	}
+	if s.ObservationFor("nope").TagCounts == nil {
+		t.Error("unknown query observation must be empty, not nil")
+	}
+}
+
+func TestBytesStoredAndDrop(t *testing.T) {
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{}), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Deposit("q1", []protocol.WireTuple{tuple("ab", 10)}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BytesStored("q1"); got != 12 {
+		t.Errorf("bytes = %d", got)
+	}
+	s.Drop("q1")
+	if s.BytesStored("q1") != 0 || len(s.CollectedTuples("q1")) != 0 {
+		t.Error("drop left state behind")
+	}
+}
+
+func TestRandomPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tuples []protocol.WireTuple
+	for i := 0; i < 10; i++ {
+		tuples = append(tuples, tuple(fmt.Sprint(i), 4))
+	}
+	parts := RandomPartitions(tuples, 3, rng)
+	if len(parts) != 4 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, p := range parts {
+		total += len(p)
+		for _, w := range p {
+			seen[string(w.Tag)] = true
+		}
+	}
+	if total != 10 || len(seen) != 10 {
+		t.Errorf("coverage broken: %d tuples, %d distinct", total, len(seen))
+	}
+	if RandomPartitions(nil, 3, rng) != nil {
+		t.Error("empty input must yield nil")
+	}
+	if got := RandomPartitions(tuples, 0, rng); len(got) != 10 {
+		t.Errorf("perPartition=0 must clamp to 1: %d", len(got))
+	}
+}
+
+func TestTagPartitionsGroupsByTag(t *testing.T) {
+	tuples := []protocol.WireTuple{
+		tuple("a", 4), tuple("b", 4), tuple("a", 4), tuple("a", 4), tuple("b", 4),
+	}
+	parts := TagPartitions(tuples, 0)
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d, want one per tag", len(parts))
+	}
+	for _, p := range parts {
+		first := string(p[0].Tag)
+		for _, w := range p {
+			if string(w.Tag) != first {
+				t.Error("mixed tags in one partition")
+			}
+		}
+	}
+}
+
+func TestTagPartitionsSplitsLargeGroups(t *testing.T) {
+	var tuples []protocol.WireTuple
+	for i := 0; i < 10; i++ {
+		tuples = append(tuples, tuple("big", 4))
+	}
+	parts := TagPartitions(tuples, 4)
+	if len(parts) != 3 {
+		t.Fatalf("partitions = %d, want ceil(10/4)", len(parts))
+	}
+}
+
+func TestTagPartitionsSprinklesUntagged(t *testing.T) {
+	tuples := []protocol.WireTuple{
+		tuple("a", 4), {Ciphertext: make([]byte, 4)}, {Ciphertext: make([]byte, 4)},
+	}
+	parts := TagPartitions(tuples, 0)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 3 {
+		t.Errorf("tuples lost: %d", total)
+	}
+	// Only untagged input still produces one partition.
+	parts = TagPartitions([]protocol.WireTuple{{Ciphertext: []byte{1}}}, 0)
+	if len(parts) != 1 || len(parts[0]) != 1 {
+		t.Errorf("untagged-only = %v", parts)
+	}
+	if TagPartitions(nil, 0) != nil {
+		t.Error("empty input must yield nil")
+	}
+}
+
+func TestTagPartitionsDeterministicOrder(t *testing.T) {
+	tuples := []protocol.WireTuple{tuple("x", 4), tuple("y", 4), tuple("x", 4)}
+	a := TagPartitions(tuples, 0)
+	b := TagPartitions(tuples, 0)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic partition count")
+	}
+	for i := range a {
+		if string(a[i][0].Tag) != string(b[i][0].Tag) {
+			t.Error("nondeterministic partition order")
+		}
+	}
+}

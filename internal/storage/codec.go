@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire format for values and rows is a compact, deterministic binary
+// encoding. Determinism matters: Det_Enc derives its synthetic nonce from
+// the plaintext bytes, so two equal values must serialize identically.
+//
+//	value  := kind:uint8 payload
+//	int    -> varint (zig-zag)
+//	float  -> 8 bytes big endian IEEE-754
+//	string -> uvarint length + bytes
+//	bool   -> 1 byte
+//	row    := uvarint n + n values
+
+// AppendValue appends the encoding of v to dst and returns the result.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindBool:
+		if v.b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeValue decodes one value from b and returns it with the number of
+// bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Null(), 0, fmt.Errorf("storage: empty value encoding")
+	}
+	kind := Kind(b[0])
+	rest := b[1:]
+	switch kind {
+	case KindNull:
+		return Null(), 1, nil
+	case KindInt:
+		i, n := binary.Varint(rest)
+		if n <= 0 {
+			return Null(), 0, fmt.Errorf("storage: bad varint")
+		}
+		return Int(i), 1 + n, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Null(), 0, fmt.Errorf("storage: short float")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(rest[:8]))
+		return Float(f), 9, nil
+	case KindString:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return Null(), 0, fmt.Errorf("storage: bad string length")
+		}
+		return Str(string(rest[n : n+int(l)])), 1 + n + int(l), nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Null(), 0, fmt.Errorf("storage: short bool")
+		}
+		return Bool(rest[0] != 0), 2, nil
+	default:
+		return Null(), 0, fmt.Errorf("storage: unknown kind byte %d", b[0])
+	}
+}
+
+// AppendRow appends the encoding of r to dst and returns the result.
+func AppendRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// EncodeRow encodes a row into a fresh buffer.
+func EncodeRow(r Row) []byte { return AppendRow(nil, r) }
+
+// DecodeRow decodes one row from b and returns it with the number of bytes
+// consumed.
+func DecodeRow(b []byte) (Row, int, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("storage: bad row header")
+	}
+	if n > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("storage: implausible row arity %d", n)
+	}
+	row := make(Row, 0, n)
+	off := used
+	for i := uint64(0); i < n; i++ {
+		v, c, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: value %d: %w", i, err)
+		}
+		row = append(row, v)
+		off += c
+	}
+	return row, off, nil
+}
+
+// EncodeRows encodes a batch of rows.
+func EncodeRows(rows []Row) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(rows)))
+	for _, r := range rows {
+		out = AppendRow(out, r)
+	}
+	return out
+}
+
+// DecodeRows decodes a batch of rows produced by EncodeRows.
+func DecodeRows(b []byte) ([]Row, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, fmt.Errorf("storage: bad batch header")
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("storage: implausible batch size %d", n)
+	}
+	rows := make([]Row, 0, n)
+	off := used
+	for i := uint64(0); i < n; i++ {
+		r, c, err := DecodeRow(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("storage: row %d: %w", i, err)
+		}
+		rows = append(rows, r)
+		off += c
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("storage: %d trailing bytes after batch", len(b)-off)
+	}
+	return rows, nil
+}

@@ -1,0 +1,556 @@
+// Package tds implements the Trusted Data Server: the tamper-resistant
+// element of trust of the architecture (Section 2.1). A TDS hosts a slice
+// of the global database, enforces the access-control policy of its
+// holder, and participates in the collection, aggregation and filtering
+// phases of the querying protocols. Nothing leaves the device in
+// plaintext; the only output a TDS can deliver is a set of encrypted
+// tuples (Section 3.2, "Security").
+package tds
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/histogram"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// TDS is one trusted data server.
+type TDS struct {
+	ID        string
+	DB        *storage.LocalDB
+	Policy    *accessctl.Policy
+	Authority *accessctl.Authority
+
+	// Corrupt marks a compromised device for the extended threat model
+	// (the paper's future work). A corrupt TDS holds valid keys and
+	// follows the wire protocol, but silently drops half of the true
+	// tuples and partial aggregations it is asked to fold — producing
+	// well-formed, wrongly valued results. It is a simulation hook; real
+	// tamper-resistant hardware is assumed to prevent this (Section 2.2).
+	Corrupt bool
+
+	k1, k2 *tdscrypto.Suite
+	k2raw  tdscrypto.Key
+
+	mu    sync.Mutex
+	plans map[string]*sqlexec.Plan // query ID -> compiled plan
+}
+
+// New creates a TDS with its key ring, database and access policy.
+func New(id string, db *storage.LocalDB, ring tdscrypto.KeyRing,
+	policy *accessctl.Policy, authority *accessctl.Authority) (*TDS, error) {
+	s1, err := tdscrypto.NewSuite(ring.K1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := tdscrypto.NewSuite(ring.K2)
+	if err != nil {
+		return nil, err
+	}
+	return &TDS{
+		ID: id, DB: db, Policy: policy, Authority: authority,
+		k1: s1, k2: s2, k2raw: ring.K2,
+		plans: make(map[string]*sqlexec.Plan),
+	}, nil
+}
+
+// plan decrypts, parses and compiles the posted query, caching per query
+// ID so a TDS participating in several phases does the work once.
+func (t *TDS) plan(post *protocol.QueryPost) (*sqlexec.Plan, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.plans[post.ID]; ok {
+		return p, nil
+	}
+	stmt, err := post.OpenQuery(t.k1)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sqlexec.Compile(stmt, t.DB.Schema())
+	if err != nil {
+		return nil, err
+	}
+	t.plans[post.ID] = p
+	return p, nil
+}
+
+// CollectConfig carries per-protocol collection-phase inputs.
+type CollectConfig struct {
+	// Domain is the A_G domain used to draw fake grouping values:
+	// sampled uniformly by Rnf_Noise, enumerated exhaustively by C_Noise.
+	Domain []storage.Row
+	// Hist is the previously discovered equi-depth histogram (ED_Hist).
+	Hist *histogram.Histogram
+	// Rng drives fake-tuple generation; the engine seeds it per TDS.
+	Rng *rand.Rand
+	// Now is the simulated wall-clock time for credential expiry checks.
+	Now time.Time
+}
+
+// CollectStats instruments the collection step for the simulation's
+// metrics; nothing in it reaches the SSI (which only sees ciphertexts).
+type CollectStats struct {
+	True, Fake, Dummy int
+	Denied            bool
+}
+
+// Collect performs the collection-phase work of this TDS: download and
+// decrypt the query, verify the querier credential, evaluate the access
+// policy, execute the query locally, and return encrypted wire tuples.
+//
+// Per steps 4/4' of Fig. 2, an empty local result or a denied query still
+// yields one dummy tuple, non-deterministically encrypted, so the SSI can
+// not learn the query's selectivity or the policy decision.
+func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.WireTuple, CollectStats, error) {
+	var stats CollectStats
+	plan, err := t.plan(post)
+	if err != nil {
+		return nil, stats, err
+	}
+	authorized := true
+	if err := t.Authority.Verify(post.Credential, cfg.Now); err != nil {
+		authorized = false
+	} else if err := t.Policy.Authorize(post.Credential, plan.Stmt); err != nil {
+		authorized = false
+	}
+	stats.Denied = !authorized
+
+	var rows []storage.Row
+	if authorized {
+		rows, err = plan.CollectLocal(t.DB)
+		if err != nil {
+			return nil, stats, fmt.Errorf("tds %s: local execution: %w", t.ID, err)
+		}
+	}
+	if len(rows) == 0 {
+		// Dummy sized like a plausible tuple of this plan. In the tagged
+		// protocols the dummy carries a plausible random tag, otherwise its
+		// taglessness would let the SSI single it out.
+		tag, err := t.dummyTag(post, cfg)
+		if err != nil {
+			return nil, stats, err
+		}
+		w, err := t.encryptTuple(post, protocol.DummyPayload(t.sampleBodySize(plan)), tag)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Dummy++
+		return []protocol.WireTuple{w}, stats, nil
+	}
+
+	out := make([]protocol.WireTuple, 0, len(rows))
+	for _, row := range rows {
+		tag, err := t.collectionTag(post, plan, cfg, row)
+		if err != nil {
+			return nil, stats, err
+		}
+		w, err := t.encryptTuple(post, protocol.TruePayload(row), tag)
+		if err != nil {
+			return nil, stats, err
+		}
+		out = append(out, w)
+		stats.True++
+
+		// Noise injection.
+		switch post.Kind {
+		case protocol.KindRnfNoise:
+			fakes, err := t.randomFakes(post, plan, cfg, post.Params.Nf)
+			if err != nil {
+				return nil, stats, err
+			}
+			out = append(out, fakes...)
+			stats.Fake += len(fakes)
+		case protocol.KindCNoise:
+			fakes, err := t.controlledFakes(post, plan, cfg, row)
+			if err != nil {
+				return nil, stats, err
+			}
+			out = append(out, fakes...)
+			stats.Fake += len(fakes)
+		}
+	}
+	return out, stats, nil
+}
+
+// sampleBodySize estimates the encoded size of a plausible tuple so
+// dummies blend in.
+func (t *TDS) sampleBodySize(plan *sqlexec.Plan) int {
+	n := plan.CollectionWidth()
+	if n == 0 {
+		n = len(plan.OutputNames)
+	}
+	if n == 0 {
+		n = 1
+	}
+	return 1 + 9*n
+}
+
+// dummyTag picks a plausible routing tag for a dummy tuple so the SSI
+// cannot distinguish it from true traffic.
+func (t *TDS) dummyTag(post *protocol.QueryPost, cfg CollectConfig) ([]byte, error) {
+	switch post.Kind {
+	case protocol.KindRnfNoise, protocol.KindCNoise:
+		if len(cfg.Domain) == 0 {
+			return nil, fmt.Errorf("tds %s: %v requires the A_G domain", t.ID, post.Kind)
+		}
+		return t.groupTag(post, cfg.Domain[cfg.Rng.Intn(len(cfg.Domain))])
+	case protocol.KindEDHist:
+		if cfg.Hist == nil {
+			return nil, fmt.Errorf("tds %s: ED_Hist requires a histogram", t.ID)
+		}
+		buckets := cfg.Hist.Buckets()
+		b := buckets[cfg.Rng.Intn(len(buckets))]
+		return tdscrypto.BucketHash(t.k2raw, []byte(b.ID)), nil
+	default:
+		return nil, nil
+	}
+}
+
+// collectionTag derives the cleartext routing tag of a true collection
+// tuple, per protocol.
+func (t *TDS) collectionTag(post *protocol.QueryPost, plan *sqlexec.Plan,
+	cfg CollectConfig, row storage.Row) ([]byte, error) {
+	switch post.Kind {
+	case protocol.KindBasic, protocol.KindSAgg:
+		return nil, nil
+	case protocol.KindRnfNoise, protocol.KindCNoise:
+		return t.groupTag(post, groupValues(plan, row))
+	case protocol.KindEDHist:
+		if cfg.Hist == nil {
+			return nil, fmt.Errorf("tds %s: ED_Hist requires a histogram", t.ID)
+		}
+		bucket, _ := cfg.Hist.BucketOf(groupValues(plan, row).Key())
+		return tdscrypto.BucketHash(t.k2raw, []byte(bucket)), nil
+	default:
+		return nil, fmt.Errorf("tds %s: unknown protocol %v", t.ID, post.Kind)
+	}
+}
+
+// groupValues extracts the A_G prefix of a collection row.
+func groupValues(plan *sqlexec.Plan, row storage.Row) storage.Row {
+	return row[:len(plan.GroupCols)]
+}
+
+// groupTag is Det_Enc_k2 over the encoded grouping values, bound to the
+// query by its AAD.
+func (t *TDS) groupTag(post *protocol.QueryPost, group storage.Row) ([]byte, error) {
+	return t.k2.DetEncrypt(storage.EncodeRow(group), post.AAD())
+}
+
+// randomFakes builds nf fake tuples whose A_G values are drawn uniformly
+// from the domain (Rnf_Noise). The aggregate inputs are random too; the
+// fake marker inside the ciphertext lets honest TDSs discard them.
+func (t *TDS) randomFakes(post *protocol.QueryPost, plan *sqlexec.Plan,
+	cfg CollectConfig, nf int) ([]protocol.WireTuple, error) {
+	if len(cfg.Domain) == 0 {
+		return nil, fmt.Errorf("tds %s: Rnf_Noise requires the A_G domain", t.ID)
+	}
+	out := make([]protocol.WireTuple, 0, nf)
+	for i := 0; i < nf; i++ {
+		g := cfg.Domain[cfg.Rng.Intn(len(cfg.Domain))]
+		fake := t.fakeRow(plan, cfg, g)
+		w, err := t.encryptFake(post, fake, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// controlledFakes builds one fake per domain value different from the true
+// tuple's group (C_Noise): the resulting tag distribution is flat by
+// construction.
+func (t *TDS) controlledFakes(post *protocol.QueryPost, plan *sqlexec.Plan,
+	cfg CollectConfig, trueRow storage.Row) ([]protocol.WireTuple, error) {
+	if len(cfg.Domain) == 0 {
+		return nil, fmt.Errorf("tds %s: C_Noise requires the A_G domain", t.ID)
+	}
+	trueKey := groupValues(plan, trueRow).Key()
+	out := make([]protocol.WireTuple, 0, len(cfg.Domain)-1)
+	for _, g := range cfg.Domain {
+		if g.Key() == trueKey {
+			continue
+		}
+		w, err := t.encryptFake(post, t.fakeRow(plan, cfg, g), g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// fakeRow assembles a full fake collection row for group g.
+func (t *TDS) fakeRow(plan *sqlexec.Plan, cfg CollectConfig, g storage.Row) storage.Row {
+	row := make(storage.Row, 0, plan.CollectionWidth())
+	row = append(row, g...)
+	for range plan.Aggs {
+		row = append(row, storage.Float(cfg.Rng.NormFloat64()*100))
+	}
+	return row
+}
+
+func (t *TDS) encryptFake(post *protocol.QueryPost, row storage.Row, group storage.Row) (protocol.WireTuple, error) {
+	tag, err := t.groupTag(post, group)
+	if err != nil {
+		return protocol.WireTuple{}, err
+	}
+	return t.encryptTuple(post, protocol.FakePayload(row), tag)
+}
+
+func (t *TDS) encryptTuple(post *protocol.QueryPost, payload, tag []byte) (protocol.WireTuple, error) {
+	ct, err := t.k2.NDetEncrypt(payload, post.AAD())
+	if err != nil {
+		return protocol.WireTuple{}, fmt.Errorf("tds %s: encrypt: %w", t.ID, err)
+	}
+	return protocol.WireTuple{Tag: tag, Ciphertext: ct}, nil
+}
+
+// partitionFingerprint hashes the ciphertexts of a partition. Replicas of
+// the same partition compute the same fingerprint; it binds audit digests
+// to one partition so the SSI cannot link equal contents across
+// partitions.
+func partitionFingerprint(partition []protocol.WireTuple) []byte {
+	h := sha256.New()
+	for _, w := range partition {
+		h.Write(w.Tag)
+		h.Write(w.Ciphertext)
+	}
+	return h.Sum(nil)
+}
+
+// corruptDrop decides whether a compromised device silently drops the
+// i-th payload of a partition. The pattern is keyed by the device ID:
+// two independently compromised devices corrupt differently, so their
+// forged results do not accidentally agree under the audit (a genuinely
+// colluding pair producing byte-identical forgeries can still outvote a
+// single honest replica — the usual bound of majority-based auditing).
+func (t *TDS) corruptDrop(i int) bool {
+	h := uint32(2166136261)
+	for j := 0; j < len(t.ID); j++ {
+		h ^= uint32(t.ID[j])
+		h *= 16777619
+	}
+	h ^= uint32(i)
+	h *= 16777619
+	h ^= h >> 15
+	return h%2 == 0
+}
+
+// auditDigest MACs semantic output content under k2, bound to the query
+// and the input partition. Honest replicas of one partition produce equal
+// digests for equal semantic results; the SSI can compare but not open.
+func (t *TDS) auditDigest(post *protocol.QueryPost, fingerprint, semantic []byte) []byte {
+	mac := hmac.New(sha256.New, t.k2raw[:])
+	mac.Write([]byte("audit/"))
+	mac.Write(post.AAD())
+	mac.Write([]byte{0})
+	mac.Write(fingerprint)
+	mac.Write([]byte{0})
+	mac.Write(semantic)
+	return mac.Sum(nil)[:16]
+}
+
+// EmitMode selects what an aggregation step returns.
+type EmitMode int
+
+// Emission shapes of the aggregation phase.
+const (
+	// EmitWhole returns one untagged blob holding the full partial
+	// aggregation (S_Agg's iterative steps).
+	EmitWhole EmitMode = iota
+	// EmitPerGroup returns one tagged tuple per accumulated group
+	// (noise protocols and both ED_Hist aggregation phases).
+	EmitPerGroup
+)
+
+// Aggregate performs one aggregation-phase step (steps 6-8 of Fig. 2):
+// download a partition, decrypt it, discard dummy and fake tuples, fold
+// raw collection tuples and partial aggregations into an accumulator, and
+// return the re-encrypted partial result.
+func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple, emit EmitMode) ([]protocol.WireTuple, error) {
+	plan, err := t.plan(post)
+	if err != nil {
+		return nil, err
+	}
+	fp := partitionFingerprint(partition)
+	acc := sqlexec.NewAccumulator(plan)
+	payloads := 0
+	for _, w := range partition {
+		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: decrypt partition tuple: %w", t.ID, err)
+		}
+		marker, body, err := protocol.DecodePayload(pt)
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: %w", t.ID, err)
+		}
+		if marker == protocol.MarkerDummy || marker == protocol.MarkerFake {
+			continue
+		}
+		payloads++
+		if t.Corrupt && t.corruptDrop(payloads) {
+			continue // a compromised device silently drops work
+		}
+		switch marker {
+		case protocol.MarkerTrue:
+			row, n, err := storage.DecodeRow(body)
+			if err != nil || n != len(body) {
+				return nil, fmt.Errorf("tds %s: bad collection row: %v", t.ID, err)
+			}
+			if err := acc.AddCollectionRow(row); err != nil {
+				return nil, fmt.Errorf("tds %s: %w", t.ID, err)
+			}
+		case protocol.MarkerPartial:
+			if err := acc.MergeEncoded(body); err != nil {
+				return nil, fmt.Errorf("tds %s: merge partial: %w", t.ID, err)
+			}
+		}
+	}
+
+	if acc.NumGroups() == 0 {
+		// All input was noise: contribute a dummy so the SSI still sees a
+		// response of plausible size. The audit digest covers the semantic
+		// outcome ("empty"), not the random padding, so honest replicas
+		// still agree.
+		w, err := t.encryptTuple(post, protocol.DummyPayload(t.sampleBodySize(plan)), nil)
+		if err != nil {
+			return nil, err
+		}
+		w.Digest = t.auditDigest(post, fp, []byte("empty"))
+		return []protocol.WireTuple{w}, nil
+	}
+
+	switch emit {
+	case EmitWhole:
+		enc := acc.Encode()
+		w, err := t.encryptTuple(post, protocol.EncodePayload(protocol.MarkerPartial, enc), nil)
+		if err != nil {
+			return nil, err
+		}
+		w.Digest = t.auditDigest(post, fp, enc)
+		return []protocol.WireTuple{w}, nil
+	case EmitPerGroup:
+		groups := acc.Groups()
+		out := make([]protocol.WireTuple, 0, len(groups))
+		for _, g := range groups {
+			tag, err := t.groupTag(post, g.Values)
+			if err != nil {
+				return nil, err
+			}
+			enc := sqlexec.EncodeGroup(plan, g)
+			w, err := t.encryptTuple(post,
+				protocol.EncodePayload(protocol.MarkerPartial, enc), tag)
+			if err != nil {
+				return nil, err
+			}
+			w.Digest = t.auditDigest(post, fp, enc)
+			out = append(out, w)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("tds %s: unknown emit mode %d", t.ID, emit)
+	}
+}
+
+// FilterSFW performs the filtering phase of the basic protocol
+// (steps 10-12 of Fig. 2): decrypt the partition, remove dummy tuples and
+// re-encrypt the true tuples with k1 for the querier.
+func (t *TDS) FilterSFW(post *protocol.QueryPost, partition []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	fp := partitionFingerprint(partition)
+	var out []protocol.WireTuple
+	kept := 0
+	for _, w := range partition {
+		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: decrypt: %w", t.ID, err)
+		}
+		marker, body, err := protocol.DecodePayload(pt)
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: %w", t.ID, err)
+		}
+		if marker != protocol.MarkerTrue {
+			continue
+		}
+		kept++
+		if t.Corrupt && t.corruptDrop(kept) {
+			continue
+		}
+		ct, err := t.k1.NDetEncrypt(protocol.EncodePayload(protocol.MarkerTrue, body), post.AAD())
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: re-encrypt: %w", t.ID, err)
+		}
+		out = append(out, protocol.WireTuple{
+			Ciphertext: ct,
+			Digest:     t.auditDigest(post, fp, body),
+		})
+	}
+	return out, nil
+}
+
+// FinalizeGroups performs the filtering phase of the aggregate protocols:
+// merge the final per-group partial aggregations of the partition,
+// evaluate HAVING, compute the SELECT list, and encrypt the surviving
+// result tuples with k1. forceEmpty requests the one-row semantics of a
+// global aggregate over an empty input.
+func (t *TDS) FinalizeGroups(post *protocol.QueryPost, partition []protocol.WireTuple, forceEmpty bool) ([]protocol.WireTuple, error) {
+	plan, err := t.plan(post)
+	if err != nil {
+		return nil, err
+	}
+	fp := partitionFingerprint(partition)
+	acc := sqlexec.NewAccumulator(plan)
+	sawPartial := false
+	merged := 0
+	for _, w := range partition {
+		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: decrypt: %w", t.ID, err)
+		}
+		marker, body, err := protocol.DecodePayload(pt)
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: %w", t.ID, err)
+		}
+		if marker != protocol.MarkerPartial {
+			continue
+		}
+		sawPartial = true
+		merged++
+		if t.Corrupt && t.corruptDrop(merged) {
+			continue
+		}
+		if err := acc.MergeEncoded(body); err != nil {
+			return nil, fmt.Errorf("tds %s: %w", t.ID, err)
+		}
+	}
+	if !sawPartial && !forceEmpty {
+		return nil, nil
+	}
+	res, err := acc.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("tds %s: finalize: %w", t.ID, err)
+	}
+	out := make([]protocol.WireTuple, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		payload := protocol.TruePayload(row)
+		ct, err := t.k1.NDetEncrypt(payload, post.AAD())
+		if err != nil {
+			return nil, fmt.Errorf("tds %s: encrypt result: %w", t.ID, err)
+		}
+		out = append(out, protocol.WireTuple{
+			Ciphertext: ct,
+			Digest:     t.auditDigest(post, fp, payload[1:]),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package tdscrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// nonceSize is the AES-GCM nonce size in bytes.
+const nonceSize = 12
+
+// Overhead is the ciphertext expansion of both encryption modes:
+// nonce (12) + GCM tag (16).
+const Overhead = nonceSize + 16
+
+// Suite is a ready-to-use cipher for one key. Constructing the AEAD once
+// per key mirrors the session-key setup a real crypto co-processor performs
+// and keeps the per-tuple cost low.
+type Suite struct {
+	aead   cipher.AEAD
+	detKey Key // independent sub-key for synthetic nonces
+}
+
+// NewSuite prepares a cipher suite for the key.
+func NewSuite(k Key) (*Suite, error) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("tdscrypto: aes: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("tdscrypto: gcm: %w", err)
+	}
+	return &Suite{aead: aead, detKey: DeriveKey(k, "det-nonce")}, nil
+}
+
+// MustSuite is NewSuite for tests and examples.
+func MustSuite(k Key) *Suite {
+	s, err := NewSuite(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NDetEncrypt encrypts plaintext non-deterministically (nDet_Enc): a random
+// nonce makes every ciphertext unique, so the SSI can neither detect equal
+// plaintexts nor mount frequency attacks. aad is authenticated but not
+// encrypted (message headers).
+func (s *Suite) NDetEncrypt(plaintext, aad []byte) ([]byte, error) {
+	out := make([]byte, nonceSize, nonceSize+len(plaintext)+s.aead.Overhead())
+	if _, err := rand.Read(out[:nonceSize]); err != nil {
+		return nil, fmt.Errorf("tdscrypto: nonce: %w", err)
+	}
+	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil
+}
+
+// DetEncrypt encrypts plaintext deterministically (Det_Enc): the nonce is a
+// MAC of the plaintext (SIV-style), so equal plaintexts produce equal
+// ciphertexts under the same key. The SSI uses that equality to assemble
+// tuples of one group into one partition — and it is exactly what the
+// frequency attack of Section 5 exploits, hence the noise protocols.
+func (s *Suite) DetEncrypt(plaintext, aad []byte) ([]byte, error) {
+	mac := hmac.New(sha256.New, s.detKey[:])
+	mac.Write(aad)
+	mac.Write([]byte{0})
+	mac.Write(plaintext)
+	synthetic := mac.Sum(nil)[:nonceSize]
+	out := make([]byte, nonceSize, nonceSize+len(plaintext)+s.aead.Overhead())
+	copy(out, synthetic)
+	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil
+}
+
+// Decrypt opens a ciphertext produced by either NDetEncrypt or DetEncrypt
+// with the same key and aad.
+func (s *Suite) Decrypt(ciphertext, aad []byte) ([]byte, error) {
+	if len(ciphertext) < nonceSize {
+		return nil, fmt.Errorf("tdscrypto: ciphertext shorter than nonce")
+	}
+	pt, err := s.aead.Open(nil, ciphertext[:nonceSize], ciphertext[nonceSize:], aad)
+	if err != nil {
+		return nil, fmt.Errorf("tdscrypto: open: %w", err)
+	}
+	return pt, nil
+}
+
+// BucketHash computes the keyed hash h(bucketId) used by ED_Hist. It is
+// deterministic per key, collision-resistant, and reveals nothing about the
+// bucket's position in the attribute domain. The 16-byte truncation keeps
+// wire tuples small (st in the cost model).
+func BucketHash(k Key, bucketID []byte) []byte {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte("bucket/"))
+	mac.Write(bucketID)
+	return mac.Sum(nil)[:16]
+}
+
+// BucketHashString is BucketHash for string identifiers.
+func BucketHashString(k Key, bucketID string) string {
+	return string(BucketHash(k, []byte(bucketID)))
+}

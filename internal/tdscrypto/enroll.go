@@ -1,0 +1,129 @@
+package tdscrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+)
+
+// Open-context enrollment (footnote 7 of the paper): when TDSs are not all
+// delivered by one provider, keys cannot be installed at burn time.
+// Instead "a PKI infrastructure could be used so that queriers and TDSs
+// all have a public-private key pair which can be used to exchange
+// symmetric keys". This file implements that exchange with X25519:
+//
+//	device                        key authority
+//	  |-- device public key --------->|
+//	  |<-- WrappedRing(k1,k2) --------|   (ECDH shared secret wraps the ring)
+//
+// The wrap is authenticated encryption under a key derived from the ECDH
+// shared secret, so a device can only unwrap a ring addressed to its own
+// key pair, and tampering in transit is detected.
+
+// EnrollmentAuthority distributes the fleet key ring to devices that
+// present a public key.
+type EnrollmentAuthority struct {
+	priv *ecdh.PrivateKey
+	ring KeyRing
+}
+
+// NewEnrollmentAuthority creates an authority distributing ring.
+func NewEnrollmentAuthority(ring KeyRing) (*EnrollmentAuthority, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tdscrypto: enrollment key: %w", err)
+	}
+	return &EnrollmentAuthority{priv: priv, ring: ring}, nil
+}
+
+// PublicKey returns the authority's public key, pre-installed in devices
+// (or anchored by whatever PKI the deployment uses).
+func (a *EnrollmentAuthority) PublicKey() []byte {
+	return a.priv.PublicKey().Bytes()
+}
+
+// WrappedRing is an encrypted key ring addressed to one device.
+type WrappedRing struct {
+	Ciphertext []byte
+}
+
+// ringAAD domain-separates ring wraps from other uses of the shared key.
+var ringAAD = []byte("tcq/enroll/ring/v1")
+
+// WrapRing encrypts the fleet ring to the device holding devicePub.
+func (a *EnrollmentAuthority) WrapRing(devicePub []byte) (WrappedRing, error) {
+	pub, err := ecdh.X25519().NewPublicKey(devicePub)
+	if err != nil {
+		return WrappedRing{}, fmt.Errorf("tdscrypto: device public key: %w", err)
+	}
+	shared, err := a.priv.ECDH(pub)
+	if err != nil {
+		return WrappedRing{}, fmt.Errorf("tdscrypto: ecdh: %w", err)
+	}
+	suite, err := NewSuite(kekFromShared(shared))
+	if err != nil {
+		return WrappedRing{}, err
+	}
+	plain := make([]byte, 0, 2*KeySize)
+	plain = append(plain, a.ring.K1[:]...)
+	plain = append(plain, a.ring.K2[:]...)
+	ct, err := suite.NDetEncrypt(plain, ringAAD)
+	if err != nil {
+		return WrappedRing{}, err
+	}
+	return WrappedRing{Ciphertext: ct}, nil
+}
+
+// DeviceEnrollment is the device-side key pair.
+type DeviceEnrollment struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewDeviceEnrollment generates a device key pair (inside the TEE on real
+// hardware, so the private key never leaves the device).
+func NewDeviceEnrollment() (*DeviceEnrollment, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tdscrypto: device key: %w", err)
+	}
+	return &DeviceEnrollment{priv: priv}, nil
+}
+
+// PublicKey returns the device's enrollment public key.
+func (d *DeviceEnrollment) PublicKey() []byte {
+	return d.priv.PublicKey().Bytes()
+}
+
+// UnwrapRing recovers the fleet ring from a wrap addressed to this device.
+func (d *DeviceEnrollment) UnwrapRing(authorityPub []byte, w WrappedRing) (KeyRing, error) {
+	pub, err := ecdh.X25519().NewPublicKey(authorityPub)
+	if err != nil {
+		return KeyRing{}, fmt.Errorf("tdscrypto: authority public key: %w", err)
+	}
+	shared, err := d.priv.ECDH(pub)
+	if err != nil {
+		return KeyRing{}, fmt.Errorf("tdscrypto: ecdh: %w", err)
+	}
+	suite, err := NewSuite(kekFromShared(shared))
+	if err != nil {
+		return KeyRing{}, err
+	}
+	plain, err := suite.Decrypt(w.Ciphertext, ringAAD)
+	if err != nil {
+		return KeyRing{}, fmt.Errorf("tdscrypto: unwrap: %w", err)
+	}
+	if len(plain) != 2*KeySize {
+		return KeyRing{}, fmt.Errorf("tdscrypto: unwrap: bad ring length %d", len(plain))
+	}
+	var ring KeyRing
+	copy(ring.K1[:], plain[:KeySize])
+	copy(ring.K2[:], plain[KeySize:])
+	return ring, nil
+}
+
+// kekFromShared derives the key-encryption key from an ECDH shared secret.
+func kekFromShared(shared []byte) Key {
+	var seed Key
+	copy(seed[:], shared) // X25519 secrets are 32 bytes
+	return DeriveKey(seed, "enroll-kek")
+}

@@ -1,0 +1,103 @@
+package tdscrypto
+
+import "testing"
+
+func testRing() KeyRing {
+	return NewKeyAuthority(DeriveKey(Key{}, "enroll-test")).Ring()
+}
+
+func TestEnrollmentRoundTrip(t *testing.T) {
+	ring := testRing()
+	auth, err := NewEnrollmentAuthority(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDeviceEnrollment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := auth.WrapRing(dev.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.UnwrapRing(auth.PublicKey(), wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ring {
+		t.Fatal("unwrapped ring differs")
+	}
+}
+
+func TestEnrollmentWrongDeviceCannotUnwrap(t *testing.T) {
+	auth, _ := NewEnrollmentAuthority(testRing())
+	alice, _ := NewDeviceEnrollment()
+	mallory, _ := NewDeviceEnrollment()
+	wrapped, err := auth.WrapRing(alice.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mallory.UnwrapRing(auth.PublicKey(), wrapped); err == nil {
+		t.Fatal("a foreign device unwrapped the ring")
+	}
+}
+
+func TestEnrollmentTamperDetection(t *testing.T) {
+	auth, _ := NewEnrollmentAuthority(testRing())
+	dev, _ := NewDeviceEnrollment()
+	wrapped, err := auth.WrapRing(dev.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(wrapped.Ciphertext); i += 7 {
+		bad := WrappedRing{Ciphertext: append([]byte(nil), wrapped.Ciphertext...)}
+		bad.Ciphertext[i] ^= 1
+		if _, err := dev.UnwrapRing(auth.PublicKey(), bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+}
+
+func TestEnrollmentRejectsBadKeys(t *testing.T) {
+	auth, _ := NewEnrollmentAuthority(testRing())
+	if _, err := auth.WrapRing([]byte("short")); err == nil {
+		t.Error("bad device key accepted")
+	}
+	dev, _ := NewDeviceEnrollment()
+	wrapped, _ := auth.WrapRing(dev.PublicKey())
+	if _, err := dev.UnwrapRing([]byte("short"), wrapped); err == nil {
+		t.Error("bad authority key accepted")
+	}
+}
+
+func TestEnrollmentFreshKeyPairs(t *testing.T) {
+	a, _ := NewDeviceEnrollment()
+	b, _ := NewDeviceEnrollment()
+	if string(a.PublicKey()) == string(b.PublicKey()) {
+		t.Fatal("two devices share a key pair")
+	}
+}
+
+func TestEnrollmentMatchesDirectProvisioning(t *testing.T) {
+	// The ring obtained through ECDH enrollment drives the same cipher
+	// suites as a burn-time installed ring: a tuple encrypted by an
+	// enrolled device opens under the fleet's k2.
+	ring := testRing()
+	auth, _ := NewEnrollmentAuthority(ring)
+	dev, _ := NewDeviceEnrollment()
+	wrapped, _ := auth.WrapRing(dev.PublicKey())
+	enrolled, err := dev.UnwrapRing(auth.PublicKey(), wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sEnrolled := MustSuite(enrolled.K2)
+	sFleet := MustSuite(ring.K2)
+	ct, err := sEnrolled.NDetEncrypt([]byte("tuple"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := sFleet.Decrypt(ct, nil)
+	if err != nil || string(pt) != "tuple" {
+		t.Fatalf("fleet cannot read enrolled device's tuples: %v", err)
+	}
+}

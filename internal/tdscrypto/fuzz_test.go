@@ -1,0 +1,54 @@
+package tdscrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecrypt feeds arbitrary bytes to the AEAD opener: it must never
+// panic and must never "succeed" on data that was not produced by this
+// suite (forgery resistance at the API level).
+func FuzzDecrypt(f *testing.F) {
+	suite := MustSuite(DeriveKey(Key{}, "fuzz"))
+	genuine, _ := suite.NDetEncrypt([]byte("payload"), []byte("aad"))
+	f.Add(genuine, []byte("aad"))
+	f.Add(genuine, []byte("other"))
+	f.Add([]byte{}, []byte{})
+	f.Add(make([]byte, 12), []byte{})
+	f.Add(make([]byte, 64), []byte("aad"))
+	f.Fuzz(func(t *testing.T, ct, aad []byte) {
+		pt, err := suite.Decrypt(ct, aad)
+		if err != nil {
+			return
+		}
+		// The only accepted input in this harness is the genuine pair.
+		if !bytes.Equal(ct, genuine) || !bytes.Equal(aad, []byte("aad")) {
+			t.Fatalf("forged ciphertext accepted: %x -> %q", ct, pt)
+		}
+	})
+}
+
+// FuzzDetEncryptRoundTrip checks Det_Enc determinism and round-tripping on
+// arbitrary messages.
+func FuzzDetEncryptRoundTrip(f *testing.F) {
+	suite := MustSuite(DeriveKey(Key{}, "fuzz2"))
+	f.Add([]byte("hello"), []byte("q1"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, msg, aad []byte) {
+		a, err := suite.DetEncrypt(msg, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := suite.DetEncrypt(msg, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("Det_Enc not deterministic")
+		}
+		pt, err := suite.Decrypt(a, aad)
+		if err != nil || !bytes.Equal(pt, msg) {
+			t.Fatalf("round trip: %v", err)
+		}
+	})
+}

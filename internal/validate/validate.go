@@ -1,0 +1,191 @@
+// Package validate cross-checks the two evaluation instruments of this
+// repository: the live goroutine-fleet simulation (internal/core) and the
+// Section 6.1 analytical cost model (internal/costmodel).
+//
+// The paper evaluates at nation scale with the model alone, calibrated by
+// unit tests; it lists a "performance study on large scale TDS platforms"
+// as future work. This package runs the actual protocols at laptop scale
+// and verifies that the measured metrics order the protocols the same way
+// the model predicts — the property that makes model-based extrapolation
+// credible.
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/costmodel"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+	"github.com/trustedcells/tcq/internal/workload"
+)
+
+// Row is one protocol's measured and predicted costs at the operating
+// point.
+type Row struct {
+	Protocol      string
+	MeasuredLoad  int64
+	MeasuredPTDS  int
+	MeasuredTQ    time.Duration
+	PredictedLoad float64
+	PredictedTQ   time.Duration
+}
+
+// Report is the outcome of one cross-validation run.
+type Report struct {
+	Fleet     int
+	Groups    int
+	Rows      []Row
+	LoadOrder struct {
+		Measured  []string
+		Predicted []string
+		Agree     bool
+	}
+}
+
+// String renders the report.
+func (r Report) String() string {
+	s := fmt.Sprintf("cross-validation: fleet=%d G=%d\n", r.Fleet, r.Groups)
+	s += fmt.Sprintf("%-10s %14s %12s %14s %14s\n",
+		"protocol", "meas. load", "meas. P_TDS", "meas. T_Q", "model load")
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%-10s %13.1fKB %12d %14v %13.1fKB\n",
+			row.Protocol, float64(row.MeasuredLoad)/1e3, row.MeasuredPTDS,
+			row.MeasuredTQ.Round(time.Microsecond), row.PredictedLoad/1e3)
+	}
+	s += fmt.Sprintf("load ordering: measured %v / predicted %v (agree: %v)\n",
+		r.LoadOrder.Measured, r.LoadOrder.Predicted, r.LoadOrder.Agree)
+	return s
+}
+
+// runs maps the live protocols onto the model's named configurations.
+var runs = []struct {
+	name   string
+	kind   protocol.Kind
+	params protocol.Params
+}{
+	{costmodel.NameSAgg, protocol.KindSAgg, protocol.Params{}},
+	{costmodel.NameR2Noise, protocol.KindRnfNoise, protocol.Params{Nf: 2}},
+	{costmodel.NameCNoise, protocol.KindCNoise, protocol.Params{}},
+	{costmodel.NameEDHist, protocol.KindEDHist, protocol.Params{}},
+}
+
+// Run builds a fleet, executes a district-level aggregate under every
+// protocol, and compares the measured load ordering with the model's
+// prediction at the corresponding operating point.
+func Run(fleet, districts int, seed int64) (Report, error) {
+	w := workload.DefaultSmartMeter(seed)
+	w.Districts = districts
+	w.Readings = 1 // one tuple per device, as in the model's N_t
+	eng, err := core.NewEngine(core.Config{
+		Schema: w.Schema(),
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "energy-analyst", AggregateOnly: true},
+		}},
+		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "validate-auth"),
+		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "validate-master"),
+		AvailableFraction: 0.5,
+		Seed:              seed,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
+		return Report{}, err
+	}
+	cred := eng.Authority().Issue("validator", []string{"energy-analyst"},
+		time.Unix(1700000000, 0).Add(time.Hour))
+	q, err := querier.New("validator", eng.K1(), cred, eng.Schema())
+	if err != nil {
+		return Report{}, err
+	}
+
+	sql := `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` +
+		`WHERE C.cid = P.cid GROUP BY C.district`
+
+	p := costmodel.Params{
+		Nt:        float64(fleet),
+		G:         float64(districts),
+		Available: 0.5 * float64(fleet),
+	}
+	model := costmodel.Compare(p)
+
+	rep := Report{Fleet: fleet, Groups: districts}
+	for _, r := range runs {
+		_, m, err := eng.Run(q, sql, r.kind, r.params)
+		if err != nil {
+			return Report{}, fmt.Errorf("validate: %s: %w", r.name, err)
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Protocol:      r.name,
+			MeasuredLoad:  m.LoadBytes,
+			MeasuredPTDS:  m.PTDS,
+			MeasuredTQ:    m.TQ,
+			PredictedLoad: model[r.name].LoadQ,
+			PredictedTQ:   model[r.name].TQ,
+		})
+	}
+
+	rep.LoadOrder.Measured = orderBy(rep.Rows, func(r Row) float64 { return float64(r.MeasuredLoad) })
+	rep.LoadOrder.Predicted = orderBy(rep.Rows, func(r Row) float64 { return r.PredictedLoad })
+	rep.LoadOrder.Agree = equalOrder(rep.LoadOrder.Measured, rep.LoadOrder.Predicted)
+	return rep, nil
+}
+
+// SweepPoint is one operating point of a robustness sweep.
+type SweepPoint struct {
+	Fleet, Districts int
+}
+
+// SweepResult aggregates cross-validation over several operating points.
+type SweepResult struct {
+	Reports []Report
+	Agreed  int // points where the full measured/predicted orders matched
+}
+
+// RunSweep cross-validates at several operating points and counts full
+// load-ordering agreements. Small fleets put S_Agg and ED_Hist within
+// noise of each other, so pointwise agreement below 100% is expected; the
+// sweep's value is that the noise protocols never dip below the
+// noise-free ones anywhere.
+func RunSweep(points []SweepPoint, seed int64) (SweepResult, error) {
+	var out SweepResult
+	for i, pt := range points {
+		rep, err := Run(pt.Fleet, pt.Districts, seed+int64(i))
+		if err != nil {
+			return out, err
+		}
+		out.Reports = append(out.Reports, rep)
+		if rep.LoadOrder.Agree {
+			out.Agreed++
+		}
+	}
+	return out, nil
+}
+
+// orderBy returns protocol names sorted ascending by the metric.
+func orderBy(rows []Row, metric func(Row) float64) []string {
+	sorted := append([]Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool { return metric(sorted[i]) < metric(sorted[j]) })
+	out := make([]string, len(sorted))
+	for i, r := range sorted {
+		out[i] = r.Protocol
+	}
+	return out
+}
+
+func equalOrder(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+// Package workload generates the synthetic datasets of the experiments.
+//
+// The paper's motivating scenarios are (1) a nation-wide smart-meter fleet
+// (Linky) where the distribution company computes per-district consumption
+// aggregates, and (2) seldom-connected personal health records (PCEHR)
+// queried by health authorities. Real traces are proprietary; the
+// experiments only depend on distribution shape (number of groups G, total
+// tuples N_t, skew), so the generators below reproduce those shapes with
+// seeded pseudo-randomness.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// SmartMeterSchema is the common schema of the energy scenario: one Power
+// table of readings and one Consumer table describing the household.
+func SmartMeterSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.TableDef{Name: "Power", Columns: []storage.Column{
+			{Name: "cid", Kind: storage.KindInt},
+			{Name: "cons", Kind: storage.KindFloat},
+			{Name: "period", Kind: storage.KindInt},
+		}},
+		storage.TableDef{Name: "Consumer", Columns: []storage.Column{
+			{Name: "cid", Kind: storage.KindInt},
+			{Name: "district", Kind: storage.KindString},
+			{Name: "accommodation", Kind: storage.KindString},
+		}},
+	)
+}
+
+// SmartMeter configures the energy workload.
+type SmartMeter struct {
+	// Districts is the A_G domain cardinality (the experiment's G).
+	Districts int
+	// Skew is the Zipf exponent of district popularity; values <= 1 mean
+	// uniform assignment.
+	Skew float64
+	// Readings is the number of Power readings per household.
+	Readings int
+	// DetachedShare is the fraction of households in detached houses
+	// (the flagship query's WHERE predicate).
+	DetachedShare float64
+	// Seed drives all pseudo-randomness.
+	Seed int64
+
+	schema *storage.Schema
+}
+
+// DefaultSmartMeter returns the configuration used across the benches:
+// 50 districts, mild skew, 2 readings per meter, 2/3 detached.
+func DefaultSmartMeter(seed int64) *SmartMeter {
+	return &SmartMeter{
+		Districts:     50,
+		Skew:          1.2,
+		Readings:      2,
+		DetachedShare: 0.66,
+		Seed:          seed,
+	}
+}
+
+// Schema returns (building once) the smart-meter schema.
+func (s *SmartMeter) Schema() *storage.Schema {
+	if s.schema == nil {
+		s.schema = SmartMeterSchema()
+	}
+	return s.schema
+}
+
+// DistrictName renders the i-th district label.
+func DistrictName(i int) string { return fmt.Sprintf("district-%03d", i) }
+
+// HouseholdDB builds the LocalDB of household i, deterministically for
+// (Seed, i): one Consumer row and Readings Power rows. Consumption is
+// log-normal-ish around a district-dependent base load so that per-district
+// AVGs differ.
+func (s *SmartMeter) HouseholdDB(i int) *storage.LocalDB {
+	rng := rand.New(rand.NewSource(s.Seed ^ (int64(i)*2654435761 + 1)))
+	db := storage.NewLocalDB(s.Schema())
+
+	district := s.pickDistrict(rng)
+	acc := "detached house"
+	if rng.Float64() >= s.DetachedShare {
+		acc = "flat"
+	}
+	mustInsert(db, "Consumer", storage.Row{
+		storage.Int(int64(i)),
+		storage.Str(DistrictName(district)),
+		storage.Str(acc),
+	})
+	base := 30 + 3*float64(district%17)
+	for p := 0; p < s.Readings; p++ {
+		cons := base * (0.8 + 0.4*rng.Float64())
+		mustInsert(db, "Power", storage.Row{
+			storage.Int(int64(i)),
+			storage.Float(cons),
+			storage.Int(int64(p)),
+		})
+	}
+	return db
+}
+
+// pickDistrict assigns the household a district, Zipf-skewed when
+// configured.
+func (s *SmartMeter) pickDistrict(rng *rand.Rand) int {
+	if s.Districts <= 1 {
+		return 0
+	}
+	if s.Skew <= 1 {
+		return rng.Intn(s.Districts)
+	}
+	z := rand.NewZipf(rng, s.Skew, 1, uint64(s.Districts-1))
+	return int(z.Uint64())
+}
+
+// DistrictDistribution returns the expected district frequency map of a
+// fleet of n households — the prior an attacker holds in the exposure
+// experiments.
+func (s *SmartMeter) DistrictDistribution(n int) map[string]int64 {
+	counts := make(map[string]int64, s.Districts)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(s.Seed ^ (int64(i)*2654435761 + 1)))
+		counts[DistrictName(s.pickDistrict(rng))]++
+	}
+	return counts
+}
+
+// HealthSchema is the common schema of the PCEHR scenario.
+func HealthSchema() *storage.Schema {
+	return storage.MustSchema(
+		storage.TableDef{Name: "Patient", Columns: []storage.Column{
+			{Name: "pid", Kind: storage.KindInt},
+			{Name: "age", Kind: storage.KindInt},
+			{Name: "region", Kind: storage.KindString},
+			{Name: "condition", Kind: storage.KindString},
+		}},
+		storage.TableDef{Name: "Visit", Columns: []storage.Column{
+			{Name: "pid", Kind: storage.KindInt},
+			{Name: "cost", Kind: storage.KindFloat},
+			{Name: "year", Kind: storage.KindInt},
+		}},
+	)
+}
+
+// Health configures the PCEHR workload.
+type Health struct {
+	Regions    int
+	Conditions []string
+	Visits     int
+	Seed       int64
+
+	schema *storage.Schema
+}
+
+// DefaultHealth returns the configuration used by the examples.
+func DefaultHealth(seed int64) *Health {
+	return &Health{
+		Regions:    13, // metropolitan France
+		Conditions: []string{"none", "flu", "diabetes", "asthma", "hypertension"},
+		Visits:     3,
+		Seed:       seed,
+	}
+}
+
+// Schema returns (building once) the health schema.
+func (h *Health) Schema() *storage.Schema {
+	if h.schema == nil {
+		h.schema = HealthSchema()
+	}
+	return h.schema
+}
+
+// RegionName renders the i-th region label.
+func RegionName(i int) string { return fmt.Sprintf("region-%02d", i) }
+
+// PatientDB builds the LocalDB embedded in patient i's secure token.
+func (h *Health) PatientDB(i int) *storage.LocalDB {
+	rng := rand.New(rand.NewSource(h.Seed ^ (int64(i)*40503 + 7)))
+	db := storage.NewLocalDB(h.Schema())
+	age := 1 + rng.Intn(100)
+	condition := h.Conditions[rng.Intn(len(h.Conditions))]
+	if age > 75 && rng.Float64() < 0.5 {
+		condition = "hypertension"
+	}
+	mustInsert(db, "Patient", storage.Row{
+		storage.Int(int64(i)),
+		storage.Int(int64(age)),
+		storage.Str(RegionName(rng.Intn(h.Regions))),
+		storage.Str(condition),
+	})
+	for v := 0; v < h.Visits; v++ {
+		mustInsert(db, "Visit", storage.Row{
+			storage.Int(int64(i)),
+			storage.Float(20 + 180*rng.Float64()),
+			storage.Int(int64(2020 + rng.Intn(6))),
+		})
+	}
+	return db
+}
+
+// ZipfCounts draws n samples over g values with exponent s and returns the
+// frequency map — the raw material of the exposure experiments.
+func ZipfCounts(g int, n int64, s float64, seed int64) map[string]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	if s <= 1 {
+		s = 1.01
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(g-1))
+	out := make(map[string]int64, g)
+	for i := int64(0); i < n; i++ {
+		out[fmt.Sprintf("v%05d", z.Uint64())]++
+	}
+	return out
+}
+
+func mustInsert(db *storage.LocalDB, table string, row storage.Row) {
+	if err := db.Insert(table, row); err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+}
