@@ -263,6 +263,7 @@ func BenchmarkAblationEncModes(b *testing.B) {
 	msg := make([]byte, 16)
 	b.Run("nDet_Enc", func(b *testing.B) {
 		b.SetBytes(16)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := suite.NDetEncrypt(msg, nil); err != nil {
 				b.Fatal(err)
@@ -271,6 +272,7 @@ func BenchmarkAblationEncModes(b *testing.B) {
 	})
 	b.Run("Det_Enc", func(b *testing.B) {
 		b.SetBytes(16)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := suite.DetEncrypt(msg, nil); err != nil {
 				b.Fatal(err)

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+	"github.com/trustedcells/tcq/internal/workload"
+)
+
+// The -bench-json mode is a benchmark-regression harness: it measures the
+// live collection pipeline and one full aggregation protocol in-process
+// (ns/op, allocs/op, B/op) and writes the results as JSON. Committing the
+// file alongside perf-sensitive changes turns `git diff` into the
+// regression report; when a previous file exists the tool also prints the
+// deltas.
+
+// benchRecord is one measured benchmark.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// benchReport is the file layout of BENCH_collection.json.
+type benchReport struct {
+	Tool           string        `json:"tool"`
+	GoMaxProcs     int           `json:"go_max_procs"`
+	CollectWorkers int           `json:"collect_workers"`
+	Fleet          int           `json:"fleet"`
+	Benchmarks     []benchRecord `json:"benchmarks"`
+}
+
+// measure runs fn iters times and reports wall time and heap allocations
+// per iteration.
+func measure(name string, iters int, fn func() error) (benchRecord, error) {
+	if err := fn(); err != nil { // warm caches outside the measured window
+		return benchRecord{}, fmt.Errorf("%s: %w", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return benchRecord{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return benchRecord{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}, nil
+}
+
+const benchJSONSQL = `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` +
+	`WHERE C.cid = P.cid GROUP BY C.district`
+
+// runBenchJSON measures the collection phase (sequential and parallel) and
+// one end-to-end aggregation protocol, writes path, and prints deltas
+// against any previous file at the same path.
+func runBenchJSON(path string, fleet, workers, iters int, out io.Writer) error {
+	if iters < 1 {
+		return fmt.Errorf("-bench-iters must be >= 1 (got %d)", iters)
+	}
+	if fleet < 1 {
+		return fmt.Errorf("-bench-fleet must be >= 1 (got %d)", fleet)
+	}
+	w := workload.DefaultSmartMeter(9)
+	w.Districts = 10
+	newEngine := func(collectWorkers int) (*core.Engine, *querier.Querier, error) {
+		eng, err := core.NewEngine(core.Config{
+			Schema: w.Schema(),
+			Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+				{Role: "energy-analyst", AggregateOnly: true},
+			}},
+			AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
+			MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+			AvailableFraction: 0.5,
+			CollectWorkers:    collectWorkers,
+			Seed:              9,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
+			return nil, nil, err
+		}
+		cred := eng.Authority().Issue("edf", []string{"energy-analyst"},
+			time.Unix(1700000000, 0).Add(24*time.Hour))
+		q, err := querier.New("edf", eng.K1(), cred, eng.Schema())
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, q, nil
+	}
+
+	report := benchReport{
+		Tool:           "benchtool -bench-json",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		CollectWorkers: workers,
+		Fleet:          fleet,
+	}
+	seqEng, seqQ, err := newEngine(1)
+	if err != nil {
+		return err
+	}
+	parEng, parQ, err := newEngine(workers)
+	if err != nil {
+		return err
+	}
+	type spec struct {
+		name string
+		fn   func() error
+	}
+	specs := []spec{{
+		fmt.Sprintf("collection/S_Agg/fleet=%d/workers=1", fleet), func() error {
+			_, err := seqEng.CollectOnce(seqQ, benchJSONSQL, protocol.KindSAgg, protocol.Params{})
+			return err
+		}}}
+	if workers > 1 {
+		specs = append(specs, spec{
+			fmt.Sprintf("collection/S_Agg/fleet=%d/workers=%d", fleet, workers), func() error {
+				_, err := parEng.CollectOnce(parQ, benchJSONSQL, protocol.KindSAgg, protocol.Params{})
+				return err
+			}})
+	}
+	specs = append(specs, spec{
+		fmt.Sprintf("end_to_end/S_Agg/fleet=%d/workers=%d", fleet, workers), func() error {
+			res, _, err := parEng.Run(parQ, benchJSONSQL, protocol.KindSAgg, protocol.Params{})
+			if err == nil && len(res.Rows) == 0 {
+				return fmt.Errorf("empty result")
+			}
+			return err
+		}})
+	for _, s := range specs {
+		rec, err := measure(s.name, iters, s.fn)
+		if err != nil {
+			return err
+		}
+		report.Benchmarks = append(report.Benchmarks, rec)
+	}
+
+	printDeltas(path, report, out)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// printDeltas renders new-vs-old per benchmark when a previous report
+// exists at path.
+func printDeltas(path string, report benchReport, out io.Writer) {
+	old, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var prev benchReport
+	if json.Unmarshal(old, &prev) != nil {
+		return
+	}
+	prevBy := make(map[string]benchRecord, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		prevBy[r.Name] = r
+	}
+	for _, r := range report.Benchmarks {
+		p, ok := prevBy[r.Name]
+		if !ok || p.NsPerOp == 0 || p.AllocsPerOp == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-48s %8.2fms -> %8.2fms (%+.1f%%)   %8.0f -> %8.0f allocs/op (%+.1f%%)\n",
+			r.Name, p.NsPerOp/1e6, r.NsPerOp/1e6, 100*(r.NsPerOp-p.NsPerOp)/p.NsPerOp,
+			p.AllocsPerOp, r.AllocsPerOp, 100*(r.AllocsPerOp-p.AllocsPerOp)/p.AllocsPerOp)
+	}
+}

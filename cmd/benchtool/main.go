@@ -9,6 +9,8 @@
 //	benchtool -fig 10        # all Fig 10 panels
 //	benchtool -fig 11        # qualitative comparison axes
 //	benchtool -fig all       # everything
+//	benchtool -bench-json    # measure the live collection pipeline and
+//	                         # write BENCH_collection.json (regression record)
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/trustedcells/tcq/internal/costmodel"
@@ -29,7 +32,23 @@ func main() {
 	fleet := flag.Int("fleet", 150, "validate: live fleet size")
 	groups := flag.Int("groups", 10, "validate: number of districts (G)")
 	seed := flag.Int64("seed", 7, "validate: RNG seed")
+	benchJSON := flag.Bool("bench-json", false, "measure the live collection pipeline and write -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_collection.json", "bench-json: output file")
+	benchFleet := flag.Int("bench-fleet", 200, "bench-json: fleet size")
+	benchWorkers := flag.Int("bench-workers", 0, "bench-json: CollectWorkers (0 = GOMAXPROCS)")
+	benchIters := flag.Int("bench-iters", 20, "bench-json: iterations per benchmark")
 	flag.Parse()
+	if *benchJSON {
+		workers := *benchWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if err := runBenchJSON(*benchOut, *benchFleet, workers, *benchIters, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtool:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run2(*fig, *replicas, *fleet, *groups, *seed, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtool:", err)
 		os.Exit(1)

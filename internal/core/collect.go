@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/tds"
+)
+
+// The collection phase connects TDSs one by one (in random order, as
+// devices come online) until the fleet is exhausted or the SIZE clause is
+// satisfied. Simulated time advances by ConnectionInterval between
+// successive connections, so a SIZE ... DURATION window genuinely bounds
+// how much of the fleet gets to answer. Personal-querybox posts are only
+// offered to their targets.
+//
+// The pipeline below parallelizes the real CPU work of that loop — query
+// decryption, local execution, tuple encryption — without perturbing its
+// simulated-time semantics. Devices are processed in waves of
+// CollectWorkers: every member of a wave runs Collect concurrently
+// against a speculative clock (wave start + j*interval, exact whenever no
+// earlier wave member errors out), and the deposits are then committed
+// strictly in the pre-drawn connection order. A device whose speculative
+// clock turns out wrong — an earlier device errored, so simulated time
+// advanced less than predicted — is simply re-collected at the actual
+// clock: Collect is deterministic given (device, post, clock) because its
+// RNG is freshly seeded per call from (Seed, device ID, query ID), so the
+// redo yields exactly what a sequential engine would have produced. The
+// result is bit-identical metrics, observations and decrypted results for
+// every CollectWorkers setting.
+
+// collectWorkers resolves Config.CollectWorkers: 0 means GOMAXPROCS,
+// anything below 1 means sequential.
+func (e *Engine) collectWorkers() int {
+	w := e.cfg.CollectWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// deviceRng seeds the per-device collection RNG. The seed depends only on
+// (engine seed, device ID, query ID) — never on connection order or wall
+// time — which is what makes speculative collection safe to redo.
+func (e *Engine) deviceRng(t *tds.TDS, post *protocol.QueryPost) *rand.Rand {
+	return rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(t.ID)) ^ int64(hashString(post.ID))))
+}
+
+// collectOne runs one device's collection step at the given simulated
+// clock, with its deterministic per-device RNG.
+func (e *Engine) collectOne(t *tds.TDS, post *protocol.QueryPost,
+	cfgTpl tds.CollectConfig, now time.Time) ([]protocol.WireTuple, tds.CollectStats, error) {
+	cfg := cfgTpl
+	cfg.Now = now
+	cfg.Rng = e.deviceRng(t, post)
+	return t.Collect(post, cfg)
+}
+
+// collectResult is one device's speculative collection outcome.
+type collectResult struct {
+	tuples  []protocol.WireTuple
+	stats   tds.CollectStats
+	err     error
+	specNow time.Time // the clock the result was computed against
+}
+
+// collectionPhase drives the collection phase of one query.
+func (e *Engine) collectionPhase(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	rng *rand.Rand, start time.Time, metrics *Metrics) error {
+	order := rng.Perm(len(e.fleet))
+	eligible := make([]*tds.TDS, 0, len(order))
+	for _, idx := range order {
+		if t := e.fleet[idx]; post.TargetedTo(t.ID) {
+			eligible = append(eligible, t)
+		}
+	}
+	if workers := e.collectWorkers(); workers > 1 && len(eligible) > 1 {
+		return e.collectParallel(post, cfgTpl, eligible, start, metrics, workers)
+	}
+	return e.collectSequential(post, cfgTpl, eligible, start, metrics)
+}
+
+// collectSequential is the reference one-device-at-a-time pipeline; the
+// parallel pipeline must be observationally identical to it.
+func (e *Engine) collectSequential(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	eligible []*tds.TDS, start time.Time, metrics *Metrics) error {
+	now := start
+	for _, t := range eligible {
+		if e.ssi.CollectionDone(post.ID, now) {
+			break
+		}
+		tuples, stats, err := e.collectOne(t, post, cfgTpl, now)
+		if err != nil {
+			// A device that cannot answer (stale key epoch, local fault) is
+			// indistinguishable from one that never connected; the protocol
+			// proceeds without it.
+			metrics.CollectErrors++
+			continue
+		}
+		accepted, done, err := e.ssi.Deposit(post.ID, tuples, now)
+		if err != nil {
+			return err
+		}
+		metrics.Nt += int64(accepted)
+		if accepted == len(tuples) {
+			metrics.TrueTuples += int64(stats.True)
+		}
+		if done {
+			break
+		}
+		now = now.Add(e.cfg.ConnectionInterval)
+	}
+	return nil
+}
+
+// collectParallel processes eligible devices in waves of `workers`
+// concurrent Collect calls, committing deposits in connection order.
+func (e *Engine) collectParallel(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	eligible []*tds.TDS, start time.Time, metrics *Metrics, workers int) error {
+	interval := e.cfg.ConnectionInterval
+	now := start
+	res := make([]collectResult, workers)
+	for base := 0; base < len(eligible); base += workers {
+		end := base + workers
+		if end > len(eligible) {
+			end = len(eligible)
+		}
+		wave := eligible[base:end]
+		if e.ssi.CollectionDone(post.ID, now) {
+			return nil
+		}
+
+		// Speculative phase: the whole wave collects concurrently, each
+		// member against its predicted clock.
+		var wg sync.WaitGroup
+		for j, t := range wave {
+			spec := now.Add(time.Duration(j) * interval)
+			wg.Add(1)
+			go func(j int, t *tds.TDS, spec time.Time) {
+				defer wg.Done()
+				tuples, stats, err := e.collectOne(t, post, cfgTpl, spec)
+				res[j] = collectResult{tuples: tuples, stats: stats, err: err, specNow: spec}
+			}(j, t, spec)
+		}
+		wg.Wait()
+
+		// Commit phase, strictly in connection order.
+		if interval == 0 {
+			// Every speculative clock equals the actual one, and the Done
+			// flag can only flip inside a deposit (the DURATION window
+			// cannot expire while the clock stands still) — so the whole
+			// wave commits under one SSI lock acquisition.
+			done, err := e.commitWaveBatch(post, res[:len(wave)], now, metrics)
+			if err != nil || done {
+				return err
+			}
+			continue
+		}
+		for j, t := range wave {
+			if e.ssi.CollectionDone(post.ID, now) {
+				return nil
+			}
+			r := res[j]
+			if !r.specNow.Equal(now) {
+				// An earlier device errored, so simulated time advanced less
+				// than predicted. Redo this device at the actual clock; the
+				// per-device RNG makes the redo deterministic.
+				r.tuples, r.stats, r.err = e.collectOne(t, post, cfgTpl, now)
+			}
+			if r.err != nil {
+				metrics.CollectErrors++
+				continue
+			}
+			accepted, done, err := e.ssi.Deposit(post.ID, r.tuples, now)
+			if err != nil {
+				return err
+			}
+			metrics.Nt += int64(accepted)
+			if accepted == len(r.tuples) {
+				metrics.TrueTuples += int64(r.stats.True)
+			}
+			if done {
+				return nil
+			}
+			now = now.Add(interval)
+		}
+	}
+	return nil
+}
+
+// commitWaveBatch commits one zero-interval wave through SSI.DepositBatch
+// and folds the metrics exactly as the sequential loop would have:
+// failed devices deposit nothing but count as collect errors if and only
+// if the sequential walk would have reached them before the SIZE cutoff.
+func (e *Engine) commitWaveBatch(post *protocol.QueryPost, res []collectResult,
+	now time.Time, metrics *Metrics) (bool, error) {
+	batches := make([][]protocol.WireTuple, 0, len(res))
+	idxOf := make([]int, 0, len(res)) // batch index -> wave index
+	for j := range res {
+		if res[j].err != nil {
+			continue
+		}
+		batches = append(batches, res[j].tuples)
+		idxOf = append(idxOf, j)
+	}
+	accepted, doneAt, done, err := e.ssi.DepositBatch(post.ID, batches, now)
+	if err != nil {
+		return false, err
+	}
+	// How far the sequential walk would have gone into this wave: through
+	// the device whose deposit hit the SIZE cap, or the whole wave.
+	limitWave, limitBatch := len(res), len(batches)
+	if done {
+		if doneAt >= 0 {
+			limitWave, limitBatch = idxOf[doneAt]+1, doneAt+1
+		} else {
+			limitWave, limitBatch = 0, 0 // done before the first deposit
+		}
+	}
+	for j := 0; j < limitWave; j++ {
+		if res[j].err != nil {
+			metrics.CollectErrors++
+		}
+	}
+	for b := 0; b < limitBatch; b++ {
+		metrics.Nt += int64(accepted[b])
+		if accepted[b] == len(batches[b]) {
+			metrics.TrueTuples += int64(res[idxOf[b]].stats.True)
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/ssi"
+)
+
+// collectOutcome is everything observable about one run that the parallel
+// collection pipeline must reproduce bit-identically.
+type collectOutcome struct {
+	Rows          []string
+	Nt            int64
+	TrueTuples    int64
+	CollectErrors int
+	Groups        int
+	PTDS          int
+	LoadBytes     int64
+	TQ            time.Duration
+	Observation   ssi.Observation
+}
+
+// runCollectOutcome builds a fresh fixture with the given worker count and
+// runs one query, returning its canonical outcome.
+func runCollectOutcome(t *testing.T, fleet, workers int, edit func(*Config),
+	sql string, kind protocol.Kind, params protocol.Params) collectOutcome {
+	t.Helper()
+	f := newFixture(t, fleet, func(c *Config) {
+		c.CollectWorkers = workers
+		if edit != nil {
+			edit(c)
+		}
+	})
+	res, m, err := f.eng.Run(f.q, sql, kind, params)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = r.Key()
+	}
+	sort.Strings(rows)
+	return collectOutcome{
+		Rows: rows, Nt: m.Nt, TrueTuples: m.TrueTuples,
+		CollectErrors: m.CollectErrors, Groups: m.Groups, PTDS: m.PTDS,
+		LoadBytes: m.LoadBytes, TQ: m.TQ, Observation: m.Observation,
+	}
+}
+
+// TestCollectWorkersDeterminism runs every protocol with a sequential and a
+// parallel collection pipeline and asserts the outcomes — decrypted rows,
+// collection metrics, and the SSI's full observation ledger (tag counts and
+// byte totals included) — are identical.
+func TestCollectWorkersDeterminism(t *testing.T) {
+	agg := `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C
+	        WHERE C.cid = P.cid GROUP BY C.district`
+	cases := []struct {
+		kind   protocol.Kind
+		sql    string
+		params protocol.Params
+	}{
+		{protocol.KindBasic, `SELECT C.cid, C.district FROM Consumer C`, protocol.Params{}},
+		{protocol.KindSAgg, agg, protocol.Params{}},
+		{protocol.KindRnfNoise, agg, protocol.Params{Nf: 2}},
+		{protocol.KindCNoise, agg, protocol.Params{}},
+		{protocol.KindEDHist, agg, protocol.Params{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			seq := runCollectOutcome(t, 40, 1, nil, tc.sql, tc.kind, tc.params)
+			par := runCollectOutcome(t, 40, 8, nil, tc.sql, tc.kind, tc.params)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("outcomes diverge:\n  seq: %+v\n  par: %+v", seq, par)
+			}
+			if seq.TrueTuples == 0 {
+				t.Error("no true tuples collected; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestCollectWorkersDeterminismSizeCap hits the SIZE cutoff mid-wave: the
+// batch commit must stop accepting at exactly the tuple where the
+// sequential walk would have, and count collect errors only for devices
+// the sequential walk would have visited.
+func TestCollectWorkersDeterminismSizeCap(t *testing.T) {
+	sql := `SELECT C.cid, C.district FROM Consumer C SIZE 7`
+	seq := runCollectOutcome(t, 40, 1, nil, sql, protocol.KindBasic, protocol.Params{})
+	par := runCollectOutcome(t, 40, 8, nil, sql, protocol.KindBasic, protocol.Params{})
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("outcomes diverge:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+	if seq.Nt != 7 {
+		t.Errorf("Nt = %d, want exactly 7 (SIZE clause)", seq.Nt)
+	}
+}
+
+// TestCollectWorkersDeterminismDuration exercises the non-zero
+// ConnectionInterval path, where each wave member collects against a
+// speculative clock and the DURATION window cuts collection short.
+func TestCollectWorkersDeterminismDuration(t *testing.T) {
+	edit := func(c *Config) { c.ConnectionInterval = time.Minute }
+	sql := `SELECT COUNT(*) FROM Consumer SIZE DURATION '9m'`
+	seq := runCollectOutcome(t, 40, 1, edit, sql, protocol.KindSAgg, protocol.Params{})
+	par := runCollectOutcome(t, 40, 8, edit, sql, protocol.KindSAgg, protocol.Params{})
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("outcomes diverge:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+	// 9 minutes at one connection per minute: the window genuinely bound
+	// how much of the fleet answered.
+	if seq.Nt == 0 || seq.Nt >= 40 {
+		t.Errorf("Nt = %d, want a DURATION-bounded slice of the fleet", seq.Nt)
+	}
+}
+
+// TestCollectWorkersDeterminismWithErrors mixes collect errors into the
+// waves: revoked devices stay on a dead key epoch and fail their Collect,
+// so speculative clocks of later wave members are wrong and must be
+// re-run at the committed clock. The error count and everything downstream
+// must still match the sequential engine exactly.
+func TestCollectWorkersDeterminismWithErrors(t *testing.T) {
+	outcome := func(workers int) collectOutcome {
+		f := newFixture(t, 30, func(c *Config) {
+			c.CollectWorkers = workers
+			c.ConnectionInterval = 30 * time.Second
+		})
+		if err := f.eng.RevokeAndRotate("tds-00003", "tds-00011", "tds-00020"); err != nil {
+			t.Fatal(err)
+		}
+		// Re-key the querier to the rotated ring.
+		cred := f.eng.Authority().Issue("edf", []string{"energy-analyst", "auditor"},
+			time.Unix(1700000000, 0).Add(365*24*time.Hour))
+		q, err := querier.New("edf", f.eng.K1(), cred, f.eng.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, m, err := f.eng.Run(q, `SELECT COUNT(*) FROM Power`, protocol.KindSAgg, protocol.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			rows[i] = r.Key()
+		}
+		sort.Strings(rows)
+		return collectOutcome{
+			Rows: rows, Nt: m.Nt, TrueTuples: m.TrueTuples,
+			CollectErrors: m.CollectErrors, Groups: m.Groups, PTDS: m.PTDS,
+			LoadBytes: m.LoadBytes, TQ: m.TQ, Observation: m.Observation,
+		}
+	}
+	seq := outcome(1)
+	par := outcome(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("outcomes diverge:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+	if seq.CollectErrors != 3 {
+		t.Errorf("CollectErrors = %d, want 3 (the revoked devices)", seq.CollectErrors)
+	}
+}
+
+// sanity check for the fixture IDs used above
+func TestFixtureDeviceNaming(t *testing.T) {
+	f := newFixture(t, 5, nil)
+	if got := f.eng.FleetSize(); got != 5 {
+		t.Fatalf("fleet size = %d", got)
+	}
+	if id := fmt.Sprintf("tds-%05d", 3); id != "tds-00003" {
+		t.Fatalf("unexpected ID form %s", id)
+	}
+}

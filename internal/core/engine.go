@@ -53,6 +53,13 @@ type Config struct {
 	// (health tokens) it is hours; smart meters make it ~0. It is what a
 	// SIZE ... DURATION window measures against.
 	ConnectionInterval time.Duration
+	// CollectWorkers bounds how many TDSs run their collection step
+	// concurrently — real CPU parallelism of the simulator, invisible to
+	// the protocol: deposits still commit in the pre-drawn connection
+	// order, so metrics, SSI observations and results are bit-identical
+	// for every setting. 0 selects GOMAXPROCS; 1 forces the sequential
+	// pipeline.
+	CollectWorkers int
 	// AuditReplicas enables the compromised-TDS extension: every
 	// aggregation/filtering partition is processed by this many distinct
 	// TDSs and their keyed semantic digests compared; the majority result
@@ -78,6 +85,7 @@ type Engine struct {
 	keyAuth   *tdscrypto.KeyAuthority
 	keys      tdscrypto.KeyRing
 	cal       netsim.Calibration
+	planCache *tds.PlanCache // fleet-shared compiled plans, per query
 
 	mu        sync.Mutex
 	seq       int
@@ -119,8 +127,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 		keyAuth:   keyAuth,
 		keys:      keyAuth.Ring(),
 		cal:       cfg.Calibration,
+		planCache: tds.NewPlanCache(),
 		discovery: make(map[string]*discovered),
 	}, nil
+}
+
+// newTDS builds a device wired to the engine's shared plan cache.
+func (e *Engine) newTDS(id string, db *storage.LocalDB, ring tdscrypto.KeyRing) (*tds.TDS, error) {
+	t, err := tds.New(id, db, ring, e.cfg.Policy, e.authority)
+	if err != nil {
+		return nil, err
+	}
+	t.Shared = e.planCache
+	return t, nil
+}
+
+// dropPlans forgets every compiled plan of a finished query, fleet-wide.
+func (e *Engine) dropPlans(id string) {
+	e.planCache.Drop(id)
+	for _, t := range e.fleet {
+		t.DropPlan(id)
+	}
 }
 
 // RotateKeys advances the fleet key epoch (the paper notes k1/k2 may
@@ -138,7 +165,7 @@ func (e *Engine) RotateKeys() {
 // compromised — re-enrollment changes keys, not silicon.
 func (e *Engine) ReenrollAll() error {
 	for i, old := range e.fleet {
-		t, err := tds.New(old.ID, old.DB, e.keys, e.cfg.Policy, e.authority)
+		t, err := e.newTDS(old.ID, old.DB, e.keys)
 		if err != nil {
 			return err
 		}
@@ -206,7 +233,7 @@ func (e *Engine) RevokeAndRotate(ids ...string) error {
 		if err != nil {
 			return fmt.Errorf("core: device %s failed to open the key broadcast: %w", old.ID, err)
 		}
-		t, err := tds.New(old.ID, old.DB, ring, e.cfg.Policy, e.authority)
+		t, err := e.newTDS(old.ID, old.DB, ring)
 		if err != nil {
 			return err
 		}
@@ -246,7 +273,7 @@ func (e *Engine) FleetSize() int { return len(e.fleet) }
 // marked compromised at enrollment.
 func (e *Engine) AddTDS(db *storage.LocalDB) (*tds.TDS, error) {
 	id := fmt.Sprintf("tds-%05d", len(e.fleet))
-	t, err := tds.New(id, db, e.keys, e.cfg.Policy, e.authority)
+	t, err := e.newTDS(id, db, e.keys)
 	if err != nil {
 		return nil, err
 	}
@@ -473,17 +500,25 @@ func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
 		pool = 1
 	}
 
+	// Each assignment gets its own result slot, and the slots are flattened
+	// in plan order after the pool drains: the phase output is independent
+	// of goroutine completion order, so downstream partitioning (and hence
+	// the whole run) is deterministic for any pool size.
+	type phaseResult struct {
+		units    []workUnit
+		suspects []string
+	}
 	var (
 		mu       sync.Mutex
-		units    []workUnit
+		results  = make([]phaseResult, len(plan))
 		firstErr error
 		wg       sync.WaitGroup
 	)
 	sem := make(chan struct{}, pool)
-	for _, a := range plan {
+	for ai, a := range plan {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(a assignment) {
+		go func(ai int, a assignment) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			// Audit rounds: process with `replicas` fresh devices per
@@ -556,16 +591,18 @@ func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
 					suspects = append(suspects, voters[i])
 				}
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			stats.Detections += len(suspects)
-			stats.Suspects = append(stats.Suspects, suspects...)
-			units = append(units, allUnits...)
-		}(a)
+			results[ai] = phaseResult{units: allUnits, suspects: suspects}
+		}(ai, a)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, stats, firstErr
+	}
+	var units []workUnit
+	for _, r := range results {
+		stats.Detections += len(r.suspects)
+		stats.Suspects = append(stats.Suspects, r.suspects...)
+		units = append(units, r.units...)
 	}
 	return units, stats, nil
 }

@@ -64,41 +64,13 @@ func (e *Engine) run(q *querier.Querier, sql string, kind protocol.Kind,
 		return nil, nil, err
 	}
 	defer e.ssi.Drop(post.ID)
+	defer e.dropPlans(post.ID)
 
 	metrics := &Metrics{Protocol: kind}
 
-	// Per-protocol collection inputs: the A_G domain for the noise
-	// protocols, the equi-depth histogram for ED_Hist. Both come from the
-	// distribution-discovery process (Section 4.4), run once and cached.
-	var cfgTpl tds.CollectConfig
-	switch kind {
-	case protocol.KindRnfNoise, protocol.KindCNoise:
-		disc, err := e.discoverDistribution(q, stmt)
-		if err != nil {
-			return nil, nil, err
-		}
-		cfgTpl.Domain = disc.domain
-	case protocol.KindEDHist:
-		disc, err := e.discoverDistribution(q, stmt)
-		if err != nil {
-			return nil, nil, err
-		}
-		m := params.NumBuckets
-		if m <= 0 {
-			h := params.CollisionFactor
-			if h <= 0 {
-				h = 5 // the paper's experiment default
-			}
-			m = int(float64(len(disc.domain))/h + 0.5)
-			if m < 1 {
-				m = 1
-			}
-		}
-		hist, err := histogram.Build(disc.counts, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		cfgTpl.Hist = hist
+	cfgTpl, err := e.collectInputs(q, stmt, kind, params)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	if err := e.collectionPhase(post, cfgTpl, rng, now, metrics); err != nil {
@@ -120,49 +92,80 @@ func (e *Engine) run(q *querier.Querier, sql string, kind protocol.Kind,
 	return res, metrics, nil
 }
 
-// collectionPhase connects TDSs one by one (in random order, as devices
-// come online) until the fleet is exhausted or the SIZE clause is
-// satisfied. Simulated time advances by ConnectionInterval between
-// successive connections, so a SIZE ... DURATION window genuinely bounds
-// how much of the fleet gets to answer. Personal-querybox posts are only
-// offered to their targets.
-func (e *Engine) collectionPhase(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	rng *rand.Rand, start time.Time, metrics *Metrics) error {
-	order := rng.Perm(len(e.fleet))
-	now := start
-	for _, idx := range order {
-		t := e.fleet[idx]
-		if !post.TargetedTo(t.ID) {
-			continue
-		}
-		if e.ssi.CollectionDone(post.ID, now) {
-			break
-		}
-		cfg := cfgTpl
-		cfg.Now = now
-		cfg.Rng = rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(t.ID)) ^ int64(hashString(post.ID))))
-		tuples, stats, err := t.Collect(post, cfg)
+// collectInputs assembles the per-protocol collection-phase inputs: the
+// A_G domain for the noise protocols, the equi-depth histogram for
+// ED_Hist. Both come from the distribution-discovery process
+// (Section 4.4), run once and cached.
+func (e *Engine) collectInputs(q *querier.Querier, stmt *sqlparse.SelectStmt,
+	kind protocol.Kind, params protocol.Params) (tds.CollectConfig, error) {
+	var cfgTpl tds.CollectConfig
+	switch kind {
+	case protocol.KindRnfNoise, protocol.KindCNoise:
+		disc, err := e.discoverDistribution(q, stmt)
 		if err != nil {
-			// A device that cannot answer (stale key epoch, local fault) is
-			// indistinguishable from one that never connected; the protocol
-			// proceeds without it.
-			metrics.CollectErrors++
-			continue
+			return cfgTpl, err
 		}
-		accepted, done, err := e.ssi.Deposit(post.ID, tuples, now)
+		cfgTpl.Domain = disc.domain
+	case protocol.KindEDHist:
+		disc, err := e.discoverDistribution(q, stmt)
 		if err != nil {
-			return err
+			return cfgTpl, err
 		}
-		metrics.Nt += int64(accepted)
-		if accepted == len(tuples) {
-			metrics.TrueTuples += int64(stats.True)
+		m := params.NumBuckets
+		if m <= 0 {
+			h := params.CollisionFactor
+			if h <= 0 {
+				h = 5 // the paper's experiment default
+			}
+			m = int(float64(len(disc.domain))/h + 0.5)
+			if m < 1 {
+				m = 1
+			}
 		}
-		if done {
-			break
+		hist, err := histogram.Build(disc.counts, m)
+		if err != nil {
+			return cfgTpl, err
 		}
-		now = now.Add(e.cfg.ConnectionInterval)
+		cfgTpl.Hist = hist
 	}
-	return nil
+	return cfgTpl, nil
+}
+
+// CollectOnce runs only the collection phase of one query and discards the
+// deposited tuples, returning the phase's metrics. It is an
+// instrumentation hook for benchmark tooling (cmd/benchtool -bench-json);
+// real protocol runs go through Run.
+func (e *Engine) CollectOnce(q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params) (*Metrics, error) {
+	if len(e.fleet) == 0 {
+		return nil, fmt.Errorf("core: empty fleet")
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	post, err := q.BuildPost(e.nextQueryID(), sql, kind, params)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID))))
+	now := time.Unix(1700000000, 0)
+	if err := e.ssi.PostQuery(post, now); err != nil {
+		return nil, err
+	}
+	defer e.ssi.Drop(post.ID)
+	defer e.dropPlans(post.ID)
+	metrics := &Metrics{Protocol: kind}
+	cfgTpl, err := e.collectInputs(q, stmt, kind, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.collectionPhase(post, cfgTpl, rng, now, metrics); err != nil {
+		return nil, err
+	}
+	metrics.Observation = e.ssi.ObservationFor(post.ID)
+	metrics.LoadBytes += e.ssi.BytesStored(post.ID)
+	return metrics, nil
 }
 
 // perPartitionTuples derives how many wire tuples fit the calibrated
@@ -231,8 +234,8 @@ func (e *Engine) runSAgg(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
 	units := collected
 	// First step: partitions of ~α*G tuples; later steps: α partials each.
 	per := int(alpha * float64(g))
-	if cap := e.perPartitionTuples(post.Params, collected); per > cap {
-		per = cap
+	if limit := e.perPartitionTuples(post.Params, collected); per > limit {
+		per = limit
 	}
 	if per < 2 {
 		per = 2

@@ -13,6 +13,7 @@ package protocol
 import (
 	"crypto/rand"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/trustedcells/tcq/internal/accessctl"
@@ -139,22 +140,46 @@ func DecodePayload(b []byte) (MarkerByte, []byte, error) {
 // DummyPayload builds a dummy payload padded with random bytes so that its
 // ciphertext is indistinguishable in size from a true tuple's.
 func DummyPayload(bodySize int) []byte {
-	pad := make([]byte, bodySize)
-	if _, err := rand.Read(pad); err != nil {
+	return AppendDummyPayload(nil, bodySize)
+}
+
+// AppendDummyPayload appends a dummy payload to dst and returns the result.
+// Encryption copies the payload into the ciphertext, so callers may reuse
+// dst across tuples.
+func AppendDummyPayload(dst []byte, bodySize int) []byte {
+	dst = append(dst, byte(MarkerDummy))
+	start := len(dst)
+	var zeros [64]byte
+	for n := bodySize; n > 0; n -= len(zeros) {
+		if n < len(zeros) {
+			dst = append(dst, zeros[:n]...)
+			break
+		}
+		dst = append(dst, zeros[:]...)
+	}
+	if _, err := rand.Read(dst[start:]); err != nil {
 		// crypto/rand failure is unrecoverable for the process.
 		panic(fmt.Sprintf("protocol: entropy: %v", err))
 	}
-	return EncodePayload(MarkerDummy, pad)
+	return dst
 }
 
 // TruePayload wraps an encoded row as a true tuple payload.
 func TruePayload(row storage.Row) []byte {
-	return EncodePayload(MarkerTrue, storage.EncodeRow(row))
+	return AppendRowPayload(nil, MarkerTrue, row)
 }
 
 // FakePayload wraps an encoded row as a noise tuple payload.
 func FakePayload(row storage.Row) []byte {
-	return EncodePayload(MarkerFake, storage.EncodeRow(row))
+	return AppendRowPayload(nil, MarkerFake, row)
+}
+
+// AppendRowPayload appends marker + encoded row to dst and returns the
+// result — the zero-copy form of TruePayload/FakePayload for hot loops that
+// reuse one scratch buffer across tuples.
+func AppendRowPayload(dst []byte, m MarkerByte, row storage.Row) []byte {
+	dst = append(dst, byte(m))
+	return storage.AppendRow(dst, row)
 }
 
 // QueryPost is what the querier deposits in the SSI's querybox (step 1 of
@@ -175,6 +200,27 @@ type QueryPost struct {
 	Size       sqlparse.SizeClause
 	Targets    []string // TDS IDs; empty = global querybox
 	PostedAt   time.Time
+
+	// aad caches the AAD bytes: every encrypt/decrypt of every tuple
+	// rebinds to the query, so the hot paths would otherwise allocate the
+	// same string once per tuple per TDS.
+	aad atomic.Pointer[[]byte]
+
+	// parsed caches the parse of the decrypted query text. Parsing is pure
+	// and the statement is immutable after Parse, so once any TDS has
+	// decrypted and parsed the query, the whole fleet can share the result
+	// — each TDS still performs its own decryption (a stale-key-epoch
+	// device must keep failing there), but the fleet-size × parse cost of
+	// the collection phase collapses to a single parse. The decrypted SQL
+	// is compared against the cached text before reuse, so a cache entry
+	// can never leak across different query strings.
+	parsed atomic.Pointer[parsedQuery]
+}
+
+// parsedQuery is one cached parse outcome.
+type parsedQuery struct {
+	sql  string
+	stmt *sqlparse.SelectStmt
 }
 
 // TargetedTo reports whether the post concerns the given TDS: global
@@ -192,8 +238,16 @@ func (q *QueryPost) TargetedTo(tdsID string) bool {
 }
 
 // AAD returns the additional authenticated data binding ciphertexts to
-// this query, preventing cross-query replay of stored tuples.
-func (q *QueryPost) AAD() []byte { return []byte("query/" + q.ID) }
+// this query, preventing cross-query replay of stored tuples. The bytes
+// are computed once and shared; callers must not mutate them.
+func (q *QueryPost) AAD() []byte {
+	if a := q.aad.Load(); a != nil {
+		return *a
+	}
+	a := []byte("query/" + q.ID)
+	q.aad.Store(&a)
+	return a
+}
 
 // NewQueryPost encrypts the query text under k1 and assembles the post.
 func NewQueryPost(id string, kind Kind, params Params, sql string,
@@ -208,15 +262,21 @@ func NewQueryPost(id string, kind Kind, params Params, sql string,
 }
 
 // OpenQuery decrypts and parses the posted query (what a TDS does at
-// step 3 of Fig. 2).
+// step 3 of Fig. 2). Decryption always runs with the caller's key — only a
+// device holding the current epoch's k1 gets past it — while the parse of
+// the recovered text is cached on the post and shared across the fleet.
 func (q *QueryPost) OpenQuery(k1 *tdscrypto.Suite) (*sqlparse.SelectStmt, error) {
 	sql, err := k1.Decrypt(q.EncQuery, q.AAD())
 	if err != nil {
 		return nil, fmt.Errorf("protocol: decrypt query: %w", err)
 	}
+	if c := q.parsed.Load(); c != nil && c.sql == string(sql) {
+		return c.stmt, nil
+	}
 	stmt, err := sqlparse.Parse(string(sql))
 	if err != nil {
 		return nil, fmt.Errorf("protocol: parse query: %w", err)
 	}
+	q.parsed.Store(&parsedQuery{sql: string(sql), stmt: stmt})
 	return stmt, nil
 }

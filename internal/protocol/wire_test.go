@@ -112,8 +112,8 @@ func TestQueryPostWrongKeyOrAAD(t *testing.T) {
 	}
 	// Replaying the ciphertext under a different query ID must fail: the
 	// AAD binds it.
-	replay := *post
-	replay.ID = "q-2"
+	replay := &QueryPost{ID: "q-2", Kind: post.Kind, Params: post.Params,
+		EncQuery: post.EncQuery, Credential: post.Credential, Size: post.Size}
 	if _, err := replay.OpenQuery(k1); err == nil {
 		t.Error("cross-query replay accepted")
 	}

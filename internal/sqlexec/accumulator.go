@@ -115,7 +115,12 @@ func (a *Accumulator) Encode() []byte {
 // by Encode. The noise and histogram protocols ship one group (or bucket)
 // at a time.
 func EncodeGroup(plan *Plan, g *Group) []byte {
-	var dst []byte
+	return AppendGroup(nil, plan, g)
+}
+
+// AppendGroup appends the single-group encoding of EncodeGroup to dst and
+// returns the result, so per-group emit loops can reuse one scratch buffer.
+func AppendGroup(dst []byte, _ *Plan, g *Group) []byte {
 	dst = binary.AppendUvarint(dst, 1)
 	dst = storage.AppendRow(dst, g.Values)
 	for _, st := range g.States {

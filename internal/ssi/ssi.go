@@ -103,6 +103,42 @@ func (s *SSI) Deposit(id string, tuples []protocol.WireTuple, now time.Time) (ac
 	if st.Done {
 		return 0, true, nil
 	}
+	return s.depositLocked(st, tuples, now), st.Done, nil
+}
+
+// DepositBatch deposits several devices' collection results in device
+// order under one lock acquisition — the parallel collection pipeline
+// commits a whole wave of simultaneous connections (ConnectionInterval 0)
+// in one call. Semantics are identical to calling Deposit once per batch
+// in order: accepted[i] is the tuple count accepted from batches[i], and
+// doneAt is the index of the batch whose deposit completed the collection
+// (-1 when the collection is still open, or was already complete before
+// the first batch; later batches are untouched, exactly as the sequential
+// loop never visits devices after the SIZE condition is reached).
+func (s *SSI) DepositBatch(id string, batches [][]protocol.WireTuple, now time.Time) (accepted []int, doneAt int, done bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return nil, -1, false, fmt.Errorf("ssi: unknown query %q", id)
+	}
+	accepted = make([]int, len(batches))
+	doneAt = -1
+	for i, tuples := range batches {
+		if st.Done {
+			break
+		}
+		accepted[i] = s.depositLocked(st, tuples, now)
+		if st.Done {
+			doneAt = i
+			break
+		}
+	}
+	return accepted, doneAt, st.Done, nil
+}
+
+// depositLocked stores one device's tuples; the caller holds s.mu.
+func (s *SSI) depositLocked(st *QueryState, tuples []protocol.WireTuple, now time.Time) (accepted int) {
 	for _, w := range tuples {
 		st.Tuples = append(st.Tuples, w)
 		st.BytesStored += int64(w.Size())
@@ -116,7 +152,7 @@ func (s *SSI) Deposit(id string, tuples []protocol.WireTuple, now time.Time) (ac
 	if d := st.Post.Size.Duration; d > 0 && now.Sub(st.StartedAt) >= d {
 		st.Done = true
 	}
-	return accepted, st.Done, nil
+	return accepted
 }
 
 // observe records what the honest-but-curious SSI can see of one tuple.

@@ -230,3 +230,84 @@ func TestTagPartitionsDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestDepositBatchMatchesSequentialDeposits(t *testing.T) {
+	mk := func() [][]protocol.WireTuple {
+		return [][]protocol.WireTuple{
+			{tuple("a", 10), tuple("b", 10)},
+			{tuple("a", 10)},
+			{tuple("c", 10), tuple("c", 10), tuple("d", 10)},
+		}
+	}
+	// Reference: one Deposit per batch.
+	ref := New()
+	if err := ref.PostQuery(post("q1", sqlparse.SizeClause{}), t0); err != nil {
+		t.Fatal(err)
+	}
+	var refAccepted []int
+	for _, b := range mk() {
+		n, done, err := ref.Deposit("q1", b, t0)
+		if err != nil || done {
+			t.Fatalf("reference deposit: %d %v %v", n, done, err)
+		}
+		refAccepted = append(refAccepted, n)
+	}
+	// Batched: one call.
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{}), t0); err != nil {
+		t.Fatal(err)
+	}
+	accepted, doneAt, done, err := s.DepositBatch("q1", mk(), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || doneAt != -1 {
+		t.Errorf("done = %v doneAt = %d, want open collection", done, doneAt)
+	}
+	for i := range refAccepted {
+		if accepted[i] != refAccepted[i] {
+			t.Errorf("accepted[%d] = %d, want %d", i, accepted[i], refAccepted[i])
+		}
+	}
+	if ro, so := ref.ObservationFor("q1"), s.ObservationFor("q1"); ro.TotalTuples != so.TotalTuples ||
+		ro.TaggedTuples != so.TaggedTuples || ro.BytesSeen != so.BytesSeen {
+		t.Errorf("ledgers diverge: %+v vs %+v", ro, so)
+	}
+}
+
+func TestDepositBatchSizeCutoff(t *testing.T) {
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{MaxTuples: 3}), t0); err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]protocol.WireTuple{
+		{tuple("a", 10)},
+		{tuple("b", 10), tuple("b", 10), tuple("b", 10)}, // cap hits inside this one
+		{tuple("c", 10)}, // never visited
+	}
+	accepted, doneAt, done, err := s.DepositBatch("q1", batches, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || doneAt != 1 {
+		t.Fatalf("done = %v doneAt = %d, want cutoff at batch 1", done, doneAt)
+	}
+	if accepted[0] != 1 || accepted[1] != 2 || accepted[2] != 0 {
+		t.Errorf("accepted = %v, want [1 2 0]", accepted)
+	}
+	if got := len(s.CollectedTuples("q1")); got != 3 {
+		t.Errorf("stored = %d, want the SIZE cap", got)
+	}
+	// A later batch call is a no-op on a done collection.
+	accepted, doneAt, done, err = s.DepositBatch("q1", batches[:1], t0)
+	if err != nil || !done || doneAt != -1 || accepted[0] != 0 {
+		t.Errorf("post-done batch: %v %d %v %v", accepted, doneAt, done, err)
+	}
+}
+
+func TestDepositBatchUnknownQuery(t *testing.T) {
+	s := New()
+	if _, _, _, err := s.DepositBatch("nope", nil, t0); err == nil {
+		t.Error("batch deposit to unknown query accepted")
+	}
+}

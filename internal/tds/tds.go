@@ -8,7 +8,6 @@
 package tds
 
 import (
-	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
 	"math/rand"
@@ -30,6 +29,14 @@ type TDS struct {
 	Policy    *accessctl.Policy
 	Authority *accessctl.Authority
 
+	// Shared is an optional fleet-wide compiled-plan cache installed by
+	// the engine. Every TDS compiles the common query against the common
+	// schema, so the work is identical across the fleet; sharing it turns
+	// a fleet-size × compile cost into a single compile. Each device still
+	// decrypts the query with its own key material first — a stale-epoch
+	// device must keep failing there, cache or not.
+	Shared *PlanCache
+
 	// Corrupt marks a compromised device for the extended threat model
 	// (the paper's future work). A corrupt TDS holds valid keys and
 	// follows the wire protocol, but silently drops half of the true
@@ -38,8 +45,10 @@ type TDS struct {
 	// tamper-resistant hardware is assumed to prevent this (Section 2.2).
 	Corrupt bool
 
-	k1, k2 *tdscrypto.Suite
-	k2raw  tdscrypto.Key
+	k1, k2     *tdscrypto.Suite
+	k2raw      tdscrypto.Key
+	bucketHash *tdscrypto.BucketHasher
+	auditMAC   *tdscrypto.MACPool
 
 	mu    sync.Mutex
 	plans map[string]*sqlexec.Plan // query ID -> compiled plan
@@ -59,27 +68,95 @@ func New(id string, db *storage.LocalDB, ring tdscrypto.KeyRing,
 	return &TDS{
 		ID: id, DB: db, Policy: policy, Authority: authority,
 		k1: s1, k2: s2, k2raw: ring.K2,
-		plans: make(map[string]*sqlexec.Plan),
+		bucketHash: tdscrypto.NewBucketHasher(ring.K2),
+		auditMAC:   tdscrypto.NewMACPool(ring.K2),
+		plans:      make(map[string]*sqlexec.Plan),
 	}, nil
 }
 
-// plan decrypts, parses and compiles the posted query, caching per query
-// ID so a TDS participating in several phases does the work once.
-func (t *TDS) plan(post *protocol.QueryPost) (*sqlexec.Plan, error) {
+// PlanCache shares compiled query plans across a fleet. It is keyed by
+// (query ID, schema) so devices on different schemas can never exchange
+// plans; within one fleet the schema pointer is common and every device
+// after the first gets the compile for free. Safe for concurrent use.
+type PlanCache struct {
+	mu    sync.RWMutex
+	plans map[planKey]*sqlexec.Plan
+}
+
+type planKey struct {
+	queryID string
+	schema  *storage.Schema
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[planKey]*sqlexec.Plan)}
+}
+
+func (c *PlanCache) get(id string, schema *storage.Schema) *sqlexec.Plan {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.plans[planKey{id, schema}]
+}
+
+func (c *PlanCache) put(id string, schema *storage.Schema, p *sqlexec.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[planKey{id, schema}] = p
+}
+
+// Drop forgets every cached plan of a finished query.
+func (c *PlanCache) Drop(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.plans {
+		if k.queryID == id {
+			delete(c.plans, k)
+		}
+	}
+}
+
+// DropPlan forgets this device's compiled plan for a finished query, so
+// long-lived devices do not accumulate one entry per query ever run.
+func (t *TDS) DropPlan(id string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if p, ok := t.plans[post.ID]; ok {
+	delete(t.plans, id)
+}
+
+// plan decrypts, parses and compiles the posted query, caching per query
+// ID so a TDS participating in several phases does the work once. The
+// decryption runs with this device's own k1 (stale key epochs must keep
+// failing), the parse is shared through the post, and the compile through
+// the optional fleet-wide PlanCache.
+func (t *TDS) plan(post *protocol.QueryPost) (*sqlexec.Plan, error) {
+	t.mu.Lock()
+	p, ok := t.plans[post.ID]
+	t.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	stmt, err := post.OpenQuery(t.k1)
 	if err != nil {
 		return nil, err
 	}
-	p, err := sqlexec.Compile(stmt, t.DB.Schema())
-	if err != nil {
-		return nil, err
+	schema := t.DB.Schema()
+	p = nil
+	if t.Shared != nil {
+		p = t.Shared.get(post.ID, schema)
 	}
+	if p == nil || p.Stmt != stmt {
+		p, err = sqlexec.Compile(stmt, schema)
+		if err != nil {
+			return nil, err
+		}
+		if t.Shared != nil {
+			t.Shared.put(post.ID, schema, p)
+		}
+	}
+	t.mu.Lock()
 	t.plans[post.ID] = p
+	t.mu.Unlock()
 	return p, nil
 }
 
@@ -101,6 +178,15 @@ type CollectConfig struct {
 type CollectStats struct {
 	True, Fake, Dummy int
 	Denied            bool
+}
+
+// collectScratch holds buffers reused across one call's tuple loop. The
+// encryption schemes copy plaintexts into fresh ciphertext buffers, so
+// reusing the plaintext scratch across tuples is safe.
+type collectScratch struct {
+	payload []byte      // marker + encoded row plaintext
+	tag     []byte      // encoded grouping values / bucket identifier
+	row     storage.Row // assembled fake row
 }
 
 // Collect performs the collection-phase work of this TDS: download and
@@ -131,15 +217,17 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, fmt.Errorf("tds %s: local execution: %w", t.ID, err)
 		}
 	}
+	var sc collectScratch
 	if len(rows) == 0 {
 		// Dummy sized like a plausible tuple of this plan. In the tagged
 		// protocols the dummy carries a plausible random tag, otherwise its
 		// taglessness would let the SSI single it out.
-		tag, err := t.dummyTag(post, cfg)
+		tag, err := t.dummyTag(post, cfg, &sc)
 		if err != nil {
 			return nil, stats, err
 		}
-		w, err := t.encryptTuple(post, protocol.DummyPayload(t.sampleBodySize(plan)), tag)
+		sc.payload = protocol.AppendDummyPayload(sc.payload[:0], t.sampleBodySize(plan))
+		w, err := t.encryptTuple(post, sc.payload, tag)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -149,11 +237,12 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 
 	out := make([]protocol.WireTuple, 0, len(rows))
 	for _, row := range rows {
-		tag, err := t.collectionTag(post, plan, cfg, row)
+		tag, err := t.collectionTag(post, plan, cfg, row, &sc)
 		if err != nil {
 			return nil, stats, err
 		}
-		w, err := t.encryptTuple(post, protocol.TruePayload(row), tag)
+		sc.payload = protocol.AppendRowPayload(sc.payload[:0], protocol.MarkerTrue, row)
+		w, err := t.encryptTuple(post, sc.payload, tag)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -163,19 +252,18 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 		// Noise injection.
 		switch post.Kind {
 		case protocol.KindRnfNoise:
-			fakes, err := t.randomFakes(post, plan, cfg, post.Params.Nf)
+			out, err = t.randomFakes(post, plan, cfg, post.Params.Nf, out, &sc)
 			if err != nil {
 				return nil, stats, err
 			}
-			out = append(out, fakes...)
-			stats.Fake += len(fakes)
+			stats.Fake += post.Params.Nf
 		case protocol.KindCNoise:
-			fakes, err := t.controlledFakes(post, plan, cfg, row)
+			n := len(out)
+			out, err = t.controlledFakes(post, plan, cfg, row, out, &sc)
 			if err != nil {
 				return nil, stats, err
 			}
-			out = append(out, fakes...)
-			stats.Fake += len(fakes)
+			stats.Fake += len(out) - n
 		}
 	}
 	return out, stats, nil
@@ -196,20 +284,21 @@ func (t *TDS) sampleBodySize(plan *sqlexec.Plan) int {
 
 // dummyTag picks a plausible routing tag for a dummy tuple so the SSI
 // cannot distinguish it from true traffic.
-func (t *TDS) dummyTag(post *protocol.QueryPost, cfg CollectConfig) ([]byte, error) {
+func (t *TDS) dummyTag(post *protocol.QueryPost, cfg CollectConfig, sc *collectScratch) ([]byte, error) {
 	switch post.Kind {
 	case protocol.KindRnfNoise, protocol.KindCNoise:
 		if len(cfg.Domain) == 0 {
 			return nil, fmt.Errorf("tds %s: %v requires the A_G domain", t.ID, post.Kind)
 		}
-		return t.groupTag(post, cfg.Domain[cfg.Rng.Intn(len(cfg.Domain))])
+		return t.groupTag(post, cfg.Domain[cfg.Rng.Intn(len(cfg.Domain))], sc)
 	case protocol.KindEDHist:
 		if cfg.Hist == nil {
 			return nil, fmt.Errorf("tds %s: ED_Hist requires a histogram", t.ID)
 		}
 		buckets := cfg.Hist.Buckets()
 		b := buckets[cfg.Rng.Intn(len(buckets))]
-		return tdscrypto.BucketHash(t.k2raw, []byte(b.ID)), nil
+		sc.tag = append(sc.tag[:0], b.ID...)
+		return t.bucketHash.Sum(sc.tag), nil
 	default:
 		return nil, nil
 	}
@@ -218,18 +307,19 @@ func (t *TDS) dummyTag(post *protocol.QueryPost, cfg CollectConfig) ([]byte, err
 // collectionTag derives the cleartext routing tag of a true collection
 // tuple, per protocol.
 func (t *TDS) collectionTag(post *protocol.QueryPost, plan *sqlexec.Plan,
-	cfg CollectConfig, row storage.Row) ([]byte, error) {
+	cfg CollectConfig, row storage.Row, sc *collectScratch) ([]byte, error) {
 	switch post.Kind {
 	case protocol.KindBasic, protocol.KindSAgg:
 		return nil, nil
 	case protocol.KindRnfNoise, protocol.KindCNoise:
-		return t.groupTag(post, groupValues(plan, row))
+		return t.groupTag(post, groupValues(plan, row), sc)
 	case protocol.KindEDHist:
 		if cfg.Hist == nil {
 			return nil, fmt.Errorf("tds %s: ED_Hist requires a histogram", t.ID)
 		}
 		bucket, _ := cfg.Hist.BucketOf(groupValues(plan, row).Key())
-		return tdscrypto.BucketHash(t.k2raw, []byte(bucket)), nil
+		sc.tag = append(sc.tag[:0], bucket...)
+		return t.bucketHash.Sum(sc.tag), nil
 	default:
 		return nil, fmt.Errorf("tds %s: unknown protocol %v", t.ID, post.Kind)
 	}
@@ -241,24 +331,24 @@ func groupValues(plan *sqlexec.Plan, row storage.Row) storage.Row {
 }
 
 // groupTag is Det_Enc_k2 over the encoded grouping values, bound to the
-// query by its AAD.
-func (t *TDS) groupTag(post *protocol.QueryPost, group storage.Row) ([]byte, error) {
-	return t.k2.DetEncrypt(storage.EncodeRow(group), post.AAD())
+// query by its AAD. The encoding goes through the scratch buffer; the
+// returned tag is freshly allocated by the cipher and safe to retain.
+func (t *TDS) groupTag(post *protocol.QueryPost, group storage.Row, sc *collectScratch) ([]byte, error) {
+	sc.tag = storage.AppendRow(sc.tag[:0], group)
+	return t.k2.DetEncrypt(sc.tag, post.AAD())
 }
 
-// randomFakes builds nf fake tuples whose A_G values are drawn uniformly
+// randomFakes appends nf fake tuples whose A_G values are drawn uniformly
 // from the domain (Rnf_Noise). The aggregate inputs are random too; the
 // fake marker inside the ciphertext lets honest TDSs discard them.
 func (t *TDS) randomFakes(post *protocol.QueryPost, plan *sqlexec.Plan,
-	cfg CollectConfig, nf int) ([]protocol.WireTuple, error) {
+	cfg CollectConfig, nf int, out []protocol.WireTuple, sc *collectScratch) ([]protocol.WireTuple, error) {
 	if len(cfg.Domain) == 0 {
 		return nil, fmt.Errorf("tds %s: Rnf_Noise requires the A_G domain", t.ID)
 	}
-	out := make([]protocol.WireTuple, 0, nf)
 	for i := 0; i < nf; i++ {
 		g := cfg.Domain[cfg.Rng.Intn(len(cfg.Domain))]
-		fake := t.fakeRow(plan, cfg, g)
-		w, err := t.encryptFake(post, fake, g)
+		w, err := t.encryptFake(post, t.fakeRow(plan, cfg, g, sc), g, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -267,21 +357,20 @@ func (t *TDS) randomFakes(post *protocol.QueryPost, plan *sqlexec.Plan,
 	return out, nil
 }
 
-// controlledFakes builds one fake per domain value different from the true
+// controlledFakes appends one fake per domain value different from the true
 // tuple's group (C_Noise): the resulting tag distribution is flat by
 // construction.
 func (t *TDS) controlledFakes(post *protocol.QueryPost, plan *sqlexec.Plan,
-	cfg CollectConfig, trueRow storage.Row) ([]protocol.WireTuple, error) {
+	cfg CollectConfig, trueRow storage.Row, out []protocol.WireTuple, sc *collectScratch) ([]protocol.WireTuple, error) {
 	if len(cfg.Domain) == 0 {
 		return nil, fmt.Errorf("tds %s: C_Noise requires the A_G domain", t.ID)
 	}
 	trueKey := groupValues(plan, trueRow).Key()
-	out := make([]protocol.WireTuple, 0, len(cfg.Domain)-1)
 	for _, g := range cfg.Domain {
 		if g.Key() == trueKey {
 			continue
 		}
-		w, err := t.encryptFake(post, t.fakeRow(plan, cfg, g), g)
+		w, err := t.encryptFake(post, t.fakeRow(plan, cfg, g, sc), g, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -290,22 +379,24 @@ func (t *TDS) controlledFakes(post *protocol.QueryPost, plan *sqlexec.Plan,
 	return out, nil
 }
 
-// fakeRow assembles a full fake collection row for group g.
-func (t *TDS) fakeRow(plan *sqlexec.Plan, cfg CollectConfig, g storage.Row) storage.Row {
-	row := make(storage.Row, 0, plan.CollectionWidth())
-	row = append(row, g...)
+// fakeRow assembles a full fake collection row for group g, reusing the
+// scratch row buffer (the row is encoded and discarded before the next
+// fake is built).
+func (t *TDS) fakeRow(plan *sqlexec.Plan, cfg CollectConfig, g storage.Row, sc *collectScratch) storage.Row {
+	sc.row = append(sc.row[:0], g...)
 	for range plan.Aggs {
-		row = append(row, storage.Float(cfg.Rng.NormFloat64()*100))
+		sc.row = append(sc.row, storage.Float(cfg.Rng.NormFloat64()*100))
 	}
-	return row
+	return sc.row
 }
 
-func (t *TDS) encryptFake(post *protocol.QueryPost, row storage.Row, group storage.Row) (protocol.WireTuple, error) {
-	tag, err := t.groupTag(post, group)
+func (t *TDS) encryptFake(post *protocol.QueryPost, row storage.Row, group storage.Row, sc *collectScratch) (protocol.WireTuple, error) {
+	tag, err := t.groupTag(post, group, sc)
 	if err != nil {
 		return protocol.WireTuple{}, err
 	}
-	return t.encryptTuple(post, protocol.FakePayload(row), tag)
+	sc.payload = protocol.AppendRowPayload(sc.payload[:0], protocol.MarkerFake, row)
+	return t.encryptTuple(post, sc.payload, tag)
 }
 
 func (t *TDS) encryptTuple(post *protocol.QueryPost, payload, tag []byte) (protocol.WireTuple, error) {
@@ -347,18 +438,28 @@ func (t *TDS) corruptDrop(i int) bool {
 	return h%2 == 0
 }
 
+// Domain separators of auditDigest, hoisted off the per-call heap.
+var (
+	auditPrefix = []byte("audit/")
+	auditSep    = []byte{0}
+)
+
 // auditDigest MACs semantic output content under k2, bound to the query
 // and the input partition. Honest replicas of one partition produce equal
 // digests for equal semantic results; the SSI can compare but not open.
 func (t *TDS) auditDigest(post *protocol.QueryPost, fingerprint, semantic []byte) []byte {
-	mac := hmac.New(sha256.New, t.k2raw[:])
-	mac.Write([]byte("audit/"))
+	mac := t.auditMAC.Get()
+	mac.Write(auditPrefix)
 	mac.Write(post.AAD())
-	mac.Write([]byte{0})
+	mac.Write(auditSep)
 	mac.Write(fingerprint)
-	mac.Write([]byte{0})
+	mac.Write(auditSep)
 	mac.Write(semantic)
-	return mac.Sum(nil)[:16]
+	var sum [sha256.Size]byte
+	out := make([]byte, 16)
+	copy(out, mac.Sum(sum[:0]))
+	t.auditMAC.Put(mac)
+	return out
 }
 
 // EmitMode selects what an aggregation step returns.
@@ -443,14 +544,17 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 	case EmitPerGroup:
 		groups := acc.Groups()
 		out := make([]protocol.WireTuple, 0, len(groups))
+		var sc collectScratch
+		var enc []byte
 		for _, g := range groups {
-			tag, err := t.groupTag(post, g.Values)
+			tag, err := t.groupTag(post, g.Values, &sc)
 			if err != nil {
 				return nil, err
 			}
-			enc := sqlexec.EncodeGroup(plan, g)
-			w, err := t.encryptTuple(post,
-				protocol.EncodePayload(protocol.MarkerPartial, enc), tag)
+			enc = sqlexec.AppendGroup(enc[:0], plan, g)
+			sc.payload = append(sc.payload[:0], byte(protocol.MarkerPartial))
+			sc.payload = append(sc.payload, enc...)
+			w, err := t.encryptTuple(post, sc.payload, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -469,6 +573,7 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 func (t *TDS) FilterSFW(post *protocol.QueryPost, partition []protocol.WireTuple) ([]protocol.WireTuple, error) {
 	fp := partitionFingerprint(partition)
 	var out []protocol.WireTuple
+	var payload []byte // plaintext scratch; re-encryption copies out of it
 	kept := 0
 	for _, w := range partition {
 		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
@@ -486,7 +591,9 @@ func (t *TDS) FilterSFW(post *protocol.QueryPost, partition []protocol.WireTuple
 		if t.Corrupt && t.corruptDrop(kept) {
 			continue
 		}
-		ct, err := t.k1.NDetEncrypt(protocol.EncodePayload(protocol.MarkerTrue, body), post.AAD())
+		payload = append(payload[:0], byte(protocol.MarkerTrue))
+		payload = append(payload, body...)
+		ct, err := t.k1.NDetEncrypt(payload, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: re-encrypt: %w", t.ID, err)
 		}
@@ -541,8 +648,9 @@ func (t *TDS) FinalizeGroups(post *protocol.QueryPost, partition []protocol.Wire
 		return nil, fmt.Errorf("tds %s: finalize: %w", t.ID, err)
 	}
 	out := make([]protocol.WireTuple, 0, len(res.Rows))
+	var payload []byte
 	for _, row := range res.Rows {
-		payload := protocol.TruePayload(row)
+		payload = protocol.AppendRowPayload(payload[:0], protocol.MarkerTrue, row)
 		ct, err := t.k1.NDetEncrypt(payload, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: encrypt result: %w", t.ID, err)

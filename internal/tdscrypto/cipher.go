@@ -7,6 +7,8 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
+	"hash"
+	"sync"
 )
 
 // nonceSize is the AES-GCM nonce size in bytes.
@@ -16,12 +18,43 @@ const nonceSize = 12
 // nonce (12) + GCM tag (16).
 const Overhead = nonceSize + 16
 
+// sepZero is the domain separator written between MAC inputs. A package
+// variable keeps the one-byte slice off the per-call heap.
+var sepZero = []byte{0}
+
+// MACPool recycles HMAC-SHA256 states keyed by one key. hmac.New builds
+// four hash states per call, which dominates the allocation profile of the
+// deterministic-encryption and digest hot paths; Reset-and-reuse amortizes
+// that to zero. Safe for concurrent use — each Get hands out an exclusive
+// state.
+type MACPool struct {
+	pool sync.Pool
+}
+
+// NewMACPool prepares a pool of HMAC-SHA256 states for the key.
+func NewMACPool(k Key) *MACPool {
+	p := &MACPool{}
+	p.pool.New = func() any { return hmac.New(sha256.New, k[:]) }
+	return p
+}
+
+// Get returns a reset HMAC state. Return it with Put when done.
+func (p *MACPool) Get() hash.Hash {
+	mac := p.pool.Get().(hash.Hash)
+	mac.Reset()
+	return mac
+}
+
+// Put recycles a state obtained from Get.
+func (p *MACPool) Put(mac hash.Hash) { p.pool.Put(mac) }
+
 // Suite is a ready-to-use cipher for one key. Constructing the AEAD once
 // per key mirrors the session-key setup a real crypto co-processor performs
 // and keeps the per-tuple cost low.
 type Suite struct {
 	aead   cipher.AEAD
-	detKey Key // independent sub-key for synthetic nonces
+	detKey Key      // independent sub-key for synthetic nonces
+	detMAC *MACPool // recycled HMAC states for DetEncrypt
 }
 
 // NewSuite prepares a cipher suite for the key.
@@ -34,7 +67,8 @@ func NewSuite(k Key) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tdscrypto: gcm: %w", err)
 	}
-	return &Suite{aead: aead, detKey: DeriveKey(k, "det-nonce")}, nil
+	detKey := DeriveKey(k, "det-nonce")
+	return &Suite{aead: aead, detKey: detKey, detMAC: NewMACPool(detKey)}, nil
 }
 
 // MustSuite is NewSuite for tests and examples.
@@ -64,13 +98,15 @@ func (s *Suite) NDetEncrypt(plaintext, aad []byte) ([]byte, error) {
 // tuples of one group into one partition — and it is exactly what the
 // frequency attack of Section 5 exploits, hence the noise protocols.
 func (s *Suite) DetEncrypt(plaintext, aad []byte) ([]byte, error) {
-	mac := hmac.New(sha256.New, s.detKey[:])
+	mac := s.detMAC.Get()
 	mac.Write(aad)
-	mac.Write([]byte{0})
+	mac.Write(sepZero)
 	mac.Write(plaintext)
-	synthetic := mac.Sum(nil)[:nonceSize]
+	var sum [sha256.Size]byte
+	synthetic := mac.Sum(sum[:0])[:nonceSize]
 	out := make([]byte, nonceSize, nonceSize+len(plaintext)+s.aead.Overhead())
 	copy(out, synthetic)
+	s.detMAC.Put(mac)
 	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil
 }
 
@@ -87,13 +123,16 @@ func (s *Suite) Decrypt(ciphertext, aad []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// bucketPrefix is the domain separator of BucketHash.
+var bucketPrefix = []byte("bucket/")
+
 // BucketHash computes the keyed hash h(bucketId) used by ED_Hist. It is
 // deterministic per key, collision-resistant, and reveals nothing about the
 // bucket's position in the attribute domain. The 16-byte truncation keeps
 // wire tuples small (st in the cost model).
 func BucketHash(k Key, bucketID []byte) []byte {
 	mac := hmac.New(sha256.New, k[:])
-	mac.Write([]byte("bucket/"))
+	mac.Write(bucketPrefix)
 	mac.Write(bucketID)
 	return mac.Sum(nil)[:16]
 }
@@ -101,4 +140,29 @@ func BucketHash(k Key, bucketID []byte) []byte {
 // BucketHashString is BucketHash for string identifiers.
 func BucketHashString(k Key, bucketID string) string {
 	return string(BucketHash(k, []byte(bucketID)))
+}
+
+// BucketHasher is BucketHash with a recycled HMAC state: a TDS tagging one
+// collection tuple per fleet member pays the HMAC key schedule once instead
+// of per tuple. Safe for concurrent use.
+type BucketHasher struct {
+	macs *MACPool
+}
+
+// NewBucketHasher prepares a hasher for the key.
+func NewBucketHasher(k Key) *BucketHasher {
+	return &BucketHasher{macs: NewMACPool(k)}
+}
+
+// Sum returns the 16-byte keyed bucket hash, equal to BucketHash for the
+// same key and bucketID.
+func (h *BucketHasher) Sum(bucketID []byte) []byte {
+	mac := h.macs.Get()
+	mac.Write(bucketPrefix)
+	mac.Write(bucketID)
+	var sum [sha256.Size]byte
+	out := make([]byte, 16)
+	copy(out, mac.Sum(sum[:0]))
+	h.macs.Put(mac)
+	return out
 }

@@ -1,0 +1,39 @@
+#!/bin/sh
+# check.sh — the repository's pre-merge gate: formatting, static analysis,
+# build, the full test suite, and the same suite under the race detector
+# (the engine runs collection waves and phase pools concurrently; a clean
+# -race run is part of the contract, not an optional extra).
+#
+# Usage: scripts/check.sh [-short]
+#   -short  skip the race-detector pass (it is the slow half)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=0
+[ "${1:-}" = "-short" ] && short=1
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./...
+
+if [ "$short" -eq 0 ]; then
+    echo "==> go test -race"
+    go test -race ./...
+fi
+
+echo "OK"
