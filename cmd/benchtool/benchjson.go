@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/trustedcells/tcq/internal/accessctl"
 	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
 	"github.com/trustedcells/tcq/internal/tdscrypto"
@@ -71,15 +73,38 @@ func measure(name string, iters int, fn func() error) (benchRecord, error) {
 const benchJSONSQL = `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` +
 	`WHERE C.cid = P.cid GROUP BY C.district`
 
-// runBenchJSON measures the collection phase (sequential and parallel) and
-// one end-to-end aggregation protocol, writes path, and prints deltas
-// against any previous file at the same path.
-func runBenchJSON(path string, fleet, workers, iters int, out io.Writer) error {
+// benchChurnPlan scripts the churn-enabled collection benchmark: a fixed
+// fault seed so the record is comparable across runs.
+func benchChurnPlan() *faultplan.Plan {
+	return &faultplan.Plan{
+		Seed:            17,
+		OfflineFraction: 0.10,
+		DropFraction:    0.05,
+		CorruptFraction: 0.05,
+		CrashFraction:   0.10,
+	}
+}
+
+// runBenchJSON measures the collection phase (sequential and parallel,
+// clean and churn-scripted per scenario) and one end-to-end aggregation
+// protocol, writes path, and prints deltas against any previous file at
+// the same path.
+func runBenchJSON(path string, fleet, workers, iters int, scenario string, out io.Writer) error {
 	if iters < 1 {
 		return fmt.Errorf("-bench-iters must be >= 1 (got %d)", iters)
 	}
 	if fleet < 1 {
 		return fmt.Errorf("-bench-fleet must be >= 1 (got %d)", fleet)
+	}
+	wantClean, wantChurn := true, true
+	switch scenario {
+	case "both", "":
+	case "clean":
+		wantChurn = false
+	case "churn":
+		wantClean = false
+	default:
+		return fmt.Errorf("-bench-scenario must be clean, churn or both (got %q)", scenario)
 	}
 	w := workload.DefaultSmartMeter(9)
 	w.Districts = 10
@@ -124,26 +149,42 @@ func runBenchJSON(path string, fleet, workers, iters int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	collect := func(eng *core.Engine, q *querier.Querier, plan *faultplan.Plan) func() error {
+		return func() error {
+			_, err := eng.Execute(ctx, core.Request{
+				Querier: q, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
+				Faults: plan, CollectOnly: true,
+			})
+			return err
+		}
+	}
 	type spec struct {
 		name string
 		fn   func() error
 	}
-	specs := []spec{{
-		fmt.Sprintf("collection/S_Agg/fleet=%d/workers=1", fleet), func() error {
-			_, err := seqEng.CollectOnce(seqQ, benchJSONSQL, protocol.KindSAgg, protocol.Params{})
-			return err
-		}}}
-	if workers > 1 {
+	var specs []spec
+	if wantClean {
 		specs = append(specs, spec{
-			fmt.Sprintf("collection/S_Agg/fleet=%d/workers=%d", fleet, workers), func() error {
-				_, err := parEng.CollectOnce(parQ, benchJSONSQL, protocol.KindSAgg, protocol.Params{})
-				return err
-			}})
+			fmt.Sprintf("collection/S_Agg/fleet=%d/workers=1", fleet),
+			collect(seqEng, seqQ, nil)})
+		if workers > 1 {
+			specs = append(specs, spec{
+				fmt.Sprintf("collection/S_Agg/fleet=%d/workers=%d", fleet, workers),
+				collect(parEng, parQ, nil)})
+		}
+	}
+	if wantChurn {
+		specs = append(specs, spec{
+			fmt.Sprintf("collection_churn/S_Agg/fleet=%d/workers=%d", fleet, workers),
+			collect(parEng, parQ, benchChurnPlan())})
 	}
 	specs = append(specs, spec{
 		fmt.Sprintf("end_to_end/S_Agg/fleet=%d/workers=%d", fleet, workers), func() error {
-			res, _, err := parEng.Run(parQ, benchJSONSQL, protocol.KindSAgg, protocol.Params{})
-			if err == nil && len(res.Rows) == 0 {
+			resp, err := parEng.Execute(ctx, core.Request{
+				Querier: parQ, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
+			})
+			if err == nil && len(resp.Result.Rows) == 0 {
 				return fmt.Errorf("empty result")
 			}
 			return err

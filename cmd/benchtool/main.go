@@ -37,13 +37,14 @@ func main() {
 	benchFleet := flag.Int("bench-fleet", 200, "bench-json: fleet size")
 	benchWorkers := flag.Int("bench-workers", 0, "bench-json: CollectWorkers (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 20, "bench-json: iterations per benchmark")
+	benchScenario := flag.String("bench-scenario", "both", "bench-json: clean | churn | both")
 	flag.Parse()
 	if *benchJSON {
 		workers := *benchWorkers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		if err := runBenchJSON(*benchOut, *benchFleet, workers, *benchIters, os.Stdout); err != nil {
+		if err := runBenchJSON(*benchOut, *benchFleet, workers, *benchIters, *benchScenario, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtool:", err)
 			os.Exit(1)
 		}

@@ -10,9 +10,15 @@
 //	           WHERE C.cid = P.cid GROUP BY C.district"
 //
 // Protocols: basic, s_agg, rnf_noise, c_noise, ed_hist.
+//
+// The -churn-* flags script deterministic fleet churn (seeded by
+// -fault-seed): offline windows, deposits dropped mid-transfer, corrupted
+// uploads, slow devices and crash-before-commit during the aggregation
+// phases. The run then reports its coverage ratio and recovery account.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,7 @@ import (
 
 	"github.com/trustedcells/tcq/internal/accessctl"
 	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
 	"github.com/trustedcells/tcq/internal/tdscrypto"
@@ -40,21 +47,68 @@ const defaultQuery = `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` 
 	`WHERE C.accommodation = 'detached house' AND C.cid = P.cid ` +
 	`GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 2`
 
+// options is everything one tdsnet invocation configures.
+type options struct {
+	fleet       int
+	protoName   string
+	query       string
+	nf          int
+	buckets     int
+	available   float64
+	failure     float64
+	audit       int
+	compromised float64
+	seed        int64
+	timeout     time.Duration
+
+	churnOffline  float64
+	churnDrop     float64
+	churnCorrupt  float64
+	churnSlow     float64
+	churnCrash    float64
+	faultSeed     int64
+	coverageFloor float64
+}
+
+// faultPlan assembles the scripted churn, or nil when no churn flag is set.
+func (o options) faultPlan() *faultplan.Plan {
+	if o.churnOffline == 0 && o.churnDrop == 0 && o.churnCorrupt == 0 &&
+		o.churnSlow == 0 && o.churnCrash == 0 && o.coverageFloor == 0 {
+		return nil
+	}
+	return &faultplan.Plan{
+		Seed:            o.faultSeed,
+		OfflineFraction: o.churnOffline,
+		DropFraction:    o.churnDrop,
+		CorruptFraction: o.churnCorrupt,
+		SlowFraction:    o.churnSlow,
+		CrashFraction:   o.churnCrash,
+		CoverageFloor:   o.coverageFloor,
+	}
+}
+
 func main() {
-	var (
-		fleet     = flag.Int("fleet", 200, "number of TDSs (smart meters)")
-		protoName = flag.String("protocol", "s_agg", "basic | s_agg | rnf_noise | c_noise | ed_hist")
-		query     = flag.String("query", defaultQuery, "SQL query to execute")
-		nf        = flag.Int("nf", 2, "Rnf_Noise: fake tuples per true tuple")
-		buckets   = flag.Int("buckets", 0, "ED_Hist: histogram buckets (0 = derive from h=5)")
-		available = flag.Float64("available", 0.10, "fraction of the fleet connected for aggregation")
-		failure   = flag.Float64("failure", 0, "probability a TDS dies mid-partition")
-		audit     = flag.Int("audit", 1, "audit replicas per partition (compromised-TDS extension)")
-		bad       = flag.Float64("compromised", 0, "fraction of the fleet marked compromised")
-		seed      = flag.Int64("seed", 42, "RNG seed")
-	)
+	var o options
+	flag.IntVar(&o.fleet, "fleet", 200, "number of TDSs (smart meters)")
+	flag.StringVar(&o.protoName, "protocol", "s_agg", "basic | s_agg | rnf_noise | c_noise | ed_hist")
+	flag.StringVar(&o.query, "query", defaultQuery, "SQL query to execute")
+	flag.IntVar(&o.nf, "nf", 2, "Rnf_Noise: fake tuples per true tuple")
+	flag.IntVar(&o.buckets, "buckets", 0, "ED_Hist: histogram buckets (0 = derive from h=5)")
+	flag.Float64Var(&o.available, "available", 0.10, "fraction of the fleet connected for aggregation")
+	flag.Float64Var(&o.failure, "failure", 0, "probability a TDS dies mid-partition")
+	flag.IntVar(&o.audit, "audit", 1, "audit replicas per partition (compromised-TDS extension)")
+	flag.Float64Var(&o.compromised, "compromised", 0, "fraction of the fleet marked compromised")
+	flag.Int64Var(&o.seed, "seed", 42, "RNG seed")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock bound on the whole run (0 = none)")
+	flag.Float64Var(&o.churnOffline, "churn-offline", 0, "fraction of devices offline for the whole query")
+	flag.Float64Var(&o.churnDrop, "churn-drop", 0, "fraction of devices that vanish mid-deposit")
+	flag.Float64Var(&o.churnCorrupt, "churn-corrupt", 0, "fraction of deposits arriving corrupted")
+	flag.Float64Var(&o.churnSlow, "churn-slow", 0, "fraction of devices with inflated connection latency")
+	flag.Float64Var(&o.churnCrash, "churn-crash", 0, "fraction of devices crashing before committing a partition")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed of the scripted churn")
+	flag.Float64Var(&o.coverageFloor, "coverage-floor", 0, "fail the query below this collection coverage ratio")
 	flag.Parse()
-	if err := runExt(*fleet, *protoName, *query, *nf, *buckets, *available, *failure, *audit, *bad, *seed); err != nil {
+	if err := runOpts(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tdsnet:", err)
 		os.Exit(1)
 	}
@@ -83,11 +137,17 @@ func run(fleet int, protoName, query string, nf, buckets int, available, failure
 }
 
 func runExt(fleet int, protoName, query string, nf, buckets int, available, failure float64, audit int, compromised float64, seed int64) error {
-	kind, err := parseProtocol(protoName)
+	return runOpts(options{fleet: fleet, protoName: protoName, query: query,
+		nf: nf, buckets: buckets, available: available, failure: failure,
+		audit: audit, compromised: compromised, seed: seed})
+}
+
+func runOpts(o options) error {
+	kind, err := parseProtocol(o.protoName)
 	if err != nil {
 		return err
 	}
-	w := workload.DefaultSmartMeter(seed)
+	w := workload.DefaultSmartMeter(o.seed)
 	eng, err := core.NewEngine(core.Config{
 		Schema: w.Schema(),
 		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
@@ -96,16 +156,16 @@ func runExt(fleet int, protoName, query string, nf, buckets int, available, fail
 		}},
 		AuthorityKey:        tdscrypto.DeriveKey(tdscrypto.Key{}, "authority"),
 		MasterKey:           tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
-		AvailableFraction:   available,
-		FailureRate:         failure,
-		AuditReplicas:       audit,
-		CompromisedFraction: compromised,
-		Seed:                seed,
+		AvailableFraction:   o.available,
+		FailureRate:         o.failure,
+		AuditReplicas:       o.audit,
+		CompromisedFraction: o.compromised,
+		Seed:                o.seed,
 	})
 	if err != nil {
 		return err
 	}
-	if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
+	if err := eng.ProvisionFleet(o.fleet, w.HouseholdDB); err != nil {
 		return err
 	}
 	cred := eng.Authority().Issue("distribution-co", []string{"energy-analyst", "auditor"},
@@ -115,15 +175,35 @@ func runExt(fleet int, protoName, query string, nf, buckets int, available, fail
 		return err
 	}
 
+	plan := o.faultPlan()
 	fmt.Printf("fleet=%d protocol=%v available=%.0f%% failure=%.0f%%\n",
-		fleet, kind, available*100, failure*100)
-	fmt.Println("query:", query)
+		o.fleet, kind, o.available*100, o.failure*100)
+	if plan != nil {
+		fmt.Printf("churn: offline=%.0f%% drop=%.0f%% corrupt=%.0f%% slow=%.0f%% crash=%.0f%% (fault seed %d)\n",
+			plan.OfflineFraction*100, plan.DropFraction*100, plan.CorruptFraction*100,
+			plan.SlowFraction*100, plan.CrashFraction*100, plan.Seed)
+	}
+	fmt.Println("query:", o.query)
+
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
-	res, m, err := eng.Run(q, query, kind, protocol.Params{Nf: nf, NumBuckets: buckets})
+	resp, err := eng.Execute(ctx, core.Request{
+		Querier: q,
+		SQL:     o.query,
+		Kind:    kind,
+		Params:  protocol.Params{Nf: o.nf, NumBuckets: o.buckets},
+		Faults:  plan,
+	})
 	if err != nil {
 		return err
 	}
+	res, m := resp.Result, resp.Metrics
 	fmt.Printf("\n%s\n", res)
 	fmt.Printf("rows: %d (wall clock %v)\n\n", len(res.Rows), time.Since(start).Round(time.Millisecond))
 	fmt.Println("simulated metrics (calibrated hardware model):")
@@ -133,7 +213,15 @@ func runExt(fleet int, protoName, query string, nf, buckets int, available, fail
 	fmt.Printf("  T_Q (agg+filter makespan)  %v\n", m.TQ)
 	fmt.Printf("  T_local (mean busy/TDS)    %v\n", m.TLocal)
 	fmt.Printf("  reassignments after death  %d\n", m.Reassignments)
-	if audit > 1 {
+	fmt.Printf("  coverage                   %.1f%% (%d of %d eligible TDSs deposited)\n",
+		m.CoverageRatio*100, m.DepositedDevices, m.EligibleDevices)
+	if plan != nil {
+		fmt.Printf("  churn: offline %d, dropped %d, corrupt %d, timeouts %d, abandoned %d\n",
+			m.OfflineDevices, m.DroppedDeposits, m.CorruptDeposits, m.Timeouts, m.PartitionsAbandoned)
+		fmt.Printf("  recovery wait (timeouts+backoff)  %v across %d ledger entries\n",
+			m.RetryWait, len(m.Ledger))
+	}
+	if o.audit > 1 {
 		fmt.Printf("  audit: replicas outvoted   %d (suspects: %d distinct)\n",
 			m.AuditDetections, distinct(m.Suspects))
 	}

@@ -44,3 +44,28 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("bad query accepted")
 	}
 }
+
+func TestRunWithChurn(t *testing.T) {
+	o := options{
+		fleet: 40, protoName: "s_agg", query: defaultQuery,
+		available: 0.5, audit: 1, seed: 7,
+		churnOffline: 0.15, churnDrop: 0.1, churnCorrupt: 0.1,
+		churnCrash: 0.2, faultSeed: 21,
+	}
+	if err := runOpts(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultPlanOnlyWhenScripted(t *testing.T) {
+	if (options{}).faultPlan() != nil {
+		t.Error("zero options grew a fault plan")
+	}
+	p := (options{churnDrop: 0.2, faultSeed: 5}).faultPlan()
+	if p == nil || p.DropFraction != 0.2 || p.Seed != 5 {
+		t.Errorf("fault plan = %+v", p)
+	}
+	if (options{coverageFloor: 0.5}).faultPlan() == nil {
+		t.Error("coverage floor alone should still build a plan")
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -74,10 +75,13 @@ func main() {
 		{protocol.KindEDHist, protocol.Params{}},
 	}
 	for _, r := range runs {
-		_, m, err := eng.Run(q, survey, r.kind, r.params)
+		resp, err := eng.Execute(context.Background(), core.Request{
+			Querier: q, SQL: survey, Kind: r.kind, Params: r.params,
+		})
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("%v run failed: %v", r.kind, err)
 		}
+		m := resp.Metrics
 		name := r.kind.String()
 		if r.kind == protocol.KindRnfNoise {
 			name = fmt.Sprintf("R%d_Noise", r.params.Nf)

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -67,14 +68,18 @@ func main() {
 	fmt.Println("phase 1 — audited surveys over a partially compromised fleet")
 	offences := map[string]int{}
 	for i := 0; i < 5; i++ {
-		res, m, err := eng.Run(q, survey, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+		resp, err := eng.Execute(context.Background(), core.Request{
+			Querier: q, SQL: survey, Kind: protocol.KindSAgg,
+			Params: protocol.Params{PartitionTuples: 4},
+		})
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("audited survey %d failed: %v", i+1, err)
 		}
-		for _, id := range m.Suspects {
+		for _, id := range resp.Metrics.Suspects {
 			offences[id]++
 		}
-		fmt.Printf("  run %d: %d rows, %d replicas outvoted\n", i+1, len(res.Rows), m.AuditDetections)
+		fmt.Printf("  run %d: %d rows, %d replicas outvoted\n",
+			i+1, len(resp.Result.Rows), resp.Metrics.AuditDetections)
 	}
 
 	var offenders []string
@@ -96,10 +101,13 @@ func main() {
 
 	fmt.Println("\nphase 3 — the expelled devices cannot even read new queries")
 	q2 := newQuerier("edf-epoch2")
-	res, m, err := eng.Run(q2, survey, protocol.KindSAgg, protocol.Params{})
+	resp, err := eng.Execute(context.Background(), core.Request{
+		Querier: q2, SQL: survey, Kind: protocol.KindSAgg,
+	})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("post-revocation run failed: %v", err)
 	}
+	res, m := resp.Result, resp.Metrics
 	fmt.Printf("  clean run: %d rows, %d devices failed to decrypt (the revoked ones), %d outvoted\n",
 		len(res.Rows), m.CollectErrors, m.AuditDetections)
 	fmt.Printf("\n%s", res)

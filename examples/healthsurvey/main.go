@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
 	"github.com/trustedcells/tcq/internal/accessctl"
 	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
 	"github.com/trustedcells/tcq/internal/tdscrypto"
@@ -57,16 +60,37 @@ func main() {
 	}
 
 	// Survey: flu count per region, thresholded in HAVING — the querier
-	// never sees any individual record.
+	// never sees any individual record. Health tokens are the paper's
+	// churn-heavy fleet, so the run scripts realistic misbehavior — a
+	// tenth of the tokens offline, a few dropped or corrupted uploads —
+	// and demands at least half the fleet in the covering result.
 	survey := `SELECT region, COUNT(*) FROM Patient WHERE condition = 'flu' ` +
 		`GROUP BY region HAVING COUNT(*) >= 5`
-	res, m, err := eng.Run(q, survey, protocol.KindEDHist, protocol.Params{})
+	resp, err := eng.Execute(context.Background(), core.Request{
+		Querier: q,
+		SQL:     survey,
+		Kind:    protocol.KindEDHist,
+		Faults: &faultplan.Plan{
+			Seed:            11,
+			OfflineFraction: 0.10,
+			DropFraction:    0.03,
+			CorruptFraction: 0.02,
+			CoverageFloor:   0.5,
+		},
+	})
+	if errors.Is(err, core.ErrCoverageBelowFloor) {
+		log.Fatalf("too few tokens reached: %v (rerun when more connect)", err)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, m := resp.Result, resp.Metrics
 	fmt.Println("flu hotspots (ED_Hist, 5% of tokens connected):")
 	fmt.Println(res)
-	fmt.Printf("simulated T_Q %v with %d token participations\n\n", m.TQ, m.PTDS)
+	fmt.Printf("simulated T_Q %v with %d token participations\n", m.TQ, m.PTDS)
+	fmt.Printf("coverage %.1f%%: %d of %d tokens deposited (%d offline, %d dropped, %d corrupt)\n\n",
+		m.CoverageRatio*100, m.DepositedDevices, m.EligibleDevices,
+		m.OfflineDevices, m.DroppedDeposits, m.CorruptDeposits)
 
 	if len(res.Rows) == 0 {
 		fmt.Println("no region crossed the alert threshold")
@@ -79,10 +103,13 @@ func main() {
 	region := res.Rows[0][0].AsString()
 	alert := fmt.Sprintf(
 		`SELECT pid, age FROM Patient WHERE region = '%s' AND age > 80`, region)
-	people, m2, err := eng.Run(q, alert, protocol.KindBasic, protocol.Params{})
+	alertResp, err := eng.Execute(context.Background(), core.Request{
+		Querier: q, SQL: alert, Kind: protocol.KindBasic,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	people, m2 := alertResp.Result, alertResp.Metrics
 	fmt.Printf("alert list for %s (patients > 80):\n%s", region, people)
 	fmt.Printf("every one of the %d tokens answered — with a real tuple or a dummy —\n", m2.Nt)
 	fmt.Println("so the SSI cannot tell who matched.")
@@ -91,10 +118,12 @@ func main() {
 	// Visit table to the identifying role, and AggregateOnly blocks the
 	// epidemiologist role, so only dummies come back.
 	leak := `SELECT pid, cost FROM Visit`
-	visits, _, err := eng.Run(q, leak, protocol.KindBasic, protocol.Params{})
+	leakResp, err := eng.Execute(context.Background(), core.Request{
+		Querier: q, SQL: leak, Kind: protocol.KindBasic,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nattempted 'SELECT pid, cost FROM Visit' returned %d rows (access control held)\n",
-		len(visits.Rows))
+		len(leakResp.Result.Rows))
 }

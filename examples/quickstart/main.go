@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -53,10 +54,13 @@ func main() {
 
 	sql := `SELECT C.district, AVG(P.cons), COUNT(*) FROM Power P, Consumer C ` +
 		`WHERE C.cid = P.cid GROUP BY C.district`
-	res, m, err := eng.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	resp, err := eng.Execute(context.Background(), core.Request{
+		Querier: q, SQL: sql, Kind: protocol.KindSAgg,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, m := resp.Result, resp.Metrics
 
 	fmt.Println(res)
 	fmt.Printf("collected %d encrypted tuples from %d meters; ", m.Nt, eng.FleetSize())

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -70,10 +71,13 @@ func main() {
 		"protocol", "N_t", "P_TDS", "Load_Q", "T_Q", "T_local", "rows")
 	var firstRows string
 	for _, r := range runs {
-		res, m, err := eng.Run(q, flagship, r.kind, r.params)
+		resp, err := eng.Execute(context.Background(), core.Request{
+			Querier: q, SQL: flagship, Kind: r.kind, Params: r.params,
+		})
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("%v run failed: %v", r.kind, err)
 		}
+		res, m := resp.Result, resp.Metrics
 		fmt.Printf("%-10v %8d %8d %9.0fKB %12v %12v %6d\n",
 			r.kind, m.Nt, m.PTDS, float64(m.LoadBytes)/1e3,
 			m.TQ.Round(time.Microsecond), m.TLocal.Round(time.Microsecond), len(res.Rows))

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/protocol"
+)
+
+// churnPlan is the reference fault script of the churn tests: with seed 21
+// over the 40-device fixture it takes well over 10% of the fleet out of
+// the collection phase (offline windows, mid-transfer disconnects,
+// corrupted uploads) and crashes a fifth of phase assignments.
+func churnPlan() *faultplan.Plan {
+	return &faultplan.Plan{
+		Seed:            21,
+		OfflineFraction: 0.15,
+		DropFraction:    0.10,
+		CorruptFraction: 0.10,
+		SlowFraction:    0.20,
+		CrashFraction:   0.20,
+	}
+}
+
+// churnScenarios pairs every protocol with a query it supports.
+var churnScenarios = []struct {
+	kind   protocol.Kind
+	sql    string
+	params protocol.Params
+}{
+	{protocol.KindBasic, `SELECT C.cid, C.district FROM Consumer C`, protocol.Params{}},
+	{protocol.KindSAgg, flagshipSQL, protocol.Params{PartitionTuples: 4}},
+	{protocol.KindRnfNoise, flagshipSQL, protocol.Params{PartitionTuples: 4}},
+	{protocol.KindCNoise, flagshipSQL, protocol.Params{PartitionTuples: 4}},
+	{protocol.KindEDHist, flagshipSQL, protocol.Params{PartitionTuples: 4}},
+}
+
+// TestChurnAllProtocolsComplete loses a scripted slice of the fleet mid
+// collection — offline, dropped and corrupt deposits — and requires every
+// protocol to still complete, reporting the exact coverage ratio.
+func TestChurnAllProtocolsComplete(t *testing.T) {
+	for _, sc := range churnScenarios {
+		t.Run(sc.kind.String(), func(t *testing.T) {
+			f := newFixture(t, 40, nil)
+			plan := churnPlan()
+			resp, err := f.eng.Execute(context.Background(), Request{
+				Querier: f.q, SQL: sc.sql, Kind: sc.kind, Params: sc.params, Faults: plan,
+			})
+			if err != nil {
+				t.Fatalf("churned %v run failed: %v", sc.kind, err)
+			}
+			m := resp.Metrics
+			if resp.Result == nil {
+				t.Fatal("no result")
+			}
+			if m.EligibleDevices != 40 {
+				t.Fatalf("eligible = %d, want the whole fleet", m.EligibleDevices)
+			}
+			lost := m.OfflineDevices + m.DroppedDeposits + m.CorruptDeposits
+			if lost < m.EligibleDevices/10 {
+				t.Fatalf("scripted churn only removed %d of %d devices; want >= 10%%",
+					lost, m.EligibleDevices)
+			}
+			want := float64(m.DepositedDevices) / float64(m.EligibleDevices)
+			if m.CoverageRatio != want {
+				t.Fatalf("coverage ratio %v, want exactly %v", m.CoverageRatio, want)
+			}
+			if m.CoverageRatio <= 0 || m.CoverageRatio >= 1 {
+				t.Fatalf("coverage ratio %v not in (0,1) despite churn", m.CoverageRatio)
+			}
+			if m.DepositedDevices+lost != m.EligibleDevices {
+				t.Fatalf("device account does not close: %d deposited + %d lost != %d eligible",
+					m.DepositedDevices, lost, m.EligibleDevices)
+			}
+			if len(m.Ledger) == 0 {
+				t.Fatal("churn left no trace in the recovery ledger")
+			}
+		})
+	}
+}
+
+// TestChurnDeterminism requires bit-identical results, metrics and
+// recovery ledgers for a fixed fault seed at CollectWorkers 1 and 8.
+func TestChurnDeterminism(t *testing.T) {
+	for _, sc := range churnScenarios {
+		t.Run(sc.kind.String(), func(t *testing.T) {
+			type outcome struct {
+				rows    []string
+				metrics Metrics
+			}
+			runAt := func(workers int) outcome {
+				f := newFixture(t, 40, func(c *Config) { c.CollectWorkers = workers })
+				resp, err := f.eng.Execute(context.Background(), Request{
+					Querier: f.q, SQL: sc.sql, Kind: sc.kind, Params: sc.params,
+					Faults: churnPlan(),
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				m := *resp.Metrics
+				m.TLocal = 0 // mean of identical sums; avoid float-free divergence noise
+				return outcome{rows: sortedRows(resp.Result), metrics: m}
+			}
+			seq, par := runAt(1), runAt(8)
+			if !reflect.DeepEqual(seq.rows, par.rows) {
+				t.Errorf("results diverge:\nworkers=1: %v\nworkers=8: %v", seq.rows, par.rows)
+			}
+			if !reflect.DeepEqual(seq.metrics.Ledger, par.metrics.Ledger) {
+				t.Errorf("recovery ledgers diverge:\nworkers=1: %+v\nworkers=8: %+v",
+					seq.metrics.Ledger, par.metrics.Ledger)
+			}
+			if !reflect.DeepEqual(seq.metrics, par.metrics) {
+				t.Errorf("metrics diverge:\nworkers=1: %+v\nworkers=8: %+v",
+					seq.metrics, par.metrics)
+			}
+		})
+	}
+}
+
+// TestChurnCrashRecoveryIsLossless scripts only phase crashes (the
+// collection is clean), so the SSI's timeout/backoff/re-issue machinery
+// must recover every partition and the result must equal the reference.
+func TestChurnCrashRecoveryIsLossless(t *testing.T) {
+	f := newFixture(t, 30, nil)
+	want := f.reference(t, flagshipSQL)
+	resp, err := f.eng.Execute(context.Background(), Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+		Params: protocol.Params{PartitionTuples: 4},
+		Faults: &faultplan.Plan{Seed: 9, CrashFraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, resp.Result, want)
+	m := resp.Metrics
+	if m.Timeouts == 0 || m.Reassignments == 0 {
+		t.Fatalf("crash plan injected nothing: timeouts=%d reassignments=%d",
+			m.Timeouts, m.Reassignments)
+	}
+	if m.RetryWait == 0 {
+		t.Fatal("re-issues billed no timeout/backoff wait")
+	}
+	if m.CoverageRatio != 1 {
+		t.Fatalf("clean collection reported coverage %v", m.CoverageRatio)
+	}
+	reassigns := 0
+	for _, le := range m.Ledger {
+		if le.Kind == "reassign" {
+			if le.Device == "" || le.Phase == "" || le.Wait <= 0 {
+				t.Fatalf("malformed reassign entry: %+v", le)
+			}
+			reassigns++
+		}
+	}
+	if reassigns != m.Timeouts {
+		t.Fatalf("ledger records %d reassigns, metrics count %d timeouts", reassigns, m.Timeouts)
+	}
+}
+
+// TestChurnMaxAttemptsDegradesGracefully crashes every assignment; with a
+// retry cap the SSI must abandon partitions and still terminate.
+func TestChurnMaxAttemptsDegradesGracefully(t *testing.T) {
+	f := newFixture(t, 20, nil)
+	resp, err := f.eng.Execute(context.Background(), Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+		Params: protocol.Params{PartitionTuples: 4},
+		Faults: &faultplan.Plan{Seed: 3, CrashFraction: 1, MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := resp.Metrics
+	if m.PartitionsAbandoned == 0 {
+		t.Fatal("universal crashing with MaxAttempts=2 abandoned nothing")
+	}
+	abandoned := 0
+	for _, le := range m.Ledger {
+		if le.Kind == "partition-abandoned" {
+			abandoned++
+		}
+	}
+	if abandoned != m.PartitionsAbandoned {
+		t.Fatalf("ledger records %d abandonments, metrics count %d", abandoned, m.PartitionsAbandoned)
+	}
+}
+
+// TestChurnCoverageFloor verifies both sides of the floor: a run that
+// keeps enough of the fleet passes, one that loses too much fails with the
+// typed sentinel and still reports the exact ratio path via the error.
+func TestChurnCoverageFloor(t *testing.T) {
+	f := newFixture(t, 40, nil)
+	_, err := f.eng.Execute(context.Background(), Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+		Params: protocol.Params{PartitionTuples: 4},
+		Faults: &faultplan.Plan{Seed: 2, OfflineFraction: 0.9, CoverageFloor: 0.5},
+	})
+	if !errors.Is(err, ErrCoverageBelowFloor) {
+		t.Fatalf("err = %v, want ErrCoverageBelowFloor", err)
+	}
+
+	resp, err := f.eng.Execute(context.Background(), Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+		Params: protocol.Params{PartitionTuples: 4},
+		Faults: &faultplan.Plan{Seed: 2, OfflineFraction: 0.1, CoverageFloor: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("mild churn tripped the floor: %v", err)
+	}
+	if resp.Metrics.CoverageRatio < 0.5 {
+		t.Fatalf("coverage %v below the floor yet the run passed", resp.Metrics.CoverageRatio)
+	}
+}
+
+// TestChurnContextCancellation verifies that an expired context aborts the
+// run with the typed timeout sentinel.
+func TestChurnContextCancellation(t *testing.T) {
+	f := newFixture(t, 20, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := f.eng.Execute(ctx, Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg, Params: protocol.Params{},
+	})
+	if !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("err = %v, want ErrQueryTimeout", err)
+	}
+
+	// A deadline that cannot be met behaves the same mid-run.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	_, err = f.eng.Execute(ctx2, Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg, Params: protocol.Params{},
+	})
+	if !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("deadline err = %v, want ErrQueryTimeout", err)
+	}
+}
+
+// TestExecuteWrappersStayCompatible pins the deprecated entry points to
+// the consolidated path: Run and Execute produce identical outcomes.
+func TestExecuteWrappersStayCompatible(t *testing.T) {
+	runs := func() (*fixture, []string) {
+		f := newFixture(t, 20, nil)
+		res, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, sortedRows(res)
+	}
+	_, viaRun := runs()
+
+	f := newFixture(t, 20, nil)
+	resp, err := f.eng.Execute(context.Background(), Request{
+		Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+		Params: protocol.Params{PartitionTuples: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaRun, sortedRows(resp.Result)) {
+		t.Fatalf("Run and Execute diverge:\nRun:     %v\nExecute: %v", viaRun, sortedRows(resp.Result))
+	}
+
+	if _, err := f.eng.Execute(context.Background(), Request{SQL: flagshipSQL}); err == nil {
+		t.Fatal("Execute accepted a request without a querier")
+	}
+	if _, err := f.eng.Execute(context.Background(), Request{Querier: f.q}); err == nil {
+		t.Fatal("Execute accepted a request without SQL")
+	}
+}

@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/tds"
 )
 
@@ -21,16 +26,24 @@ import (
 // decryption, local execution, tuple encryption — without perturbing its
 // simulated-time semantics. Devices are processed in waves of
 // CollectWorkers: every member of a wave runs Collect concurrently
-// against a speculative clock (wave start + j*interval, exact whenever no
-// earlier wave member errors out), and the deposits are then committed
-// strictly in the pre-drawn connection order. A device whose speculative
-// clock turns out wrong — an earlier device errored, so simulated time
-// advanced less than predicted — is simply re-collected at the actual
-// clock: Collect is deterministic given (device, post, clock) because its
-// RNG is freshly seeded per call from (Seed, device ID, query ID), so the
-// redo yields exactly what a sequential engine would have produced. The
-// result is bit-identical metrics, observations and decrypted results for
-// every CollectWorkers setting.
+// against a speculative clock (wave start + the prefix sum of the earlier
+// members' connection intervals, exact whenever no earlier wave member
+// errors out), and the deposits are then committed strictly in the
+// pre-drawn connection order. A device whose speculative clock turns out
+// wrong — an earlier device errored, so simulated time advanced less than
+// predicted — is simply re-collected at the actual clock: Collect is
+// deterministic given (device, post, clock) because its RNG is freshly
+// seeded per call from (Seed, device ID, query ID), so the redo yields
+// exactly what a sequential engine would have produced. The result is
+// bit-identical metrics, observations and decrypted results for every
+// CollectWorkers setting.
+//
+// Fault plans ride the same machinery: a Behavior depends only on
+// (fault seed, device ID, query ID), so both pipelines evaluate it
+// identically. Offline devices are filtered out before the walk; dropped
+// and corrupt deposits consume a connection slot (the device did connect)
+// and advance the clock by the device's interval, while collect errors
+// keep the legacy semantics of never having connected at all.
 
 // collectWorkers resolves Config.CollectWorkers: 0 means GOMAXPROCS,
 // anything below 1 means sequential.
@@ -62,6 +75,22 @@ func (e *Engine) collectOne(t *tds.TDS, post *protocol.QueryPost,
 	return t.Collect(post, cfg)
 }
 
+// collectDevice is one eligible, non-offline device with its scripted
+// behavior for this query.
+type collectDevice struct {
+	t *tds.TDS
+	b faultplan.Behavior
+}
+
+// step is the simulated time this device's connection slot occupies: the
+// base interval, inflated for scripted-slow devices.
+func (d collectDevice) step(interval time.Duration) time.Duration {
+	if d.b.SlowFactor == 1 {
+		return interval
+	}
+	return time.Duration(float64(interval) * d.b.SlowFactor)
+}
+
 // collectResult is one device's speculative collection outcome.
 type collectResult struct {
 	tuples  []protocol.WireTuple
@@ -70,32 +99,125 @@ type collectResult struct {
 	specNow time.Time // the clock the result was computed against
 }
 
-// collectionPhase drives the collection phase of one query.
-func (e *Engine) collectionPhase(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	rng *rand.Rand, start time.Time, metrics *Metrics) error {
+// collectionPhase drives the collection phase of one query and settles the
+// coverage account: how much of the eligible fleet the covering result
+// represents, and whether that clears the fault plan's floor.
+func (e *Engine) collectionPhase(ctx context.Context, post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	rng *rand.Rand, start time.Time, metrics *Metrics, faults *faultplan.Plan) error {
 	order := rng.Perm(len(e.fleet))
-	eligible := make([]*tds.TDS, 0, len(order))
+	devices := make([]collectDevice, 0, len(order))
 	for _, idx := range order {
-		if t := e.fleet[idx]; post.TargetedTo(t.ID) {
-			eligible = append(eligible, t)
+		t := e.fleet[idx]
+		if !post.TargetedTo(t.ID) {
+			continue
+		}
+		metrics.EligibleDevices++
+		b := faults.For(t.ID, post.ID)
+		if b.Offline {
+			// An offline window covering the query: the device never
+			// connects, so it occupies no connection slot at all.
+			metrics.OfflineDevices++
+			continue
+		}
+		devices = append(devices, collectDevice{t: t, b: b})
+	}
+
+	var err error
+	if workers := e.collectWorkers(); workers > 1 && len(devices) > 1 {
+		err = e.collectParallel(ctx, post, cfgTpl, devices, start, metrics, faults, workers)
+	} else {
+		err = e.collectSequential(ctx, post, cfgTpl, devices, start, metrics, faults)
+	}
+	if err != nil {
+		return err
+	}
+
+	if metrics.EligibleDevices > 0 {
+		metrics.CoverageRatio = float64(metrics.DepositedDevices) / float64(metrics.EligibleDevices)
+		if faults != nil && faults.CoverageFloor > 0 && metrics.CoverageRatio < faults.CoverageFloor {
+			return fmt.Errorf("%w: %.3f of the eligible fleet deposited, floor is %.3f",
+				ErrCoverageBelowFloor, metrics.CoverageRatio, faults.CoverageFloor)
 		}
 	}
-	if workers := e.collectWorkers(); workers > 1 && len(eligible) > 1 {
-		return e.collectParallel(post, cfgTpl, eligible, start, metrics, workers)
+	return nil
+}
+
+// commitDeposit seals one device's tuples in an envelope, applies the
+// scripted transport corruption, and commits it through the SSI's
+// churn-aware path, folding the outcome into the metrics. It returns
+// whether the deposit completed the collection.
+func (e *Engine) commitDeposit(post *protocol.QueryPost, d collectDevice,
+	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time, metrics *Metrics) (bool, error) {
+	dep := protocol.NewDeposit(post.ID, d.t.ID, 1, post.Epoch, tuples)
+	if d.b.CorruptDeposit {
+		dep.Sum ^= 0x1 // one flipped transport bit; the checksum catches it
 	}
-	return e.collectSequential(post, cfgTpl, eligible, start, metrics)
+	accepted, done, err := e.ssi.DepositEnvelope(post.ID, dep, now)
+	if err != nil {
+		if errors.Is(err, ssi.ErrCorruptDeposit) || errors.Is(err, ssi.ErrStaleDeposit) {
+			e.recordRejected(post, d, metrics, err)
+			return done, nil
+		}
+		return false, err
+	}
+	e.acceptDeposit(metrics, accepted, len(tuples), stats)
+	return done, nil
+}
+
+// acceptDeposit folds one accepted deposit into the metrics.
+func (e *Engine) acceptDeposit(metrics *Metrics, accepted, sent int, stats tds.CollectStats) {
+	metrics.Nt += int64(accepted)
+	if accepted == sent {
+		metrics.TrueTuples += int64(stats.True)
+	}
+	metrics.DepositedDevices++
+}
+
+// recordRejected accounts an envelope the SSI rejected. The rejection does
+// not abort the collection: the querybox stays open and the walk proceeds.
+func (e *Engine) recordRejected(post *protocol.QueryPost, d collectDevice, metrics *Metrics, err error) {
+	kind := "deposit-stale"
+	if errors.Is(err, ssi.ErrCorruptDeposit) {
+		kind = "deposit-corrupt"
+		metrics.CorruptDeposits++
+	}
+	e.ssi.Record(post.ID, ssi.LedgerEntry{Kind: kind, Phase: "collection", Device: d.t.ID, Attempt: 1})
+}
+
+// recordDropped accounts a device that connected but vanished
+// mid-transfer; the SSI discards the partial deposit after DepositTimeout.
+func (e *Engine) recordDropped(post *protocol.QueryPost, d collectDevice,
+	metrics *Metrics, faults *faultplan.Plan) {
+	wait := faults.DepositWait()
+	metrics.DroppedDeposits++
+	metrics.Timeouts++
+	metrics.RetryWait += wait
+	e.ssi.Record(post.ID, ssi.LedgerEntry{
+		Kind: "deposit-timeout", Phase: "collection", Device: d.t.ID, Attempt: 1, Wait: wait,
+	})
 }
 
 // collectSequential is the reference one-device-at-a-time pipeline; the
 // parallel pipeline must be observationally identical to it.
-func (e *Engine) collectSequential(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	eligible []*tds.TDS, start time.Time, metrics *Metrics) error {
+func (e *Engine) collectSequential(ctx context.Context, post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	devices []collectDevice, start time.Time, metrics *Metrics, faults *faultplan.Plan) error {
+	interval := e.cfg.ConnectionInterval
 	now := start
-	for _, t := range eligible {
+	for _, d := range devices {
 		if e.ssi.CollectionDone(post.ID, now) {
 			break
 		}
-		tuples, stats, err := e.collectOne(t, post, cfgTpl, now)
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if d.b.DropDeposit {
+			// The device connected and its slot is spent, but its deposit
+			// never lands.
+			e.recordDropped(post, d, metrics, faults)
+			now = now.Add(d.step(interval))
+			continue
+		}
+		tuples, stats, err := e.collectOne(d.t, post, cfgTpl, now)
 		if err != nil {
 			// A device that cannot answer (stale key epoch, local fault) is
 			// indistinguishable from one that never connected; the protocol
@@ -103,50 +225,55 @@ func (e *Engine) collectSequential(post *protocol.QueryPost, cfgTpl tds.CollectC
 			metrics.CollectErrors++
 			continue
 		}
-		accepted, done, err := e.ssi.Deposit(post.ID, tuples, now)
+		done, err := e.commitDeposit(post, d, tuples, stats, now, metrics)
 		if err != nil {
 			return err
-		}
-		metrics.Nt += int64(accepted)
-		if accepted == len(tuples) {
-			metrics.TrueTuples += int64(stats.True)
 		}
 		if done {
 			break
 		}
-		now = now.Add(e.cfg.ConnectionInterval)
+		now = now.Add(d.step(interval))
 	}
 	return nil
 }
 
 // collectParallel processes eligible devices in waves of `workers`
 // concurrent Collect calls, committing deposits in connection order.
-func (e *Engine) collectParallel(post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	eligible []*tds.TDS, start time.Time, metrics *Metrics, workers int) error {
+func (e *Engine) collectParallel(ctx context.Context, post *protocol.QueryPost, cfgTpl tds.CollectConfig,
+	devices []collectDevice, start time.Time, metrics *Metrics, faults *faultplan.Plan, workers int) error {
 	interval := e.cfg.ConnectionInterval
 	now := start
 	res := make([]collectResult, workers)
-	for base := 0; base < len(eligible); base += workers {
+	for base := 0; base < len(devices); base += workers {
 		end := base + workers
-		if end > len(eligible) {
-			end = len(eligible)
+		if end > len(devices) {
+			end = len(devices)
 		}
-		wave := eligible[base:end]
+		wave := devices[base:end]
 		if e.ssi.CollectionDone(post.ID, now) {
 			return nil
 		}
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 
 		// Speculative phase: the whole wave collects concurrently, each
-		// member against its predicted clock.
+		// member against its predicted clock — the wave start plus the
+		// prefix sum of the earlier members' (possibly slow-inflated)
+		// intervals. Dropped deposits still occupy their slot but never
+		// produce tuples, so their Collect is skipped outright.
 		var wg sync.WaitGroup
-		for j, t := range wave {
-			spec := now.Add(time.Duration(j) * interval)
-			wg.Add(1)
-			go func(j int, t *tds.TDS, spec time.Time) {
-				defer wg.Done()
-				tuples, stats, err := e.collectOne(t, post, cfgTpl, spec)
-				res[j] = collectResult{tuples: tuples, stats: stats, err: err, specNow: spec}
-			}(j, t, spec)
+		spec := now
+		for j, d := range wave {
+			if !d.b.DropDeposit {
+				wg.Add(1)
+				go func(j int, d collectDevice, spec time.Time) {
+					defer wg.Done()
+					tuples, stats, err := e.collectOne(d.t, post, cfgTpl, spec)
+					res[j] = collectResult{tuples: tuples, stats: stats, err: err, specNow: spec}
+				}(j, d, spec)
+			}
+			spec = spec.Add(d.step(interval))
 		}
 		wg.Wait()
 
@@ -156,66 +283,72 @@ func (e *Engine) collectParallel(post *protocol.QueryPost, cfgTpl tds.CollectCon
 			// flag can only flip inside a deposit (the DURATION window
 			// cannot expire while the clock stands still) — so the whole
 			// wave commits under one SSI lock acquisition.
-			done, err := e.commitWaveBatch(post, res[:len(wave)], now, metrics)
+			done, err := e.commitWaveBatch(post, wave, res[:len(wave)], now, metrics, faults)
 			if err != nil || done {
 				return err
 			}
 			continue
 		}
-		for j, t := range wave {
+		for j, d := range wave {
 			if e.ssi.CollectionDone(post.ID, now) {
 				return nil
+			}
+			if d.b.DropDeposit {
+				e.recordDropped(post, d, metrics, faults)
+				now = now.Add(d.step(interval))
+				continue
 			}
 			r := res[j]
 			if !r.specNow.Equal(now) {
 				// An earlier device errored, so simulated time advanced less
 				// than predicted. Redo this device at the actual clock; the
 				// per-device RNG makes the redo deterministic.
-				r.tuples, r.stats, r.err = e.collectOne(t, post, cfgTpl, now)
+				r.tuples, r.stats, r.err = e.collectOne(d.t, post, cfgTpl, now)
 			}
 			if r.err != nil {
 				metrics.CollectErrors++
 				continue
 			}
-			accepted, done, err := e.ssi.Deposit(post.ID, r.tuples, now)
+			done, err := e.commitDeposit(post, d, r.tuples, r.stats, now, metrics)
 			if err != nil {
 				return err
-			}
-			metrics.Nt += int64(accepted)
-			if accepted == len(r.tuples) {
-				metrics.TrueTuples += int64(r.stats.True)
 			}
 			if done {
 				return nil
 			}
-			now = now.Add(interval)
+			now = now.Add(d.step(interval))
 		}
 	}
 	return nil
 }
 
-// commitWaveBatch commits one zero-interval wave through SSI.DepositBatch
-// and folds the metrics exactly as the sequential loop would have:
-// failed devices deposit nothing but count as collect errors if and only
-// if the sequential walk would have reached them before the SIZE cutoff.
-func (e *Engine) commitWaveBatch(post *protocol.QueryPost, res []collectResult,
-	now time.Time, metrics *Metrics) (bool, error) {
-	batches := make([][]protocol.WireTuple, 0, len(res))
-	idxOf := make([]int, 0, len(res)) // batch index -> wave index
+// commitWaveBatch commits one zero-interval wave through the SSI's batched
+// envelope path and folds the metrics exactly as the sequential loop would
+// have: failed and faulted devices deposit nothing but are accounted if
+// and only if the sequential walk would have reached them before the SIZE
+// cutoff.
+func (e *Engine) commitWaveBatch(post *protocol.QueryPost, wave []collectDevice, res []collectResult,
+	now time.Time, metrics *Metrics, faults *faultplan.Plan) (bool, error) {
+	deps := make([]*protocol.Deposit, 0, len(res))
+	idxOf := make([]int, 0, len(res)) // envelope index -> wave index
 	for j := range res {
-		if res[j].err != nil {
+		if wave[j].b.DropDeposit || res[j].err != nil {
 			continue
 		}
-		batches = append(batches, res[j].tuples)
+		dep := protocol.NewDeposit(post.ID, wave[j].t.ID, 1, post.Epoch, res[j].tuples)
+		if wave[j].b.CorruptDeposit {
+			dep.Sum ^= 0x1
+		}
+		deps = append(deps, dep)
 		idxOf = append(idxOf, j)
 	}
-	accepted, doneAt, done, err := e.ssi.DepositBatch(post.ID, batches, now)
+	out, doneAt, done, err := e.ssi.DepositEnvelopeBatch(post.ID, deps, now)
 	if err != nil {
 		return false, err
 	}
 	// How far the sequential walk would have gone into this wave: through
 	// the device whose deposit hit the SIZE cap, or the whole wave.
-	limitWave, limitBatch := len(res), len(batches)
+	limitWave, limitBatch := len(res), len(deps)
 	if done {
 		if doneAt >= 0 {
 			limitWave, limitBatch = idxOf[doneAt]+1, doneAt+1
@@ -223,15 +356,22 @@ func (e *Engine) commitWaveBatch(post *protocol.QueryPost, res []collectResult,
 			limitWave, limitBatch = 0, 0 // done before the first deposit
 		}
 	}
+	b := 0
 	for j := 0; j < limitWave; j++ {
-		if res[j].err != nil {
+		switch {
+		case wave[j].b.DropDeposit:
+			e.recordDropped(post, wave[j], metrics, faults)
+		case res[j].err != nil:
 			metrics.CollectErrors++
-		}
-	}
-	for b := 0; b < limitBatch; b++ {
-		metrics.Nt += int64(accepted[b])
-		if accepted[b] == len(batches[b]) {
-			metrics.TrueTuples += int64(res[idxOf[b]].stats.True)
+		default:
+			if b < limitBatch {
+				if out[b].Err != nil {
+					e.recordRejected(post, wave[j], metrics, out[b].Err)
+				} else {
+					e.acceptDeposit(metrics, out[b].Accepted, len(res[j].tuples), res[j].stats)
+				}
+			}
+			b++
 		}
 	}
 	return done, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -65,7 +66,7 @@ func benchCollectionPhase(b *testing.B, fleet, workers int) {
 			b.Fatal(err)
 		}
 		var m Metrics
-		if err := eng.collectionPhase(post, tds.CollectConfig{}, rng, now, &m); err != nil {
+		if err := eng.collectionPhase(context.Background(), post, tds.CollectConfig{}, rng, now, &m, nil); err != nil {
 			b.Fatal(err)
 		}
 		if m.Nt == 0 {

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/netsim"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
@@ -303,6 +305,13 @@ func (e *Engine) nextQueryID() string {
 	return fmt.Sprintf("q-%06d", e.seq)
 }
 
+// wireEpoch is the 1-based key epoch stamped on query posts and deposit
+// envelopes. KeyAuthority epochs are 0-based; on the wire 0 means
+// "unknown", so the first epoch transmits as 1.
+func (e *Engine) wireEpoch() int {
+	return int(e.keyAuth.Epoch()) + 1
+}
+
 // availableWorkers is the number of TDSs connected during aggregation and
 // filtering phases.
 func (e *Engine) availableWorkers() int {
@@ -350,8 +359,45 @@ type Metrics struct {
 	// repetition — feed them to Engine.RevokeAndRotate to expel repeat
 	// offenders from the fleet.
 	Suspects []string
+	// EligibleDevices is how many TDSs the collection phase could have
+	// reached: the whole fleet, or the target set of a personal-querybox
+	// run.
+	EligibleDevices int
+	// DepositedDevices is how many of them committed a deposit the SSI
+	// accepted before the SIZE condition closed the collection.
+	DepositedDevices int
+	// CoverageRatio is DepositedDevices / EligibleDevices — the exact share
+	// of the reachable fleet represented in the covering result. Churn
+	// (offline windows, dropped or corrupt deposits) and early SIZE cutoffs
+	// both lower it; a fault plan's CoverageFloor turns a low ratio into
+	// ErrCoverageBelowFloor.
+	CoverageRatio float64
+	// OfflineDevices counts eligible TDSs whose fault plan scripted an
+	// offline window covering this query: they never connected.
+	OfflineDevices int
+	// DroppedDeposits counts deposits abandoned mid-transfer; the SSI
+	// discarded each after the plan's DepositTimeout.
+	DroppedDeposits int
+	// CorruptDeposits counts envelopes the SSI rejected on their transport
+	// checksum.
+	CorruptDeposits int
+	// Timeouts counts every SSI-side timeout the run absorbed: dropped
+	// deposits plus phase assignments that had to be re-issued.
+	Timeouts int
+	// RetryWait is the total simulated time the SSI spent waiting out
+	// timeouts and backoffs. The share incurred in aggregation/filtering
+	// phases is also folded into TQ; collection-phase deposit timeouts are
+	// not (collection time is excluded from TQ, as in the paper).
+	RetryWait time.Duration
+	// PartitionsAbandoned counts partitions dropped after the fault plan's
+	// MaxAttempts re-issues — graceful degradation instead of livelock.
+	PartitionsAbandoned int
 	// Observation is the honest-but-curious SSI ledger for the run.
 	Observation ssi.Observation
+	// Ledger is the SSI's recovery audit trail: every deposit timeout,
+	// rejected envelope and partition re-issue, in committed order —
+	// deterministic for a fixed fault seed at any worker count.
+	Ledger []ssi.LedgerEntry
 	// Phases records the simulated duration of every aggregation /
 	// filtering step in order (S_Agg contributes one entry per iterative
 	// step). Collection is excluded, as in the paper's T_Q.
@@ -371,12 +417,17 @@ func (m *Metrics) applyPhaseStats(ps phaseStats) {
 	m.Reassignments += ps.Reassigned
 	m.AuditDetections += ps.Detections
 	m.Suspects = append(m.Suspects, ps.Suspects...)
+	m.Timeouts += ps.Timeouts
+	m.RetryWait += ps.Wait
+	m.PartitionsAbandoned += ps.Abandoned
 }
 
 // addNamedPhase folds one phase's work-unit durations into the metrics and
-// records its timing entry.
-func (m *Metrics) addNamedPhase(name string, units []time.Duration, workers int, bytes int64) {
-	dur := netsim.Makespan(units, workers)
+// records its timing entry. wait is the phase's timeout + backoff bill; it
+// extends both the phase duration and TQ (the SSI cannot hand out the next
+// phase's partitions while it is still waiting out this one's stragglers).
+func (m *Metrics) addNamedPhase(name string, units []time.Duration, workers int, bytes int64, wait time.Duration) {
+	dur := netsim.Makespan(units, workers) + wait
 	m.PTDS += len(units)
 	m.TQ += dur
 	for _, u := range units {
@@ -402,9 +453,12 @@ type workUnit struct {
 
 // phaseStats aggregates what a phase cost beyond its work units.
 type phaseStats struct {
-	Reassigned int      // partitions re-sent after a TDS death
-	Detections int      // replicas outvoted by the audit (compromised-TDS ext.)
-	Suspects   []string // IDs of the outvoted devices
+	Reassigned int           // partitions re-sent after a TDS death
+	Detections int           // replicas outvoted by the audit (compromised-TDS ext.)
+	Suspects   []string      // IDs of the outvoted devices
+	Timeouts   int           // scripted crashes the SSI had to time out
+	Wait       time.Duration // timeout + backoff bill of those crashes
+	Abandoned  int           // partitions dropped after MaxAttempts
 }
 
 // runPhase distributes partitions over connected TDSs with a bounded
@@ -416,7 +470,17 @@ type phaseStats struct {
 // the majority output, outvoting compromised devices (extended threat
 // model). Each replica is a real work unit: auditing multiplies P_TDS and
 // Load_Q by ~r, the price of the stronger threat model.
-func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
+//
+// Two failure sources coexist: the legacy Config.FailureRate draws
+// anonymous deaths from the run RNG, and a fault plan scripts
+// crash-before-commit per (device, query). A scripted crash bills the SSI
+// a PhaseTimeout plus capped exponential backoff (phaseStats.Wait), lands
+// a "reassign" entry in the recovery ledger, and re-issues the partition
+// to freshly drawn replacements — until the plan's MaxAttempts abandons
+// it. All draws happen sequentially up front, so the phase is
+// deterministic for any pool size.
+func (e *Engine) runPhase(ctx context.Context, post *protocol.QueryPost, phase string,
+	rng *rand.Rand, faults *faultplan.Plan, partitions [][]protocol.WireTuple,
 	process func(worker *tds.TDS, part []protocol.WireTuple) ([]protocol.WireTuple, error),
 ) ([]workUnit, phaseStats, error) {
 	var stats phaseStats
@@ -429,7 +493,7 @@ func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
 		}
 	}
 	if len(live) == 0 {
-		return nil, stats, fmt.Errorf("core: every device is revoked")
+		return nil, stats, fmt.Errorf("%w: every device is revoked", ErrNoEligibleTDS)
 	}
 	replicas := e.cfg.AuditReplicas
 	if replicas < 1 {
@@ -440,11 +504,12 @@ func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
 	}
 
 	type task struct {
-		part []protocol.WireTuple
+		part    []protocol.WireTuple
+		attempt int // 1-based assignment count for this partition
 	}
-	tasks := make(chan task, len(partitions))
+	tasks := make([]task, 0, len(partitions))
 	for _, p := range partitions {
-		tasks <- task{part: p}
+		tasks = append(tasks, task{part: p, attempt: 1})
 	}
 
 	// Failure decisions must be deterministic: draw them up front.
@@ -457,15 +522,18 @@ func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
 		workers []*tds.TDS // replicas processing the same partition
 	}
 	var plan []assignment
-	maxReassign := 10 * len(partitions) // safety valve against FailureRate ~ 1
-	for len(tasks) > 0 {
-		t := <-tasks
+	maxReassign := 10 * len(partitions) // safety valve against failure rates ~ 1
+	for qi := 0; qi < len(tasks); qi++ {
+		t := tasks[qi]
+		if err := ctxErr(ctx); err != nil {
+			return nil, stats, err
+		}
 		if e.cfg.FailureRate > 0 && stats.Reassigned < maxReassign && failDraw() {
 			// The TDS dies mid-partition: after a timeout the SSI re-sends
 			// the partition to another available TDS (Section 3.2,
 			// correctness). The dead TDS's partial work is discarded.
 			stats.Reassigned++
-			tasks <- task{part: t.part}
+			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1})
 			continue
 		}
 		// Pre-draw enough distinct workers for up to three audit rounds:
@@ -488,6 +556,30 @@ func (e *Engine) runPhase(rng *rand.Rand, partitions [][]protocol.WireTuple,
 			}
 			seen[i] = true
 			ws = append(ws, live[i])
+		}
+		if faults != nil && stats.Reassigned < maxReassign &&
+			faults.For(ws[0].ID, post.ID).CrashInPhase {
+			// The scripted churn: the primary assignee crashes before
+			// committing. The SSI times out, backs off, and re-issues the
+			// partition to a fresh draw — or abandons it past MaxAttempts.
+			wait := faults.RetryWait(t.attempt)
+			stats.Timeouts++
+			stats.Wait += wait
+			e.ssi.Record(post.ID, ssi.LedgerEntry{
+				Kind: "reassign", Phase: phase, Device: ws[0].ID,
+				Attempt: t.attempt, Wait: wait,
+			})
+			if max := faults.MaxAttempts; max > 0 && t.attempt >= max {
+				stats.Abandoned++
+				e.ssi.Record(post.ID, ssi.LedgerEntry{
+					Kind: "partition-abandoned", Phase: phase,
+					Device: ws[0].ID, Attempt: t.attempt,
+				})
+				continue
+			}
+			stats.Reassigned++
+			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1})
+			continue
 		}
 		plan = append(plan, assignment{part: t.part, workers: ws})
 	}

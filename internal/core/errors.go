@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors of the run path. Callers match them with
+// errors.Is; every error returned by Execute that corresponds to one of
+// these conditions wraps the sentinel, whatever detail the message adds.
+var (
+	// ErrNoEligibleTDS means no device can take part in the query: the
+	// fleet is empty, or every enrolled device has been revoked.
+	ErrNoEligibleTDS = errors.New("core: no eligible TDS")
+	// ErrQueryTimeout means the caller's context expired or was canceled
+	// before the run completed; partial SSI state is dropped as usual.
+	ErrQueryTimeout = errors.New("core: query timed out")
+	// ErrCoverageBelowFloor means churn cost the collection phase more of
+	// the fleet than the fault plan's CoverageFloor tolerates; the metrics
+	// still report the exact ratio reached.
+	ErrCoverageBelowFloor = errors.New("core: collection coverage below floor")
+)

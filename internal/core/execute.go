@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+)
+
+// Request is everything one query execution needs. It consolidates the
+// former Run / RunTargeted / CollectOnce entry points: the zero value of
+// every optional field selects the plain global-querybox run those methods
+// used to perform.
+type Request struct {
+	// Querier issues the query and decrypts the result. Required.
+	Querier *querier.Querier
+	// SQL is the query text, including any SIZE clause. Required.
+	SQL string
+	// Kind selects the protocol (Basic for Select-From-Where, an
+	// aggregation protocol otherwise).
+	Kind protocol.Kind
+	// Params carries per-protocol tuning; the zero value selects the
+	// paper's defaults.
+	Params protocol.Params
+	// Targets routes the query through the personal queryboxes of these
+	// TDSs (Section 3.1). Empty means the global querybox.
+	Targets []string
+	// Faults scripts fleet churn for this run and sets the SSI's recovery
+	// policy (timeouts, backoff, coverage floor). Nil injects nothing.
+	Faults *faultplan.Plan
+	// CollectOnly stops after the collection phase and returns a Response
+	// with Metrics but no Result — the benchmark-instrumentation mode of
+	// the former CollectOnce.
+	CollectOnly bool
+}
+
+// Response is one execution's outcome.
+type Response struct {
+	// Result is the decrypted query result; nil for CollectOnly requests.
+	Result *sqlexec.Result
+	// Metrics reports what the run cost in the paper's units, plus the
+	// availability account: coverage ratio, churn counters, and the SSI's
+	// recovery ledger.
+	Metrics *Metrics
+}
+
+// Execute runs one query end-to-end: collection, aggregation (for the
+// Group-By protocols) and filtering, through the honest-but-curious SSI,
+// under the fault plan's churn if one is given. It is the single
+// entrypoint consolidating Run, RunTargeted and CollectOnce.
+//
+// ctx bounds the run: when it is canceled or its deadline passes, Execute
+// aborts between protocol steps and returns an error matching
+// errors.Is(err, ErrQueryTimeout). A nil plan and empty targets reproduce
+// the legacy Run behavior exactly.
+func (e *Engine) Execute(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Querier == nil {
+		return nil, fmt.Errorf("core: Request.Querier is required")
+	}
+	if req.SQL == "" {
+		return nil, fmt.Errorf("core: Request.SQL is required")
+	}
+	return e.run(ctx, req)
+}
+
+// ctxErr reports a context expiry as the typed query-timeout sentinel, or
+// nil while the context is live.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrQueryTimeout, err)
+	}
+	return nil
+}
+
+// Run executes sql on behalf of q with the given protocol and returns the
+// decrypted result plus the run's metrics.
+//
+// Deprecated: use Execute, which adds context cancellation, fault plans
+// and targeted runs behind one Request.
+func (e *Engine) Run(q *querier.Querier, sql string, kind protocol.Kind, params protocol.Params) (*sqlexec.Result, *Metrics, error) {
+	resp, err := e.Execute(context.Background(), Request{Querier: q, SQL: sql, Kind: kind, Params: params})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Result, resp.Metrics, nil
+}
+
+// RunTargeted executes sql through the personal queryboxes of the given
+// TDSs (Section 3.1): only the targeted devices download and answer the
+// query. The SSI necessarily learns who was asked — that is what a
+// personal querybox is — but still sees only ciphertext answers.
+//
+// Deprecated: use Execute with Request.Targets.
+func (e *Engine) RunTargeted(q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("core: RunTargeted needs at least one target TDS")
+	}
+	resp, err := e.Execute(context.Background(), Request{
+		Querier: q, SQL: sql, Kind: kind, Params: params, Targets: targets})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Result, resp.Metrics, nil
+}
+
+// CollectOnce runs only the collection phase of one query and discards the
+// deposited tuples, returning the phase's metrics. It is an
+// instrumentation hook for benchmark tooling (cmd/benchtool -bench-json).
+//
+// Deprecated: use Execute with Request.CollectOnly.
+func (e *Engine) CollectOnce(q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params) (*Metrics, error) {
+	resp, err := e.Execute(context.Background(), Request{
+		Querier: q, SQL: sql, Kind: kind, Params: params, CollectOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
+}

@@ -1,113 +1,110 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 	"time"
 
+	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/histogram"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
-	"github.com/trustedcells/tcq/internal/sqlexec"
 	"github.com/trustedcells/tcq/internal/sqlparse"
 	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/storage"
 	"github.com/trustedcells/tcq/internal/tds"
 )
 
-// Run executes sql on behalf of q with the given protocol and returns the
-// decrypted result plus the run's metrics. The engine drives the three
-// phases of the generic protocol (Fig. 2): collection, aggregation (absent
-// for plain Select-From-Where), filtering.
-func (e *Engine) Run(q *querier.Querier, sql string, kind protocol.Kind, params protocol.Params) (*sqlexec.Result, *Metrics, error) {
-	return e.run(q, sql, kind, params, nil)
-}
-
-// RunTargeted executes sql through the personal queryboxes of the given
-// TDSs (Section 3.1): only the targeted devices download and answer the
-// query. The SSI necessarily learns who was asked — that is what a
-// personal querybox is — but still sees only ciphertext answers.
-func (e *Engine) RunTargeted(q *querier.Querier, sql string, kind protocol.Kind,
-	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
-	if len(targets) == 0 {
-		return nil, nil, fmt.Errorf("core: RunTargeted needs at least one target TDS")
-	}
-	return e.run(q, sql, kind, params, targets)
-}
-
-func (e *Engine) run(q *querier.Querier, sql string, kind protocol.Kind,
-	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
+// run drives the three phases of the generic protocol (Fig. 2) for one
+// Request: collection, aggregation (absent for plain Select-From-Where),
+// filtering. It is the single execution path behind Execute.
+func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	if len(e.fleet) == 0 {
-		return nil, nil, fmt.Errorf("core: empty fleet")
+		return nil, fmt.Errorf("%w: the fleet is empty", ErrNoEligibleTDS)
 	}
-	stmt, err := sqlparse.Parse(sql)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	stmt, err := sqlparse.Parse(req.SQL)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	if !stmt.IsAggregate() && kind != protocol.KindBasic {
-		return nil, nil, fmt.Errorf("core: %v requires an aggregate query; use Basic for Select-From-Where", kind)
-	}
-	if stmt.IsAggregate() && kind == protocol.KindBasic {
-		return nil, nil, fmt.Errorf("core: aggregate queries need an aggregation protocol, not Basic")
+	if !req.CollectOnly {
+		if !stmt.IsAggregate() && req.Kind != protocol.KindBasic {
+			return nil, fmt.Errorf("core: %v requires an aggregate query; use Basic for Select-From-Where", req.Kind)
+		}
+		if stmt.IsAggregate() && req.Kind == protocol.KindBasic {
+			return nil, fmt.Errorf("core: aggregate queries need an aggregation protocol, not Basic")
+		}
 	}
 
-	post, err := q.BuildPost(e.nextQueryID(), sql, kind, params)
+	post, err := req.Querier.BuildPost(e.nextQueryID(), req.SQL, req.Kind, req.Params)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	post.Targets = targets
+	post.Targets = req.Targets
+	post.Epoch = e.wireEpoch()
 	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID))))
 	now := time.Unix(1700000000, 0) // simulated wall clock origin
 
 	if err := e.ssi.PostQuery(post, now); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer e.ssi.Drop(post.ID)
 	defer e.dropPlans(post.ID)
 
-	metrics := &Metrics{Protocol: kind}
+	metrics := &Metrics{Protocol: req.Kind}
 
-	cfgTpl, err := e.collectInputs(q, stmt, kind, params)
+	cfgTpl, err := e.collectInputs(ctx, req.Querier, stmt, req.Kind, req.Params)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
-	if err := e.collectionPhase(post, cfgTpl, rng, now, metrics); err != nil {
-		return nil, nil, err
+	if err := e.collectionPhase(ctx, post, cfgTpl, rng, now, metrics, req.Faults); err != nil {
+		return nil, err
 	}
 
-	finalTuples, err := e.aggregateAndFilter(post, stmt, rng, metrics)
-	if err != nil {
-		return nil, nil, err
+	if req.CollectOnly {
+		metrics.Observation = e.ssi.ObservationFor(post.ID)
+		metrics.LoadBytes += e.ssi.BytesStored(post.ID)
+		metrics.Ledger = e.ssi.LedgerFor(post.ID)
+		return &Response{Metrics: metrics}, nil
 	}
 
-	res, err := q.DecryptResult(post, finalTuples)
+	finalTuples, err := e.aggregateAndFilter(ctx, post, stmt, rng, metrics, req.Faults)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+
+	res, err := req.Querier.DecryptResult(post, finalTuples)
+	if err != nil {
+		return nil, err
 	}
 	metrics.Observation = e.ssi.ObservationFor(post.ID)
 	metrics.LoadBytes += e.ssi.BytesStored(post.ID)
+	metrics.Ledger = e.ssi.LedgerFor(post.ID)
 	metrics.finish()
-	return res, metrics, nil
+	return &Response{Result: res, Metrics: metrics}, nil
 }
 
 // collectInputs assembles the per-protocol collection-phase inputs: the
 // A_G domain for the noise protocols, the equi-depth histogram for
 // ED_Hist. Both come from the distribution-discovery process
 // (Section 4.4), run once and cached.
-func (e *Engine) collectInputs(q *querier.Querier, stmt *sqlparse.SelectStmt,
+func (e *Engine) collectInputs(ctx context.Context, q *querier.Querier, stmt *sqlparse.SelectStmt,
 	kind protocol.Kind, params protocol.Params) (tds.CollectConfig, error) {
 	var cfgTpl tds.CollectConfig
 	switch kind {
 	case protocol.KindRnfNoise, protocol.KindCNoise:
-		disc, err := e.discoverDistribution(q, stmt)
+		disc, err := e.discoverDistribution(ctx, q, stmt)
 		if err != nil {
 			return cfgTpl, err
 		}
 		cfgTpl.Domain = disc.domain
 	case protocol.KindEDHist:
-		disc, err := e.discoverDistribution(q, stmt)
+		disc, err := e.discoverDistribution(ctx, q, stmt)
 		if err != nil {
 			return cfgTpl, err
 		}
@@ -131,43 +128,6 @@ func (e *Engine) collectInputs(q *querier.Querier, stmt *sqlparse.SelectStmt,
 	return cfgTpl, nil
 }
 
-// CollectOnce runs only the collection phase of one query and discards the
-// deposited tuples, returning the phase's metrics. It is an
-// instrumentation hook for benchmark tooling (cmd/benchtool -bench-json);
-// real protocol runs go through Run.
-func (e *Engine) CollectOnce(q *querier.Querier, sql string, kind protocol.Kind,
-	params protocol.Params) (*Metrics, error) {
-	if len(e.fleet) == 0 {
-		return nil, fmt.Errorf("core: empty fleet")
-	}
-	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	post, err := q.BuildPost(e.nextQueryID(), sql, kind, params)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID))))
-	now := time.Unix(1700000000, 0)
-	if err := e.ssi.PostQuery(post, now); err != nil {
-		return nil, err
-	}
-	defer e.ssi.Drop(post.ID)
-	defer e.dropPlans(post.ID)
-	metrics := &Metrics{Protocol: kind}
-	cfgTpl, err := e.collectInputs(q, stmt, kind, params)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.collectionPhase(post, cfgTpl, rng, now, metrics); err != nil {
-		return nil, err
-	}
-	metrics.Observation = e.ssi.ObservationFor(post.ID)
-	metrics.LoadBytes += e.ssi.BytesStored(post.ID)
-	return metrics, nil
-}
-
 // perPartitionTuples derives how many wire tuples fit the calibrated
 // streaming unit (4 KB partitions in the unit test).
 func (e *Engine) perPartitionTuples(params protocol.Params, sample []protocol.WireTuple) int {
@@ -187,8 +147,8 @@ func (e *Engine) perPartitionTuples(params protocol.Params, sample []protocol.Wi
 
 // aggregateAndFilter runs the protocol-specific aggregation phase followed
 // by the filtering phase and returns the k1-encrypted final tuples.
-func (e *Engine) aggregateAndFilter(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics) ([]protocol.WireTuple, error) {
+func (e *Engine) aggregateAndFilter(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
 	collected := e.ssi.CollectedTuples(post.ID)
 	workers := e.availableWorkers()
 
@@ -197,22 +157,22 @@ func (e *Engine) aggregateAndFilter(post *protocol.QueryPost, stmt *sqlparse.Sel
 		// Filtering phase only: random partitions of the covering result,
 		// each filtered by a TDS (steps 9-12).
 		parts := ssi.RandomPartitions(collected, e.perPartitionTuples(post.Params, collected), rng)
-		units, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		units, ps, err := e.runPhase(ctx, post, "filter-sfw", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.FilterSFW(post, p)
 		})
 		if err != nil {
 			return nil, err
 		}
 		metrics.applyPhaseStats(ps)
-		metrics.addNamedPhase("filter-sfw", unitDurations(units), workers, unitBytes(units))
+		metrics.addNamedPhase("filter-sfw", unitDurations(units), workers, unitBytes(units), ps.Wait)
 		metrics.LoadBytes += unitBytes(units)
 		return collectOutputs(units), nil
 
 	case protocol.KindSAgg:
-		return e.runSAgg(post, stmt, rng, metrics, collected)
+		return e.runSAgg(ctx, post, stmt, rng, metrics, collected, faults)
 
 	case protocol.KindRnfNoise, protocol.KindCNoise, protocol.KindEDHist:
-		return e.runTagged(post, stmt, rng, metrics, collected)
+		return e.runTagged(ctx, post, stmt, rng, metrics, collected, faults)
 
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %v", post.Kind)
@@ -222,8 +182,8 @@ func (e *Engine) aggregateAndFilter(post *protocol.QueryPost, stmt *sqlparse.Sel
 // runSAgg is the iterative secure aggregation of Section 4.2: random
 // partitions, each folded by a TDS into one partial aggregation, repeated
 // with reduction factor α until a single partial remains, then filtering.
-func (e *Engine) runSAgg(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
+func (e *Engine) runSAgg(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
 	alpha := post.Params.Alpha
 	if alpha < 2 {
 		alpha = 3.6 // α_op of Section 6.1.1
@@ -242,15 +202,15 @@ func (e *Engine) runSAgg(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
 	}
 	for len(units) > 1 {
 		parts := ssi.RandomPartitions(units, per, rng)
-		stepUnits, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		name := fmt.Sprintf("s_agg-step-%d", len(metrics.Phases)+1)
+		stepUnits, ps, err := e.runPhase(ctx, post, name, rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.Aggregate(post, p, tds.EmitWhole)
 		})
 		if err != nil {
 			return nil, err
 		}
 		metrics.applyPhaseStats(ps)
-		metrics.addNamedPhase(fmt.Sprintf("s_agg-step-%d", len(metrics.Phases)+1),
-			unitDurations(stepUnits), workers, unitBytes(stepUnits))
+		metrics.addNamedPhase(name, unitDurations(stepUnits), workers, unitBytes(stepUnits), ps.Wait)
 		metrics.LoadBytes += unitBytes(stepUnits)
 		next := collectOutputs(stepUnits)
 		e.ssi.ObserveRelay(post.ID, next)
@@ -270,29 +230,29 @@ func (e *Engine) runSAgg(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
 
 	// Filtering phase: the single final partial goes to one TDS which
 	// applies HAVING and encrypts the result for the querier.
-	return e.filterFinal(post, stmt, rng, metrics, units)
+	return e.filterFinal(ctx, post, stmt, rng, metrics, units, faults)
 }
 
 // runTagged drives the noise and histogram protocols: the SSI groups
 // tuples by tag (Det_Enc(A_G) or h(bucketId)), a first aggregation step
 // folds each partition into per-group partials, a second step completes
 // each group, and the filtering phase applies HAVING.
-func (e *Engine) runTagged(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
+func (e *Engine) runTagged(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
 	workers := e.availableWorkers()
 	per := e.perPartitionTuples(post.Params, collected)
 
 	// First aggregation step: partitions hold tuples of one tag; large
 	// groups split across n_NB partitions processed in parallel.
 	parts := ssi.TagPartitions(collected, per)
-	step1, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	step1, ps, err := e.runPhase(ctx, post, "aggregate-1", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
 	})
 	if err != nil {
 		return nil, err
 	}
 	metrics.applyPhaseStats(ps)
-	metrics.addNamedPhase("aggregate-1", unitDurations(step1), workers, unitBytes(step1))
+	metrics.addNamedPhase("aggregate-1", unitDurations(step1), workers, unitBytes(step1), ps.Wait)
 	metrics.LoadBytes += unitBytes(step1)
 	partials := collectOutputs(step1)
 	e.ssi.ObserveRelay(post.ID, partials)
@@ -300,40 +260,40 @@ func (e *Engine) runTagged(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
 	// Second aggregation step: per-group partitions (each tag is now
 	// Det_Enc of one exact group) merged to completion.
 	parts = ssi.TagPartitions(partials, 0)
-	step2, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	step2, ps, err := e.runPhase(ctx, post, "aggregate-2", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
 	})
 	if err != nil {
 		return nil, err
 	}
 	metrics.applyPhaseStats(ps)
-	metrics.addNamedPhase("aggregate-2", unitDurations(step2), workers, unitBytes(step2))
+	metrics.addNamedPhase("aggregate-2", unitDurations(step2), workers, unitBytes(step2), ps.Wait)
 	metrics.LoadBytes += unitBytes(step2)
 	finals := collectOutputs(step2)
 	e.ssi.ObserveRelay(post.ID, finals)
 
-	return e.filterFinal(post, stmt, rng, metrics, finals)
+	return e.filterFinal(ctx, post, stmt, rng, metrics, finals, faults)
 }
 
 // filterFinal is the filtering phase of the aggregate protocols: evaluate
 // the HAVING clause over completed groups and deliver k1-encrypted result
 // tuples (step 11 eliminates groups, not dummies).
-func (e *Engine) filterFinal(post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, finals []protocol.WireTuple) ([]protocol.WireTuple, error) {
+func (e *Engine) filterFinal(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
+	rng *rand.Rand, metrics *Metrics, finals []protocol.WireTuple, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
 	workers := e.availableWorkers()
 	parts := ssi.RandomPartitions(finals, e.perPartitionTuples(post.Params, finals), rng)
 	if len(parts) == 0 {
 		parts = [][]protocol.WireTuple{nil}
 	}
 	forceEmpty := len(stmt.GroupBy) == 0
-	units, ps, err := e.runPhase(rng, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	units, ps, err := e.runPhase(ctx, post, "filtering", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.FinalizeGroups(post, p, false)
 	})
 	if err != nil {
 		return nil, err
 	}
 	metrics.applyPhaseStats(ps)
-	metrics.addNamedPhase("filtering", unitDurations(units), workers, unitBytes(units))
+	metrics.addNamedPhase("filtering", unitDurations(units), workers, unitBytes(units), ps.Wait)
 	metrics.LoadBytes += unitBytes(units)
 	out := collectOutputs(units)
 	metrics.Groups = countGroups(units)
@@ -349,7 +309,7 @@ func (e *Engine) filterFinal(post *protocol.QueryPost, stmt *sqlparse.SelectStmt
 			}
 		}
 		if w == nil {
-			return nil, fmt.Errorf("core: every device is revoked")
+			return nil, fmt.Errorf("%w: every device is revoked", ErrNoEligibleTDS)
 		}
 		synth, err := w.FinalizeGroups(post, nil, true)
 		if err != nil {
@@ -421,8 +381,9 @@ func (e *Engine) RefreshDiscovery() {
 // executed with S_Agg (which needs no prior knowledge), yielding both the
 // frequency map and the A_G domain. The result is cached: discovery "needs
 // to be done only once and refreshed from time to time instead of being
-// run for each query".
-func (e *Engine) discoverDistribution(q *querier.Querier, stmt *sqlparse.SelectStmt) (*discovered, error) {
+// run for each query". The discovery sub-run inherits the caller's
+// context but never its fault plan: it models an earlier, clean run.
+func (e *Engine) discoverDistribution(ctx context.Context, q *querier.Querier, stmt *sqlparse.SelectStmt) (*discovered, error) {
 	if len(stmt.GroupBy) == 0 {
 		d := &discovered{counts: map[string]int64{"": 1}, domain: []storage.Row{{}}}
 		return d, nil
@@ -446,10 +407,11 @@ func (e *Engine) discoverDistribution(q *querier.Querier, stmt *sqlparse.SelectS
 
 	sql := fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s",
 		strings.Join(cols, ", "), strings.Join(tables, ", "), strings.Join(cols, ", "))
-	res, _, err := e.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	resp, err := e.Execute(ctx, Request{Querier: q, SQL: sql, Kind: protocol.KindSAgg})
 	if err != nil {
 		return nil, fmt.Errorf("core: distribution discovery: %w", err)
 	}
+	res := resp.Result
 	d := &discovered{counts: make(map[string]int64, len(res.Rows))}
 	for _, row := range res.Rows {
 		group := row[:len(row)-1]

@@ -1,0 +1,197 @@
+// Package faultplan scripts deterministic fault injection for a TDS fleet.
+//
+// The paper's architecture is built on intermittently connected devices: a
+// TDS connects, deposits, and vanishes, and the SSI must drive the
+// protocol to completion anyway (Section 2.1, 3.2). This package is the
+// physical world's misbehavior, made reproducible: a seeded Plan assigns
+// every (device, query) pair a Behavior — offline windows, mid-deposit
+// disconnects, corrupted uploads, latency inflation, crash-before-commit
+// during aggregation — plus the SSI-side recovery policy (timeouts, capped
+// exponential backoff, a per-partition retry cap, a coverage floor).
+//
+// Determinism is the design constraint everything here serves: a Behavior
+// depends only on (Plan.Seed, device ID, query ID), never on connection
+// order, goroutine scheduling or wall time. The engine's parallel
+// collection pipeline can therefore evaluate behaviors speculatively and
+// still commit bit-identical runs for any worker count.
+package faultplan
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Defaults of the SSI-side recovery policy (simulated time).
+const (
+	// DefaultSlowFactor inflates a slow device's connection latency.
+	DefaultSlowFactor = 4.0
+	// DefaultDepositTimeout is how long the SSI holds a half-finished
+	// deposit before discarding it (the device vanished mid-transfer).
+	DefaultDepositTimeout = 30 * time.Second
+	// DefaultPhaseTimeout is how long the SSI waits for an assigned
+	// partition before declaring the worker dead and re-issuing it.
+	DefaultPhaseTimeout = 2 * time.Second
+	// DefaultBackoffBase is the first re-issue backoff.
+	DefaultBackoffBase = 250 * time.Millisecond
+	// DefaultBackoffCap bounds the exponential backoff.
+	DefaultBackoffCap = 4 * time.Second
+)
+
+// Plan scripts the churn of one fleet. The zero value injects nothing; a
+// nil *Plan is valid everywhere and behaves like the zero value.
+type Plan struct {
+	// Seed drives every per-device draw. Two plans with equal seeds and
+	// fractions script identical fleets.
+	Seed int64
+
+	// OfflineFraction is the share of devices that never connect during a
+	// query's collection phase (an offline window covering the query).
+	OfflineFraction float64
+	// DropFraction is the share of devices that connect and start
+	// depositing but disconnect mid-transfer; the SSI discards the partial
+	// deposit after DepositTimeout.
+	DropFraction float64
+	// CorruptFraction is the share of devices whose deposit arrives with a
+	// transport integrity failure; the SSI detects the bad checksum and
+	// rejects the envelope.
+	CorruptFraction float64
+	// SlowFraction is the share of devices whose connection latency is
+	// inflated by SlowFactor (simulated clock only).
+	SlowFraction float64
+	// SlowFactor multiplies a slow device's connection interval; values
+	// below 1 select DefaultSlowFactor.
+	SlowFactor float64
+	// CrashFraction is the share of devices that crash before committing
+	// whenever they are handed an aggregation/filtering partition; the SSI
+	// times out and re-issues the partition to a replacement TDS.
+	CrashFraction float64
+
+	// DepositTimeout, PhaseTimeout, BackoffBase and BackoffCap tune the
+	// SSI-side recovery policy; zero selects the defaults above.
+	DepositTimeout time.Duration
+	PhaseTimeout   time.Duration
+	BackoffBase    time.Duration
+	BackoffCap     time.Duration
+
+	// MaxAttempts caps how many times one partition is assigned before the
+	// SSI abandons it (graceful degradation); 0 never abandons.
+	MaxAttempts int
+
+	// CoverageFloor is the minimum ratio of eligible devices whose deposit
+	// must commit for the run to count as answered; below it the engine
+	// fails the query with core.ErrCoverageBelowFloor. 0 disables the
+	// floor.
+	CoverageFloor float64
+}
+
+// Behavior is what the plan scripts for one device on one query.
+type Behavior struct {
+	// Offline: the device never connects during collection.
+	Offline bool
+	// DropDeposit: the device connects but vanishes mid-deposit.
+	DropDeposit bool
+	// CorruptDeposit: the deposit arrives with a bad transport checksum.
+	CorruptDeposit bool
+	// SlowFactor inflates this device's connection interval (>= 1).
+	SlowFactor float64
+	// CrashInPhase: the device crashes before committing any
+	// aggregation/filtering partition it is assigned.
+	CrashInPhase bool
+}
+
+// fnv is FNV-1a, the same string hash the engine seeds per-entity RNGs
+// with; faultplan keeps its own copy so the package stays leaf-level.
+func fnv(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// For returns the scripted behavior of device deviceID on query queryID.
+// It is pure: the outcome depends only on (Seed, deviceID, queryID), so
+// callers may evaluate it in any order, from any goroutine, any number of
+// times. A nil plan scripts nothing.
+func (p *Plan) For(deviceID, queryID string) Behavior {
+	b := Behavior{SlowFactor: 1}
+	if p == nil {
+		return b
+	}
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(fnv(deviceID)) ^ int64(fnv(queryID))<<17 ^ 0xfa17))
+	// Fixed draw count and order: adding a scenario must not reshuffle the
+	// draws of the others.
+	offline := rng.Float64() < p.OfflineFraction
+	drop := rng.Float64() < p.DropFraction
+	corrupt := rng.Float64() < p.CorruptFraction
+	slow := rng.Float64() < p.SlowFraction
+	crash := rng.Float64() < p.CrashFraction
+	// Collection outcomes are mutually exclusive, resolved by severity: a
+	// device that never connects cannot also half-deposit, and a deposit
+	// that never completes cannot arrive corrupted.
+	switch {
+	case offline:
+		b.Offline = true
+	case drop:
+		b.DropDeposit = true
+	case corrupt:
+		b.CorruptDeposit = true
+	}
+	if slow && !b.Offline {
+		f := p.SlowFactor
+		if f < 1 {
+			f = DefaultSlowFactor
+		}
+		b.SlowFactor = f
+	}
+	// Crashing is a phase-time property, independent of the collection
+	// outcome (phases draw from the whole fleet, not just collectors).
+	b.CrashInPhase = crash
+	return b
+}
+
+// DepositWait is the simulated time the SSI spends before discarding a
+// half-finished deposit.
+func (p *Plan) DepositWait() time.Duration {
+	if p == nil || p.DepositTimeout <= 0 {
+		return DefaultDepositTimeout
+	}
+	return p.DepositTimeout
+}
+
+// Backoff returns the capped exponential backoff before re-issue attempt
+// n (1-based): base, 2·base, 4·base, ... never above the cap.
+func (p *Plan) Backoff(attempt int) time.Duration {
+	base, cap := DefaultBackoffBase, DefaultBackoffCap
+	if p != nil && p.BackoffBase > 0 {
+		base = p.BackoffBase
+	}
+	if p != nil && p.BackoffCap > 0 {
+		cap = p.BackoffCap
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// RetryWait is the total simulated delay one failed assignment costs the
+// SSI: the detection timeout plus the backoff before re-issue attempt n.
+func (p *Plan) RetryWait(attempt int) time.Duration {
+	t := DefaultPhaseTimeout
+	if p != nil && p.PhaseTimeout > 0 {
+		t = p.PhaseTimeout
+	}
+	return t + p.Backoff(attempt)
+}

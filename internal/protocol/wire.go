@@ -118,6 +118,80 @@ type WireTuple struct {
 // Size returns the bytes this tuple occupies at the SSI.
 func (w WireTuple) Size() int { return len(w.Tag) + len(w.Ciphertext) + len(w.Digest) }
 
+// Deposit is the envelope a TDS uploads at step 4 of Fig. 2. The tuples
+// themselves are ciphertext; the envelope adds the cleartext metadata an
+// availability-agnostic SSI needs to survive churn:
+//
+//   - DeviceID and Attempt let it reject replays — a deposit re-sent after
+//     a retransmission (same device, same or earlier attempt) is stale and
+//     must not be stored twice;
+//   - Epoch pins the fleet key epoch the device held, so a deposit recorded
+//     before a key rotation cannot be replayed into a later query;
+//   - Sum is a transport checksum over the tuples, so a device that
+//     disconnects mid-upload or a corrupted transfer is detected and
+//     discarded instead of poisoning the covering result.
+//
+// None of this weakens the privacy analysis: the SSI already knows which
+// device connected when (Section 5); the envelope carries no plaintext the
+// honest-but-curious ledger did not have.
+type Deposit struct {
+	QueryID  string
+	DeviceID string
+	// Attempt is the device's 1-based retry counter for this query.
+	Attempt int
+	// Epoch is the 1-based fleet key epoch the depositing device holds;
+	// 0 means unknown (legacy/anonymous deposits skip the epoch check).
+	Epoch  int
+	Tuples []WireTuple
+	// Sum is the FNV-1a transport checksum over the tuples.
+	Sum uint64
+}
+
+// NewDeposit assembles a sealed envelope: the checksum is computed over
+// the tuples at build time, so any later in-flight mutation is detectable.
+func NewDeposit(queryID, deviceID string, attempt, epoch int, tuples []WireTuple) *Deposit {
+	d := &Deposit{QueryID: queryID, DeviceID: deviceID, Attempt: attempt,
+		Epoch: epoch, Tuples: tuples}
+	d.Sum = d.checksum()
+	return d
+}
+
+// checksum is FNV-1a over every byte of every tuple, with length framing
+// so tuple boundaries cannot be shifted without detection.
+func (d *Deposit) checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b []byte) {
+		h ^= uint64(len(b))
+		h *= prime
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime
+		}
+	}
+	for _, w := range d.Tuples {
+		mix(w.Tag)
+		mix(w.Ciphertext)
+		mix(w.Digest)
+	}
+	return h
+}
+
+// IntegrityOK reports whether the tuples still match the sealed checksum.
+func (d *Deposit) IntegrityOK() bool { return d.Sum == d.checksum() }
+
+// Size returns the bytes the deposit's tuples occupy.
+func (d *Deposit) Size() int {
+	n := 0
+	for _, w := range d.Tuples {
+		n += w.Size()
+	}
+	return n
+}
+
 // EncodePayload prepends the marker to a body.
 func EncodePayload(m MarkerByte, body []byte) []byte {
 	out := make([]byte, 0, 1+len(body))
@@ -200,6 +274,10 @@ type QueryPost struct {
 	Size       sqlparse.SizeClause
 	Targets    []string // TDS IDs; empty = global querybox
 	PostedAt   time.Time
+	// Epoch is the 1-based fleet key epoch the query was posted under; the
+	// SSI rejects deposits sealed under a different epoch as stale
+	// (replays across key rotations). 0 disables the check.
+	Epoch int
 
 	// aad caches the AAD bytes: every encrypt/decrypt of every tuple
 	// rebinds to the query, so the hot paths would otherwise allocate the

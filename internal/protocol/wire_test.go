@@ -155,3 +155,56 @@ func TestTargetedTo(t *testing.T) {
 		t.Error("non-target matched")
 	}
 }
+
+func TestDepositChecksumDetectsMutation(t *testing.T) {
+	tuples := []WireTuple{
+		{Tag: []byte("a"), Ciphertext: []byte{1, 2, 3}, Digest: []byte{9}},
+		{Tag: []byte("b"), Ciphertext: []byte{4, 5}, Digest: []byte{8}},
+	}
+	d := NewDeposit("q1", "tds-00001", 1, 2, tuples)
+	if !d.IntegrityOK() {
+		t.Fatal("fresh envelope fails its own checksum")
+	}
+	if d.QueryID != "q1" || d.DeviceID != "tds-00001" || d.Attempt != 1 || d.Epoch != 2 {
+		t.Fatalf("envelope metadata mangled: %+v", d)
+	}
+
+	d.Tuples[0].Ciphertext[1] ^= 0xff
+	if d.IntegrityOK() {
+		t.Fatal("flipped ciphertext byte not detected")
+	}
+	d.Tuples[0].Ciphertext[1] ^= 0xff
+	if !d.IntegrityOK() {
+		t.Fatal("restored envelope still rejected")
+	}
+
+	d.Sum ^= 0x1
+	if d.IntegrityOK() {
+		t.Fatal("flipped checksum not detected")
+	}
+}
+
+func TestDepositChecksumFramesLengths(t *testing.T) {
+	// Moving a byte across a tuple-field boundary keeps the byte stream
+	// identical; only length framing can tell the two apart.
+	a := NewDeposit("q", "", 0, 0, []WireTuple{{Tag: []byte("ab"), Ciphertext: []byte("c")}})
+	b := NewDeposit("q", "", 0, 0, []WireTuple{{Tag: []byte("a"), Ciphertext: []byte("bc")}})
+	if a.Sum == b.Sum {
+		t.Fatal("checksum ignores field boundaries")
+	}
+	empty := NewDeposit("q", "", 0, 0, nil)
+	one := NewDeposit("q", "", 0, 0, []WireTuple{{}})
+	if empty.Sum == one.Sum {
+		t.Fatal("checksum ignores tuple count")
+	}
+}
+
+func TestDepositSize(t *testing.T) {
+	d := NewDeposit("q", "", 0, 0, []WireTuple{
+		{Tag: []byte("ab"), Ciphertext: make([]byte, 10), Digest: []byte("xyz")},
+		{Ciphertext: make([]byte, 5)},
+	})
+	if got := d.Size(); got != 20 {
+		t.Fatalf("Size = %d, want 20", got)
+	}
+}

@@ -11,12 +11,27 @@
 package ssi
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"github.com/trustedcells/tcq/internal/protocol"
+)
+
+// Typed deposit rejections. The SSI never aborts a collection over one bad
+// envelope — it rejects, records the event in the recovery ledger, and
+// keeps the querybox open — so callers match these with errors.Is and
+// proceed.
+var (
+	// ErrStaleDeposit rejects a replayed envelope: same device at the same
+	// or an earlier attempt, or an envelope sealed under a different key
+	// epoch than the query was posted in.
+	ErrStaleDeposit = errors.New("ssi: stale or replayed deposit")
+	// ErrCorruptDeposit rejects an envelope whose transport checksum does
+	// not match its tuples (corrupted or truncated upload).
+	ErrCorruptDeposit = errors.New("ssi: corrupt deposit")
 )
 
 // QueryState is everything the SSI holds for one active query.
@@ -28,6 +43,33 @@ type QueryState struct {
 	StartedAt   time.Time
 
 	observed Observation
+	attempts map[string]int // device -> highest committed deposit attempt
+	ledger   []LedgerEntry
+}
+
+// LedgerEntry is one recovery-relevant event the SSI recorded for a query:
+// a deposit that timed out, was rejected, or a partition re-issued to a
+// replacement TDS. The ledger is the SSI-side audit trail of the fault
+// model — deterministic for a fixed fault seed, whatever the engine's
+// worker count.
+type LedgerEntry struct {
+	// Kind classifies the event: "deposit-timeout", "deposit-corrupt",
+	// "deposit-stale", "reassign", "partition-abandoned".
+	Kind string
+	// Phase names the aggregation/filtering phase for reassignments.
+	Phase string
+	// Device is the TDS the event concerns (empty for anonymous deaths).
+	Device string
+	// Attempt is the 1-based attempt the event ended.
+	Attempt int
+	// Wait is the simulated timeout + backoff the SSI spent on the event.
+	Wait time.Duration
+}
+
+// DepositOutcome is one envelope's fate inside a committed wave batch.
+type DepositOutcome struct {
+	Accepted int
+	Err      error // nil, ErrStaleDeposit or ErrCorruptDeposit
 }
 
 // Observation is the honest-but-curious view the SSI accumulates on one
@@ -73,6 +115,7 @@ func (s *SSI) PostQuery(post *protocol.QueryPost, now time.Time) error {
 		Post:      post,
 		StartedAt: now,
 		observed:  Observation{TagCounts: make(map[string]int64)},
+		attempts:  make(map[string]int),
 	}
 	return nil
 }
@@ -92,8 +135,19 @@ func (s *SSI) Query(id string) (*protocol.QueryPost, bool) {
 // Deposit stores collection-phase tuples (step 4), evaluates the SIZE
 // clause and records observations. It returns how many tuples were
 // accepted (the SIZE cap may truncate) and whether the collection is now
-// complete.
+// complete. The tuples travel in an anonymous envelope: no replay or epoch
+// checking — use DepositEnvelope for the churn-aware path.
 func (s *SSI) Deposit(id string, tuples []protocol.WireTuple, now time.Time) (accepted int, done bool, err error) {
+	return s.DepositEnvelope(id, protocol.NewDeposit(id, "", 0, 0, tuples), now)
+}
+
+// DepositEnvelope stores one device's sealed collection deposit. Beyond
+// Deposit's SIZE accounting it enforces the availability protocol:
+// a replayed envelope (same device, non-advancing attempt), an envelope
+// from a different key epoch, or one failing its transport checksum is
+// rejected with a typed error (ErrStaleDeposit / ErrCorruptDeposit) and
+// nothing is stored — the collection stays open.
+func (s *SSI) DepositEnvelope(id string, dep *protocol.Deposit, now time.Time) (accepted int, done bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.queries[id]
@@ -103,7 +157,32 @@ func (s *SSI) Deposit(id string, tuples []protocol.WireTuple, now time.Time) (ac
 	if st.Done {
 		return 0, true, nil
 	}
-	return s.depositLocked(st, tuples, now), st.Done, nil
+	if err := admit(st, dep); err != nil {
+		return 0, st.Done, err
+	}
+	return s.depositLocked(st, dep.Tuples, now), st.Done, nil
+}
+
+// admit runs the replay, epoch and integrity checks of one envelope and
+// commits its attempt counter on success. The caller holds s.mu.
+func admit(st *QueryState, dep *protocol.Deposit) error {
+	if dep.DeviceID != "" {
+		if last, seen := st.attempts[dep.DeviceID]; seen && dep.Attempt <= last {
+			return fmt.Errorf("%w: device %s attempt %d already committed",
+				ErrStaleDeposit, dep.DeviceID, dep.Attempt)
+		}
+	}
+	if dep.Epoch != 0 && st.Post.Epoch != 0 && dep.Epoch != st.Post.Epoch {
+		return fmt.Errorf("%w: epoch %d, query posted at epoch %d",
+			ErrStaleDeposit, dep.Epoch, st.Post.Epoch)
+	}
+	if !dep.IntegrityOK() {
+		return fmt.Errorf("%w: checksum mismatch from device %q", ErrCorruptDeposit, dep.DeviceID)
+	}
+	if dep.DeviceID != "" {
+		st.attempts[dep.DeviceID] = dep.Attempt
+	}
+	return nil
 }
 
 // DepositBatch deposits several devices' collection results in device
@@ -116,25 +195,78 @@ func (s *SSI) Deposit(id string, tuples []protocol.WireTuple, now time.Time) (ac
 // the first batch; later batches are untouched, exactly as the sequential
 // loop never visits devices after the SIZE condition is reached).
 func (s *SSI) DepositBatch(id string, batches [][]protocol.WireTuple, now time.Time) (accepted []int, doneAt int, done bool, err error) {
+	deps := make([]*protocol.Deposit, len(batches))
+	for i, tuples := range batches {
+		deps[i] = protocol.NewDeposit(id, "", 0, 0, tuples)
+	}
+	out, doneAt, done, err := s.DepositEnvelopeBatch(id, deps, now)
+	if err != nil {
+		return nil, doneAt, done, err
+	}
+	accepted = make([]int, len(out))
+	for i, o := range out {
+		accepted[i] = o.Accepted
+	}
+	return accepted, doneAt, done, nil
+}
+
+// DepositEnvelopeBatch is DepositEnvelope over a whole committed wave,
+// under one lock acquisition. Envelopes are admitted in order; a rejected
+// envelope gets its typed error in out[i].Err and the walk continues (a
+// bad deposit cannot complete a collection), while the walk stops at the
+// envelope whose deposit reaches the SIZE condition, exactly as the
+// sequential loop never visits later devices.
+func (s *SSI) DepositEnvelopeBatch(id string, deps []*protocol.Deposit, now time.Time) (out []DepositOutcome, doneAt int, done bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.queries[id]
 	if !ok {
 		return nil, -1, false, fmt.Errorf("ssi: unknown query %q", id)
 	}
-	accepted = make([]int, len(batches))
+	out = make([]DepositOutcome, len(deps))
 	doneAt = -1
-	for i, tuples := range batches {
+	for i, dep := range deps {
 		if st.Done {
 			break
 		}
-		accepted[i] = s.depositLocked(st, tuples, now)
+		if rejectErr := admit(st, dep); rejectErr != nil {
+			out[i].Err = rejectErr
+			continue
+		}
+		out[i].Accepted = s.depositLocked(st, dep.Tuples, now)
 		if st.Done {
 			doneAt = i
 			break
 		}
 	}
-	return accepted, doneAt, st.Done, nil
+	return out, doneAt, st.Done, nil
+}
+
+// Record appends one recovery event to a query's ledger. The engine — the
+// simulation's physical world — reports events in committed connection
+// order, so the ledger is deterministic for a fixed fault seed regardless
+// of worker count.
+func (s *SSI) Record(id string, e LedgerEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return
+	}
+	st.ledger = append(st.ledger, e)
+}
+
+// LedgerFor returns a copy of the recovery ledger of a query.
+func (s *SSI) LedgerFor(id string) []LedgerEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return nil
+	}
+	out := make([]LedgerEntry, len(st.ledger))
+	copy(out, st.ledger)
+	return out
 }
 
 // depositLocked stores one device's tuples; the caller holds s.mu.

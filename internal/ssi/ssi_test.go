@@ -1,6 +1,7 @@
 package ssi
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -309,5 +310,161 @@ func TestDepositBatchUnknownQuery(t *testing.T) {
 	s := New()
 	if _, _, _, err := s.DepositBatch("nope", nil, t0); err == nil {
 		t.Error("batch deposit to unknown query accepted")
+	}
+}
+
+func TestDepositEnvelopeRejectsReplay(t *testing.T) {
+	s := New()
+	must(t, s.PostQuery(post("q1", sqlparse.SizeClause{}), t0))
+
+	dep := protocol.NewDeposit("q1", "tds-00001", 1, 0, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", dep, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Same device, same attempt: a replayed envelope.
+	replay := protocol.NewDeposit("q1", "tds-00001", 1, 0, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", replay, t0); !errors.Is(err, ErrStaleDeposit) {
+		t.Fatalf("replay err = %v, want ErrStaleDeposit", err)
+	}
+	// An earlier attempt is just as stale.
+	older := protocol.NewDeposit("q1", "tds-00001", 0, 0, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", older, t0); !errors.Is(err, ErrStaleDeposit) {
+		t.Fatalf("older-attempt err = %v, want ErrStaleDeposit", err)
+	}
+	// A later attempt from the same device advances.
+	retry := protocol.NewDeposit("q1", "tds-00001", 2, 0, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", retry, t0); err != nil {
+		t.Fatalf("advancing attempt rejected: %v", err)
+	}
+	// Anonymous envelopes (legacy Deposit path) are never replay-checked.
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Deposit("q1", []protocol.WireTuple{tuple("", 8)}, t0); err != nil {
+			t.Fatalf("anonymous deposit %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestDepositEnvelopeRejectsWrongEpoch(t *testing.T) {
+	s := New()
+	p := post("q1", sqlparse.SizeClause{})
+	p.Epoch = 2
+	must(t, s.PostQuery(p, t0))
+
+	stale := protocol.NewDeposit("q1", "tds-00001", 1, 1, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", stale, t0); !errors.Is(err, ErrStaleDeposit) {
+		t.Fatalf("wrong-epoch err = %v, want ErrStaleDeposit", err)
+	}
+	// Epoch 0 on either side skips the check.
+	anon := protocol.NewDeposit("q1", "tds-00002", 1, 0, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", anon, t0); err != nil {
+		t.Fatalf("epoch-0 envelope rejected: %v", err)
+	}
+	match := protocol.NewDeposit("q1", "tds-00003", 1, 2, []protocol.WireTuple{tuple("", 8)})
+	if _, _, err := s.DepositEnvelope("q1", match, t0); err != nil {
+		t.Fatalf("matching epoch rejected: %v", err)
+	}
+}
+
+func TestDepositEnvelopeRejectsBadChecksum(t *testing.T) {
+	s := New()
+	must(t, s.PostQuery(post("q1", sqlparse.SizeClause{}), t0))
+	dep := protocol.NewDeposit("q1", "tds-00001", 1, 0, []protocol.WireTuple{tuple("x", 16)})
+	dep.Sum ^= 0x1
+	accepted, _, err := s.DepositEnvelope("q1", dep, t0)
+	if !errors.Is(err, ErrCorruptDeposit) {
+		t.Fatalf("corrupt err = %v, want ErrCorruptDeposit", err)
+	}
+	if accepted != 0 {
+		t.Fatalf("corrupt envelope stored %d tuples", accepted)
+	}
+	// A rejection does not burn the device's attempt counter.
+	good := protocol.NewDeposit("q1", "tds-00001", 1, 0, []protocol.WireTuple{tuple("x", 16)})
+	if _, _, err := s.DepositEnvelope("q1", good, t0); err != nil {
+		t.Fatalf("clean retry after corruption rejected: %v", err)
+	}
+}
+
+func TestDepositEnvelopeBatchMatchesSequential(t *testing.T) {
+	mkDeps := func() []*protocol.Deposit {
+		deps := []*protocol.Deposit{
+			protocol.NewDeposit("q1", "tds-00001", 1, 0, []protocol.WireTuple{tuple("a", 8), tuple("b", 8)}),
+			protocol.NewDeposit("q1", "tds-00002", 1, 0, []protocol.WireTuple{tuple("c", 8)}),
+			protocol.NewDeposit("q1", "tds-00003", 1, 0, []protocol.WireTuple{tuple("d", 8)}),
+		}
+		deps[1].Sum ^= 0x1 // the middle envelope arrives corrupted
+		return deps
+	}
+
+	seq := New()
+	must(t, seq.PostQuery(post("q1", sqlparse.SizeClause{}), t0))
+	var seqOut []DepositOutcome
+	for _, dep := range mkDeps() {
+		accepted, _, err := seq.DepositEnvelope("q1", dep, t0)
+		seqOut = append(seqOut, DepositOutcome{Accepted: accepted, Err: err})
+	}
+
+	bat := New()
+	must(t, bat.PostQuery(post("q1", sqlparse.SizeClause{}), t0))
+	batOut, doneAt, done, err := bat.DepositEnvelopeBatch("q1", mkDeps(), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || doneAt != -1 {
+		t.Fatalf("unbounded collection reported done=%v doneAt=%d", done, doneAt)
+	}
+	for i := range seqOut {
+		if seqOut[i].Accepted != batOut[i].Accepted || !errors.Is(batOut[i].Err, unwrapTarget(seqOut[i].Err)) {
+			t.Fatalf("envelope %d: sequential %+v, batch %+v", i, seqOut[i], batOut[i])
+		}
+	}
+	if got, want := len(bat.CollectedTuples("q1")), len(seq.CollectedTuples("q1")); got != want {
+		t.Fatalf("batch stored %d tuples, sequential %d", got, want)
+	}
+}
+
+// unwrapTarget maps a wrapped typed rejection to its sentinel for
+// errors.Is comparison (nil stays nil).
+func unwrapTarget(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrStaleDeposit):
+		return ErrStaleDeposit
+	case errors.Is(err, ErrCorruptDeposit):
+		return ErrCorruptDeposit
+	default:
+		return err
+	}
+}
+
+func TestRecoveryLedger(t *testing.T) {
+	s := New()
+	must(t, s.PostQuery(post("q1", sqlparse.SizeClause{}), t0))
+	if got := s.LedgerFor("q1"); len(got) != 0 {
+		t.Fatalf("fresh query has ledger %v", got)
+	}
+	e1 := LedgerEntry{Kind: "deposit-timeout", Phase: "collection", Device: "tds-00001", Attempt: 1, Wait: time.Second}
+	e2 := LedgerEntry{Kind: "reassign", Phase: "aggregate-1", Device: "tds-00002", Attempt: 2, Wait: 2 * time.Second}
+	s.Record("q1", e1)
+	s.Record("q1", e2)
+	s.Record("missing", e1) // unknown queries are ignored, not created
+
+	got := s.LedgerFor("q1")
+	if len(got) != 2 || got[0] != e1 || got[1] != e2 {
+		t.Fatalf("ledger = %+v", got)
+	}
+	got[0].Kind = "mutated"
+	if s.LedgerFor("q1")[0].Kind != "deposit-timeout" {
+		t.Fatal("LedgerFor handed out the internal slice")
+	}
+	if s.LedgerFor("missing") != nil {
+		t.Fatal("unknown query grew a ledger")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
 	}
 }

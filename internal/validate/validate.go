@@ -11,6 +11,7 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -116,10 +117,13 @@ func Run(fleet, districts int, seed int64) (Report, error) {
 
 	rep := Report{Fleet: fleet, Groups: districts}
 	for _, r := range runs {
-		_, m, err := eng.Run(q, sql, r.kind, r.params)
+		resp, err := eng.Execute(context.Background(), core.Request{
+			Querier: q, SQL: sql, Kind: r.kind, Params: r.params,
+		})
 		if err != nil {
 			return Report{}, fmt.Errorf("validate: %s: %w", r.name, err)
 		}
+		m := resp.Metrics
 		rep.Rows = append(rep.Rows, Row{
 			Protocol:      r.name,
 			MeasuredLoad:  m.LoadBytes,

@@ -31,6 +31,9 @@ go build ./...
 echo "==> go test"
 go test ./...
 
+echo "==> churn determinism gate"
+go vet ./... && go test -race -count=1 ./internal/core -run 'Churn|Determinism'
+
 if [ "$short" -eq 0 ]; then
     echo "==> go test -race"
     go test -race ./...
