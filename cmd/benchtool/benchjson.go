@@ -32,6 +32,18 @@ type benchRecord struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Phases breaks the end-to-end record down by protocol phase in
+	// simulated time — the paper's cost axis, independent of the host.
+	Phases []benchPhase `json:"phases,omitempty"`
+}
+
+// benchPhase is one phase's simulated cost: makespan in simulated ns,
+// partitions processed (replicas included) and ciphertext bytes moved.
+type benchPhase struct {
+	Name  string `json:"name"`
+	SimNs int64  `json:"sim_ns"`
+	Units int    `json:"units"`
+	Bytes int64  `json:"bytes"`
 }
 
 // benchReport is the file layout of BENCH_collection.json.
@@ -179,20 +191,33 @@ func runBenchJSON(path string, fleet, workers, iters int, scenario string, out i
 			fmt.Sprintf("collection_churn/S_Agg/fleet=%d/workers=%d", fleet, workers),
 			collect(parEng, parQ, benchChurnPlan())})
 	}
+	endToEnd := fmt.Sprintf("end_to_end/S_Agg/fleet=%d/workers=%d", fleet, workers)
+	var lastResp *core.Response
 	specs = append(specs, spec{
-		fmt.Sprintf("end_to_end/S_Agg/fleet=%d/workers=%d", fleet, workers), func() error {
+		endToEnd, func() error {
 			resp, err := parEng.Execute(ctx, core.Request{
 				Querier: parQ, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
 			})
 			if err == nil && len(resp.Result.Rows) == 0 {
 				return fmt.Errorf("empty result")
 			}
+			lastResp = resp
 			return err
 		}})
 	for _, s := range specs {
 		rec, err := measure(s.name, iters, s.fn)
 		if err != nil {
 			return err
+		}
+		if s.name == endToEnd && lastResp != nil {
+			// Attach the per-phase simulated breakdown from the last run;
+			// the phases are deterministic, so any iteration is the record.
+			for _, ph := range lastResp.Metrics.Phases {
+				rec.Phases = append(rec.Phases, benchPhase{
+					Name: ph.Name, SimNs: ph.Duration.Nanoseconds(),
+					Units: ph.Units, Bytes: ph.Bytes,
+				})
+			}
 		}
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
@@ -227,11 +252,21 @@ func printDeltas(path string, report benchReport, out io.Writer) {
 	}
 	for _, r := range report.Benchmarks {
 		p, ok := prevBy[r.Name]
-		if !ok || p.NsPerOp == 0 || p.AllocsPerOp == 0 {
+		if !ok {
 			continue
 		}
-		fmt.Fprintf(out, "%-48s %8.2fms -> %8.2fms (%+.1f%%)   %8.0f -> %8.0f allocs/op (%+.1f%%)\n",
-			r.Name, p.NsPerOp/1e6, r.NsPerOp/1e6, 100*(r.NsPerOp-p.NsPerOp)/p.NsPerOp,
-			p.AllocsPerOp, r.AllocsPerOp, 100*(r.AllocsPerOp-p.AllocsPerOp)/p.AllocsPerOp)
+		fmt.Fprintf(out, "%-48s %8.2fms -> %8.2fms (%s)   %8.0f -> %8.0f allocs/op (%s)\n",
+			r.Name, p.NsPerOp/1e6, r.NsPerOp/1e6, pctDelta(p.NsPerOp, r.NsPerOp),
+			p.AllocsPerOp, r.AllocsPerOp, pctDelta(p.AllocsPerOp, r.AllocsPerOp))
 	}
+}
+
+// pctDelta renders the relative change, or "n/a" when the previous value
+// is zero — a fresh or truncated record has no meaningful baseline, and
+// dividing by it would print ±Inf.
+func pctDelta(prev, cur float64) string {
+	if prev == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-prev)/prev)
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -73,6 +76,69 @@ func TestRunValidate(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "cross-validation") {
 		t.Errorf("validate output: %s", b.String())
+	}
+}
+
+// TestBenchJSONPhasesAndDeltas runs the bench-json harness twice at a
+// tiny scale: the written report must carry a per-phase simulated
+// breakdown on the end-to-end record, and the second run must print
+// deltas against the first — including "n/a" columns when the previous
+// record has a zero baseline.
+func TestBenchJSONPhasesAndDeltas(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_collection.json")
+	var b strings.Builder
+	if err := runBenchJSON(path, 20, 2, 1, "clean", &b); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	var phases []benchPhase
+	for _, r := range report.Benchmarks {
+		if strings.HasPrefix(r.Name, "end_to_end/") {
+			phases = r.Phases
+		}
+	}
+	if len(phases) == 0 {
+		t.Fatalf("end_to_end record has no phase breakdown: %s", raw)
+	}
+	names := map[string]bool{}
+	for _, ph := range phases {
+		names[ph.Name] = true
+		if ph.Units <= 0 {
+			t.Errorf("phase %q reports %d units", ph.Name, ph.Units)
+		}
+	}
+	if !names["filtering"] {
+		t.Errorf("phase breakdown missing the filtering phase: %v", phases)
+	}
+
+	// Sabotage one baseline to zero: the delta for that row must print
+	// n/a instead of dividing by zero.
+	report.Benchmarks[0].NsPerOp = 0
+	report.Benchmarks[0].AllocsPerOp = 0
+	sab, _ := json.Marshal(report)
+	if err := os.WriteFile(path, sab, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := runBenchJSON(path, 20, 2, 1, "clean", &b2); err != nil {
+		t.Fatal(err)
+	}
+	out := b2.String()
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("zero baseline printed no n/a:\n%s", out)
+	}
+	if !strings.Contains(out, "%") {
+		t.Errorf("intact baselines printed no percentage deltas:\n%s", out)
+	}
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("delta output still divides by zero:\n%s", out)
 	}
 }
 

@@ -15,12 +15,23 @@
 // -fault-seed): offline windows, deposits dropped mid-transfer, corrupted
 // uploads, slow devices and crash-before-commit during the aggregation
 // phases. The run then reports its coverage ratio and recovery account.
+//
+// Observability flags:
+//
+//	-trace-out q.jsonl    write the query's span tree (simulated-clock
+//	                      timestamps, per-device events) as JSON lines
+//	-trace-summary        render the span tree as an ASCII summary
+//	-metrics-out m.prom   write the engine's metrics registry in
+//	                      Prometheus text format
+//	-pprof localhost:6060 serve net/http/pprof for CPU/heap profiling
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -28,8 +39,10 @@ import (
 	"github.com/trustedcells/tcq/internal/accessctl"
 	"github.com/trustedcells/tcq/internal/core"
 	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/tdscrypto"
 	"github.com/trustedcells/tcq/internal/workload"
 )
@@ -68,6 +81,11 @@ type options struct {
 	churnCrash    float64
 	faultSeed     int64
 	coverageFloor float64
+
+	traceOut     string
+	traceSummary bool
+	metricsOut   string
+	pprofAddr    string
 }
 
 // faultPlan assembles the scripted churn, or nil when no churn flag is set.
@@ -107,6 +125,10 @@ func main() {
 	flag.Float64Var(&o.churnCrash, "churn-crash", 0, "fraction of devices crashing before committing a partition")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed of the scripted churn")
 	flag.Float64Var(&o.coverageFloor, "coverage-floor", 0, "fail the query below this collection coverage ratio")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the query trace as JSON lines to this file")
+	flag.BoolVar(&o.traceSummary, "trace-summary", false, "print the query trace as an ASCII span tree")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (Prometheus text) to this file")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if err := runOpts(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tdsnet:", err)
@@ -146,6 +168,16 @@ func runOpts(o options) error {
 	kind, err := parseProtocol(o.protoName)
 	if err != nil {
 		return err
+	}
+	if o.pprofAddr != "" {
+		// net/http/pprof registers its handlers on DefaultServeMux; the
+		// server lives for the remainder of the process.
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tdsnet: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", o.pprofAddr)
 	}
 	w := workload.DefaultSmartMeter(o.seed)
 	eng, err := core.NewEngine(core.Config{
@@ -220,6 +252,7 @@ func runOpts(o options) error {
 			m.OfflineDevices, m.DroppedDeposits, m.CorruptDeposits, m.Timeouts, m.PartitionsAbandoned)
 		fmt.Printf("  recovery wait (timeouts+backoff)  %v across %d ledger entries\n",
 			m.RetryWait, len(m.Ledger))
+		printRecoveryReport(m.Ledger)
 	}
 	if o.audit > 1 {
 		fmt.Printf("  audit: replicas outvoted   %d (suspects: %d distinct)\n",
@@ -229,5 +262,72 @@ func runOpts(o options) error {
 	fmt.Printf("  tuples seen   %d (tagged: %d)\n", m.Observation.TotalTuples, m.Observation.TaggedTuples)
 	fmt.Printf("  distinct tags %d\n", len(m.Observation.TagCounts))
 	fmt.Printf("  bytes seen    %.1f KB (all ciphertext)\n", float64(m.Observation.BytesSeen)/1e3)
+
+	return exportObservability(o, eng, resp)
+}
+
+// maxLedgerLines bounds the recovery report; churned thousand-device
+// fleets produce more entries than a terminal wants to scroll.
+const maxLedgerLines = 12
+
+// printRecoveryReport lists the ledger entries with their simulated
+// offsets from the query's origin, so recovery timing is auditable at a
+// glance.
+func printRecoveryReport(ledger []ssi.LedgerEntry) {
+	if len(ledger) == 0 {
+		return
+	}
+	fmt.Println("  recovery ledger (simulated offsets):")
+	n := len(ledger)
+	if n > maxLedgerLines {
+		n = maxLedgerLines
+	}
+	for _, le := range ledger[:n] {
+		off := le.At.Sub(obs.SimOrigin())
+		fmt.Printf("    +%-12v %-20s %-12s device=%s attempt=%d wait=%v\n",
+			off, le.Kind, le.Phase, le.Device, le.Attempt, le.Wait)
+	}
+	if len(ledger) > n {
+		fmt.Printf("    … and %d more entries\n", len(ledger)-n)
+	}
+}
+
+// exportObservability writes the trace and metrics artifacts the flags
+// requested.
+func exportObservability(o options, eng *core.Engine, resp *core.Response) error {
+	if o.traceSummary && resp.Trace != nil {
+		fmt.Printf("\nquery trace (simulated clock):\n%s", resp.Trace.Summary())
+	}
+	if o.traceOut != "" {
+		if resp.Trace == nil {
+			return fmt.Errorf("no trace to write to %s", o.traceOut)
+		}
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := resp.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s\n", o.traceOut)
+	}
+	if o.metricsOut != "" {
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := eng.Registry().WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: wrote %s\n", o.metricsOut)
+	}
 	return nil
 }

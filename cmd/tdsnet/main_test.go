@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/obs"
+)
 
 func TestRunAllProtocols(t *testing.T) {
 	for _, proto := range []string{"basic", "s_agg", "rnf_noise", "c_noise", "ed_hist"} {
@@ -54,6 +64,64 @@ func TestRunWithChurn(t *testing.T) {
 	}
 	if err := runOpts(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestObservabilityExports runs a churned query with -trace-out and
+// -metrics-out targets and validates both artifacts: the trace file is
+// line-delimited JSON covering every phase, the metrics file parses as
+// Prometheus text.
+func TestObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.jsonl")
+	metricsFile := filepath.Join(dir, "metrics.prom")
+	o := options{
+		fleet: 40, protoName: "s_agg", query: defaultQuery,
+		available: 0.5, audit: 1, seed: 7,
+		churnOffline: 0.1, churnDrop: 0.1, churnCrash: 0.2, faultSeed: 21,
+		traceOut: traceFile, metricsOut: metricsFile, traceSummary: true,
+	}
+	if err := runOpts(o); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if n, ok := rec["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	if lines < 10 {
+		t.Fatalf("trace has only %d lines; expected a full span tree", lines)
+	}
+	for _, want := range []string{"execute", "collect", "deliver", "deposit"} {
+		if !names[want] {
+			t.Errorf("trace is missing %q records (have %v)", want, names)
+		}
+	}
+
+	mf, err := os.Open(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if err := obs.CheckText(mf); err != nil {
+		t.Fatalf("metrics file fails the Prometheus checker: %v", err)
+	}
+	mraw, _ := os.ReadFile(metricsFile)
+	if !strings.Contains(string(mraw), "tcq_queries_total") {
+		t.Error("metrics file missing tcq_queries_total")
 	}
 }
 

@@ -67,4 +67,9 @@ func main() {
 	fmt.Printf("%d TDS participations finished the aggregation in a simulated %v\n", m.PTDS, m.TQ)
 	fmt.Printf("the SSI saw %d tuples and 0 bytes of plaintext (tagged: %d)\n",
 		m.Observation.TotalTuples, m.Observation.TaggedTuples)
+
+	// 4. The run comes with a deterministic trace: one span per phase on
+	//    the simulated clock, per-device deposit events — and on the SSI's
+	//    side, nothing but ciphertext sizes and counts.
+	fmt.Printf("\n%s", resp.Trace.Summary())
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/tds"
@@ -101,10 +102,13 @@ type collectResult struct {
 
 // collectionPhase drives the collection phase of one query and settles the
 // coverage account: how much of the eligible fleet the covering result
-// represents, and whether that clears the fault plan's floor.
-func (e *Engine) collectionPhase(ctx context.Context, post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	rng *rand.Rand, start time.Time, metrics *Metrics, faults *faultplan.Plan) error {
-	order := rng.Perm(len(e.fleet))
+// represents, and whether that clears the fault plan's floor. The
+// simulated clock advances to the instant the walk ended — identical for
+// both pipelines, so traces stay worker-count-independent.
+func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.CollectConfig) error {
+	post, metrics, faults := rs.post, rs.metrics, rs.faults
+	start := rs.clock.Now()
+	order := rs.rng.Perm(len(e.fleet))
 	devices := make([]collectDevice, 0, len(order))
 	for _, idx := range order {
 		t := e.fleet[idx]
@@ -115,22 +119,27 @@ func (e *Engine) collectionPhase(ctx context.Context, post *protocol.QueryPost, 
 		b := faults.For(t.ID, post.ID)
 		if b.Offline {
 			// An offline window covering the query: the device never
-			// connects, so it occupies no connection slot at all.
+			// connects, so it occupies no connection slot at all. The
+			// engine knows its fault script hit; the SSI never saw it.
 			metrics.OfflineDevices++
+			e.obs.tracer.EngineEvent(post.ID, "fault-"+b.Label(), t.ID, start, obs.CipherFacts{})
+			e.obs.devices.With("offline").Inc()
 			continue
 		}
 		devices = append(devices, collectDevice{t: t, b: b})
 	}
 
+	var end time.Time
 	var err error
 	if workers := e.collectWorkers(); workers > 1 && len(devices) > 1 {
-		err = e.collectParallel(ctx, post, cfgTpl, devices, start, metrics, faults, workers)
+		end, err = e.collectParallel(ctx, rs, cfgTpl, devices, start, workers)
 	} else {
-		err = e.collectSequential(ctx, post, cfgTpl, devices, start, metrics, faults)
+		end, err = e.collectSequential(ctx, rs, cfgTpl, devices, start)
 	}
 	if err != nil {
 		return err
 	}
+	rs.clock.AdvanceTo(end)
 
 	if metrics.EligibleDevices > 0 {
 		metrics.CoverageRatio = float64(metrics.DepositedDevices) / float64(metrics.EligibleDevices)
@@ -146,61 +155,81 @@ func (e *Engine) collectionPhase(ctx context.Context, post *protocol.QueryPost, 
 // scripted transport corruption, and commits it through the SSI's
 // churn-aware path, folding the outcome into the metrics. It returns
 // whether the deposit completed the collection.
-func (e *Engine) commitDeposit(post *protocol.QueryPost, d collectDevice,
-	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time, metrics *Metrics) (bool, error) {
-	dep := protocol.NewDeposit(post.ID, d.t.ID, 1, post.Epoch, tuples)
+func (e *Engine) commitDeposit(rs *runState, d collectDevice,
+	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time) (bool, error) {
+	dep := protocol.NewDeposit(rs.post.ID, d.t.ID, 1, rs.post.Epoch, tuples)
 	if d.b.CorruptDeposit {
 		dep.Sum ^= 0x1 // one flipped transport bit; the checksum catches it
 	}
-	accepted, done, err := e.ssi.DepositEnvelope(post.ID, dep, now)
+	accepted, done, err := e.ssi.DepositEnvelope(rs.post.ID, dep, now)
 	if err != nil {
 		if errors.Is(err, ssi.ErrCorruptDeposit) || errors.Is(err, ssi.ErrStaleDeposit) {
-			e.recordRejected(post, d, metrics, err)
+			e.recordRejected(rs, d, now, err)
 			return done, nil
 		}
 		return false, err
 	}
-	e.acceptDeposit(metrics, accepted, len(tuples), stats)
+	e.acceptDeposit(rs, d, accepted, len(tuples), protocol.TotalSize(tuples), stats, now)
 	return done, nil
 }
 
-// acceptDeposit folds one accepted deposit into the metrics.
-func (e *Engine) acceptDeposit(metrics *Metrics, accepted, sent int, stats tds.CollectStats) {
-	metrics.Nt += int64(accepted)
+// acceptDeposit folds one accepted deposit into the metrics, the trace
+// and the registry. sentBytes is the envelope's ciphertext volume — what
+// the SSI actually watched arrive, whether or not the SIZE cap truncated
+// the accepted count.
+func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted, sent, sentBytes int,
+	stats tds.CollectStats, now time.Time) {
+	rs.metrics.Nt += int64(accepted)
 	if accepted == sent {
-		metrics.TrueTuples += int64(stats.True)
+		rs.metrics.TrueTuples += int64(stats.True)
 	}
-	metrics.DepositedDevices++
+	rs.metrics.DepositedDevices++
+	e.obs.tracer.SSIEvent(rs.post.ID, "deposit", d.t.ID, now,
+		obs.CipherFacts{Tuples: accepted, Bytes: int64(sentBytes), Attempt: 1})
+	e.obs.devices.With("accepted").Inc()
+	e.obs.tuples.With("accepted").Add(float64(accepted))
+	if accepted == sent {
+		e.obs.tuples.With("true").Add(float64(stats.True))
+	}
+	e.obs.bytes.With("collect_up").Add(float64(sentBytes))
+	e.obs.depositTuples.Observe(float64(accepted))
 }
 
 // recordRejected accounts an envelope the SSI rejected. The rejection does
 // not abort the collection: the querybox stays open and the walk proceeds.
-func (e *Engine) recordRejected(post *protocol.QueryPost, d collectDevice, metrics *Metrics, err error) {
-	kind := "deposit-stale"
+func (e *Engine) recordRejected(rs *runState, d collectDevice, now time.Time, err error) {
+	kind, outcome := "deposit-stale", "stale"
 	if errors.Is(err, ssi.ErrCorruptDeposit) {
-		kind = "deposit-corrupt"
-		metrics.CorruptDeposits++
+		kind, outcome = "deposit-corrupt", "corrupt"
+		rs.metrics.CorruptDeposits++
 	}
-	e.ssi.Record(post.ID, ssi.LedgerEntry{Kind: kind, Phase: "collection", Device: d.t.ID, Attempt: 1})
+	e.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+		Kind: kind, Phase: "collection", Device: d.t.ID, Attempt: 1, At: now,
+	})
+	e.obs.devices.With(outcome).Inc()
 }
 
 // recordDropped accounts a device that connected but vanished
 // mid-transfer; the SSI discards the partial deposit after DepositTimeout.
-func (e *Engine) recordDropped(post *protocol.QueryPost, d collectDevice,
-	metrics *Metrics, faults *faultplan.Plan) {
-	wait := faults.DepositWait()
-	metrics.DroppedDeposits++
-	metrics.Timeouts++
-	metrics.RetryWait += wait
-	e.ssi.Record(post.ID, ssi.LedgerEntry{
-		Kind: "deposit-timeout", Phase: "collection", Device: d.t.ID, Attempt: 1, Wait: wait,
+func (e *Engine) recordDropped(rs *runState, d collectDevice, now time.Time) {
+	wait := rs.faults.DepositWait()
+	rs.metrics.DroppedDeposits++
+	rs.metrics.Timeouts++
+	rs.metrics.RetryWait += wait
+	e.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+		Kind: "deposit-timeout", Phase: "collection", Device: d.t.ID,
+		Attempt: 1, Wait: wait, At: now,
 	})
+	e.obs.devices.With("dropped").Inc()
+	e.obs.retryWait.Add(wait.Seconds())
 }
 
 // collectSequential is the reference one-device-at-a-time pipeline; the
-// parallel pipeline must be observationally identical to it.
-func (e *Engine) collectSequential(ctx context.Context, post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	devices []collectDevice, start time.Time, metrics *Metrics, faults *faultplan.Plan) error {
+// parallel pipeline must be observationally identical to it. It returns
+// the simulated instant the walk ended.
+func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds.CollectConfig,
+	devices []collectDevice, start time.Time) (time.Time, error) {
+	post := rs.post
 	interval := e.cfg.ConnectionInterval
 	now := start
 	for _, d := range devices {
@@ -208,12 +237,12 @@ func (e *Engine) collectSequential(ctx context.Context, post *protocol.QueryPost
 			break
 		}
 		if err := ctxErr(ctx); err != nil {
-			return err
+			return now, err
 		}
 		if d.b.DropDeposit {
 			// The device connected and its slot is spent, but its deposit
 			// never lands.
-			e.recordDropped(post, d, metrics, faults)
+			e.recordDropped(rs, d, now)
 			now = now.Add(d.step(interval))
 			continue
 		}
@@ -222,25 +251,29 @@ func (e *Engine) collectSequential(ctx context.Context, post *protocol.QueryPost
 			// A device that cannot answer (stale key epoch, local fault) is
 			// indistinguishable from one that never connected; the protocol
 			// proceeds without it.
-			metrics.CollectErrors++
+			e.recordCollectError(rs, d, now)
 			continue
 		}
-		done, err := e.commitDeposit(post, d, tuples, stats, now, metrics)
+		done, err := e.commitDeposit(rs, d, tuples, stats, now)
 		if err != nil {
-			return err
+			return now, err
 		}
 		if done {
 			break
 		}
 		now = now.Add(d.step(interval))
 	}
-	return nil
+	return now, nil
 }
 
 // collectParallel processes eligible devices in waves of `workers`
-// concurrent Collect calls, committing deposits in connection order.
-func (e *Engine) collectParallel(ctx context.Context, post *protocol.QueryPost, cfgTpl tds.CollectConfig,
-	devices []collectDevice, start time.Time, metrics *Metrics, faults *faultplan.Plan, workers int) error {
+// concurrent Collect calls, committing deposits in connection order. It
+// returns the simulated instant the walk ended — provably the same
+// instant collectSequential would have reached, because drops and commits
+// advance the clock identically and errors advance it in neither.
+func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.CollectConfig,
+	devices []collectDevice, start time.Time, workers int) (time.Time, error) {
+	post := rs.post
 	interval := e.cfg.ConnectionInterval
 	now := start
 	res := make([]collectResult, workers)
@@ -251,10 +284,10 @@ func (e *Engine) collectParallel(ctx context.Context, post *protocol.QueryPost, 
 		}
 		wave := devices[base:end]
 		if e.ssi.CollectionDone(post.ID, now) {
-			return nil
+			return now, nil
 		}
 		if err := ctxErr(ctx); err != nil {
-			return err
+			return now, err
 		}
 
 		// Speculative phase: the whole wave collects concurrently, each
@@ -283,18 +316,18 @@ func (e *Engine) collectParallel(ctx context.Context, post *protocol.QueryPost, 
 			// flag can only flip inside a deposit (the DURATION window
 			// cannot expire while the clock stands still) — so the whole
 			// wave commits under one SSI lock acquisition.
-			done, err := e.commitWaveBatch(post, wave, res[:len(wave)], now, metrics, faults)
+			done, err := e.commitWaveBatch(rs, wave, res[:len(wave)], now)
 			if err != nil || done {
-				return err
+				return now, err
 			}
 			continue
 		}
 		for j, d := range wave {
 			if e.ssi.CollectionDone(post.ID, now) {
-				return nil
+				return now, nil
 			}
 			if d.b.DropDeposit {
-				e.recordDropped(post, d, metrics, faults)
+				e.recordDropped(rs, d, now)
 				now = now.Add(d.step(interval))
 				continue
 			}
@@ -306,20 +339,20 @@ func (e *Engine) collectParallel(ctx context.Context, post *protocol.QueryPost, 
 				r.tuples, r.stats, r.err = e.collectOne(d.t, post, cfgTpl, now)
 			}
 			if r.err != nil {
-				metrics.CollectErrors++
+				e.recordCollectError(rs, d, now)
 				continue
 			}
-			done, err := e.commitDeposit(post, d, r.tuples, r.stats, now, metrics)
+			done, err := e.commitDeposit(rs, d, r.tuples, r.stats, now)
 			if err != nil {
-				return err
+				return now, err
 			}
 			if done {
-				return nil
+				return now, nil
 			}
 			now = now.Add(d.step(interval))
 		}
 	}
-	return nil
+	return now, nil
 }
 
 // commitWaveBatch commits one zero-interval wave through the SSI's batched
@@ -327,8 +360,9 @@ func (e *Engine) collectParallel(ctx context.Context, post *protocol.QueryPost, 
 // have: failed and faulted devices deposit nothing but are accounted if
 // and only if the sequential walk would have reached them before the SIZE
 // cutoff.
-func (e *Engine) commitWaveBatch(post *protocol.QueryPost, wave []collectDevice, res []collectResult,
-	now time.Time, metrics *Metrics, faults *faultplan.Plan) (bool, error) {
+func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []collectResult,
+	now time.Time) (bool, error) {
+	post := rs.post
 	deps := make([]*protocol.Deposit, 0, len(res))
 	idxOf := make([]int, 0, len(res)) // envelope index -> wave index
 	for j := range res {
@@ -360,15 +394,16 @@ func (e *Engine) commitWaveBatch(post *protocol.QueryPost, wave []collectDevice,
 	for j := 0; j < limitWave; j++ {
 		switch {
 		case wave[j].b.DropDeposit:
-			e.recordDropped(post, wave[j], metrics, faults)
+			e.recordDropped(rs, wave[j], now)
 		case res[j].err != nil:
-			metrics.CollectErrors++
+			e.recordCollectError(rs, wave[j], now)
 		default:
 			if b < limitBatch {
 				if out[b].Err != nil {
-					e.recordRejected(post, wave[j], metrics, out[b].Err)
+					e.recordRejected(rs, wave[j], now, out[b].Err)
 				} else {
-					e.acceptDeposit(metrics, out[b].Accepted, len(res[j].tuples), res[j].stats)
+					e.acceptDeposit(rs, wave[j], out[b].Accepted, len(res[j].tuples),
+						protocol.TotalSize(res[j].tuples), res[j].stats, now)
 				}
 			}
 			b++

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
 	"github.com/trustedcells/tcq/internal/storage"
@@ -66,7 +67,8 @@ func benchCollectionPhase(b *testing.B, fleet, workers int) {
 			b.Fatal(err)
 		}
 		var m Metrics
-		if err := eng.collectionPhase(context.Background(), post, tds.CollectConfig{}, rng, now, &m, nil); err != nil {
+		rs := &runState{post: post, rng: rng, metrics: &m, clock: obs.NewSimClock(now)}
+		if err := eng.collectionPhase(context.Background(), rs, tds.CollectConfig{}); err != nil {
 			b.Fatal(err)
 		}
 		if m.Nt == 0 {

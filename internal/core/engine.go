@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"github.com/trustedcells/tcq/internal/accessctl"
-	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/netsim"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
@@ -88,6 +87,7 @@ type Engine struct {
 	keys      tdscrypto.KeyRing
 	cal       netsim.Calibration
 	planCache *tds.PlanCache // fleet-shared compiled plans, per query
+	obs       *engineObs     // tracer + metrics registry
 
 	mu        sync.Mutex
 	seq       int
@@ -121,15 +121,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	auth := accessctl.NewAuthority(cfg.AuthorityKey)
 	keyAuth := tdscrypto.NewKeyAuthority(cfg.MasterKey)
+	eo := newEngineObs()
+	s := ssi.New()
+	s.WithTracer(eo.tracer) // the SSI mirrors ledger events into the trace
 	return &Engine{
 		cfg:       cfg,
 		schema:    cfg.Schema,
-		ssi:       ssi.New(),
+		ssi:       s,
 		authority: auth,
 		keyAuth:   keyAuth,
 		keys:      keyAuth.Ring(),
 		cal:       cfg.Calibration,
 		planCache: tds.NewPlanCache(),
+		obs:       eo,
 		discovery: make(map[string]*discovered),
 	}, nil
 }
@@ -323,7 +327,10 @@ func (e *Engine) availableWorkers() int {
 }
 
 // Metrics reports what one protocol run cost, in the units of the paper's
-// evaluation (Section 6.1).
+// evaluation (Section 6.1). It is the per-run compatibility snapshot of
+// the observability layer: the same quantities accumulate across runs in
+// the registry behind Engine.Registry, and the per-event detail lives in
+// Response.Trace.
 type Metrics struct {
 	Protocol protocol.Kind
 	// Nt is the number of wire tuples deposited during the collection
@@ -472,17 +479,21 @@ type phaseStats struct {
 // Load_Q by ~r, the price of the stronger threat model.
 //
 // Two failure sources coexist: the legacy Config.FailureRate draws
-// anonymous deaths from the run RNG, and a fault plan scripts
-// crash-before-commit per (device, query). A scripted crash bills the SSI
-// a PhaseTimeout plus capped exponential backoff (phaseStats.Wait), lands
-// a "reassign" entry in the recovery ledger, and re-issues the partition
-// to freshly drawn replacements — until the plan's MaxAttempts abandons
-// it. All draws happen sequentially up front, so the phase is
-// deterministic for any pool size.
-func (e *Engine) runPhase(ctx context.Context, post *protocol.QueryPost, phase string,
-	rng *rand.Rand, faults *faultplan.Plan, partitions [][]protocol.WireTuple,
+// deaths from the run RNG, and a fault plan scripts crash-before-commit
+// per (device, query). A scripted crash bills the SSI a PhaseTimeout
+// plus capped exponential backoff (phaseStats.Wait), lands a "reassign"
+// entry in the recovery ledger, and re-issues the partition to freshly
+// drawn replacements — until the plan's MaxAttempts abandons it. Workers
+// are drawn before the failure draw so even a legacy death names its
+// device in the ledger, and every entry carries the simulated instant
+// the SSI gave up on the assignment. All draws happen sequentially up
+// front, so the phase is deterministic for any pool size.
+func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
+	partitions [][]protocol.WireTuple,
 	process func(worker *tds.TDS, part []protocol.WireTuple) ([]protocol.WireTuple, error),
 ) ([]workUnit, phaseStats, error) {
+	post, rng, faults := rs.post, rs.rng, rs.faults
+	phaseStart := rs.clock.Now()
 	var stats phaseStats
 	// Revoked devices cannot open the current epoch's queries; the SSI
 	// never hands them partitions (the revocation list is public).
@@ -528,17 +539,10 @@ func (e *Engine) runPhase(ctx context.Context, post *protocol.QueryPost, phase s
 		if err := ctxErr(ctx); err != nil {
 			return nil, stats, err
 		}
-		if e.cfg.FailureRate > 0 && stats.Reassigned < maxReassign && failDraw() {
-			// The TDS dies mid-partition: after a timeout the SSI re-sends
-			// the partition to another available TDS (Section 3.2,
-			// correctness). The dead TDS's partial work is discarded.
-			stats.Reassigned++
-			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1})
-			continue
-		}
 		// Pre-draw enough distinct workers for up to three audit rounds:
 		// when a round produces no strict digest majority, the partition
-		// is re-sent to the next batch of fresh devices.
+		// is re-sent to the next batch of fresh devices. Drawing before
+		// the failure decision means every death below has a name.
 		rounds := 1
 		if replicas > 1 {
 			rounds = 3
@@ -557,6 +561,20 @@ func (e *Engine) runPhase(ctx context.Context, post *protocol.QueryPost, phase s
 			seen[i] = true
 			ws = append(ws, live[i])
 		}
+		if e.cfg.FailureRate > 0 && stats.Reassigned < maxReassign && failDraw() {
+			// The TDS dies mid-partition: after a timeout the SSI re-sends
+			// the partition to another available TDS (Section 3.2,
+			// correctness). The dead TDS's partial work is discarded. The
+			// legacy model bills no wait, but the ledger still names the
+			// assignee and the instant.
+			stats.Reassigned++
+			e.ssi.Record(post.ID, ssi.LedgerEntry{
+				Kind: "reassign", Phase: phase, Device: ws[0].ID,
+				Attempt: t.attempt, At: phaseStart.Add(stats.Wait),
+			})
+			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1})
+			continue
+		}
 		if faults != nil && stats.Reassigned < maxReassign &&
 			faults.For(ws[0].ID, post.ID).CrashInPhase {
 			// The scripted churn: the primary assignee crashes before
@@ -564,16 +582,18 @@ func (e *Engine) runPhase(ctx context.Context, post *protocol.QueryPost, phase s
 			// partition to a fresh draw — or abandons it past MaxAttempts.
 			wait := faults.RetryWait(t.attempt)
 			stats.Timeouts++
+			at := phaseStart.Add(stats.Wait) // instant the SSI starts waiting this one out
 			stats.Wait += wait
 			e.ssi.Record(post.ID, ssi.LedgerEntry{
 				Kind: "reassign", Phase: phase, Device: ws[0].ID,
-				Attempt: t.attempt, Wait: wait,
+				Attempt: t.attempt, Wait: wait, At: at,
 			})
 			if max := faults.MaxAttempts; max > 0 && t.attempt >= max {
 				stats.Abandoned++
 				e.ssi.Record(post.ID, ssi.LedgerEntry{
 					Kind: "partition-abandoned", Phase: phase,
 					Device: ws[0].ID, Attempt: t.attempt,
+					At: phaseStart.Add(stats.Wait),
 				})
 				continue
 			}
@@ -724,13 +744,7 @@ func (e *Engine) meterUnit(in, out []protocol.WireTuple) time.Duration {
 	return m.Total()
 }
 
-func tupleBytes(ws []protocol.WireTuple) int {
-	n := 0
-	for _, w := range ws {
-		n += w.Size()
-	}
-	return n
-}
+func tupleBytes(ws []protocol.WireTuple) int { return protocol.TotalSize(ws) }
 
 // collectOutputs flattens phase outputs in deterministic partition order.
 func collectOutputs(units []workUnit) []protocol.WireTuple {

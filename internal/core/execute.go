@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
 	"github.com/trustedcells/tcq/internal/sqlexec"
@@ -45,6 +46,12 @@ type Response struct {
 	// availability account: coverage ratio, churn counters, and the SSI's
 	// recovery ledger.
 	Metrics *Metrics
+	// Trace is the run's span tree, timestamped with the simulated clock:
+	// one root `execute` span, one child per phase, per-device events for
+	// deposits, retries and fault-script hits. Bit-identical across
+	// CollectWorkers settings; serialize with Trace.WriteJSONL or render
+	// with Trace.Summary.
+	Trace *obs.QueryTrace
 }
 
 // Execute runs one query end-to-end: collection, aggregation (for the

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/obs"
+	"github.com/trustedcells/tcq/internal/protocol"
+)
+
+// engineObs bundles the engine's observability surface: the tracer that
+// records one span tree per query, and the registry-backed instruments
+// that accumulate across queries. core.Metrics stays the per-run
+// compatibility snapshot; the registry is the cumulative view.
+type engineObs struct {
+	tracer *obs.Tracer
+	reg    *obs.Registry
+
+	queries       *obs.CounterVec // by protocol
+	devices       *obs.CounterVec // collection outcomes per device
+	tuples        *obs.CounterVec // accepted / true collection tuples
+	bytes         *obs.CounterVec // by flow and direction
+	retryWait     *obs.Counter
+	reassigns     *obs.Counter
+	abandoned     *obs.Counter
+	coverage      *obs.Gauge
+	dummyRatio    *obs.Gauge
+	phaseSeconds  *obs.HistogramVec
+	saggReduction *obs.Histogram
+	depositTuples *obs.Histogram
+}
+
+func newEngineObs() *engineObs {
+	reg := obs.NewRegistry()
+	return &engineObs{
+		tracer: obs.NewTracer(),
+		reg:    reg,
+		queries: reg.CounterVec("tcq_queries_total",
+			"queries executed, by protocol", "protocol"),
+		devices: reg.CounterVec("tcq_collect_devices_total",
+			"collection-phase device outcomes (accepted deposit, scripted fault, rejection, local error)",
+			"outcome"),
+		tuples: reg.CounterVec("tcq_collect_tuples_total",
+			"collection tuples the SSI accepted, by kind (accepted = true + fake + dummy)", "kind"),
+		bytes: reg.CounterVec("tcq_bytes_total",
+			"ciphertext bytes moved, by flow (collect_up: deposits; phase_down/phase_up: partition traffic; deliver_down: final result)",
+			"flow"),
+		retryWait: reg.Counter("tcq_retry_wait_seconds_total",
+			"simulated time the SSI spent waiting out timeouts and backoffs"),
+		reassigns: reg.Counter("tcq_reassignments_total",
+			"partitions re-issued after a worker death"),
+		abandoned: reg.Counter("tcq_partitions_abandoned_total",
+			"partitions dropped after the fault plan's MaxAttempts"),
+		coverage: reg.Gauge("tcq_coverage_ratio",
+			"deposited / eligible devices of the last collection"),
+		dummyRatio: reg.Gauge("tcq_dummy_ratio",
+			"share of non-true tuples in the last covering result"),
+		phaseSeconds: reg.HistogramVec("tcq_phase_seconds",
+			"simulated phase makespan (iterative S_Agg steps share one label)",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}, "phase"),
+		saggReduction: reg.Histogram("tcq_sagg_reduction",
+			"per-round partial reduction factor of S_Agg (the protocol's alpha)",
+			[]float64{1, 1.5, 2, 3, 4, 6, 8, 16}),
+		depositTuples: reg.Histogram("tcq_deposit_tuples",
+			"wire tuples per accepted deposit",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+}
+
+// runState carries one query run's mutable context through the phases:
+// the post, the run RNG, the metrics snapshot being built, the fault
+// plan, and the simulated clock that timestamps every span, event and
+// ledger entry. All of it is a pure function of the request and the
+// seeds, so everything derived from it is deterministic.
+type runState struct {
+	post    *protocol.QueryPost
+	rng     *rand.Rand
+	metrics *Metrics
+	faults  *faultplan.Plan
+	clock   *obs.SimClock
+	workers int // TDSs connected during aggregation/filtering phases
+}
+
+// startPhase opens the span of one aggregation/filtering phase and
+// records the SSI-visible partitioning event (the SSI sees how many
+// partitions it built and their ciphertext volume — nothing else).
+func (e *Engine) startPhase(rs *runState, name string, parts [][]protocol.WireTuple) *obs.Span {
+	sp := e.obs.tracer.StartChild(rs.post.ID, name, obs.PartyEngine, rs.clock.Now())
+	n, b := 0, 0
+	for _, p := range parts {
+		n += len(p)
+		b += protocol.TotalSize(p)
+	}
+	e.obs.tracer.SSIEvent(rs.post.ID, "partition", "", rs.clock.Now(),
+		obs.CipherFacts{Count: len(parts), Tuples: n, Bytes: int64(b)})
+	return sp
+}
+
+// notePhase settles one finished phase: folds its stats into the
+// metrics snapshot, advances the simulated clock by the phase makespan
+// (work + retry waits), closes the phase span at the new instant, and
+// feeds the registry.
+func (e *Engine) notePhase(rs *runState, name string, units []workUnit, ps phaseStats) {
+	rs.metrics.applyPhaseStats(ps)
+	down, up := unitBytesInOut(units)
+	rs.metrics.addNamedPhase(name, unitDurations(units), rs.workers, down+up, ps.Wait)
+	rs.metrics.LoadBytes += down + up
+	dur := rs.metrics.Phases[len(rs.metrics.Phases)-1].Duration
+	rs.clock.Advance(dur)
+	e.obs.tracer.EndSpan(rs.post.ID, rs.clock.Now())
+	e.obs.phaseSeconds.With(phaseLabel(name)).Observe(dur.Seconds())
+	e.obs.bytes.With("phase_down").Add(float64(down))
+	e.obs.bytes.With("phase_up").Add(float64(up))
+	e.obs.retryWait.Add(ps.Wait.Seconds())
+	e.obs.reassigns.Add(float64(ps.Reassigned))
+	e.obs.abandoned.Add(float64(ps.Abandoned))
+}
+
+// phaseLabel bounds metric label cardinality: the iterative S_Agg steps
+// (s_agg-step-1, -2, ...) share one label; span names keep the exact
+// step.
+func phaseLabel(name string) string {
+	if strings.HasPrefix(name, "s_agg-step-") {
+		return "s_agg-step"
+	}
+	return name
+}
+
+// unitBytesInOut splits a phase's traffic into what the workers
+// downloaded (partitions in) and uploaded (outputs back to the SSI).
+func unitBytesInOut(units []workUnit) (down, up int64) {
+	for _, u := range units {
+		down += int64(protocol.TotalSize(u.partition))
+		up += int64(protocol.TotalSize(u.out))
+	}
+	return down, up
+}
+
+// Registry exposes the engine's cumulative metrics registry; render it
+// with WriteText for Prometheus-format scraping or -metrics-out files.
+func (e *Engine) Registry() *obs.Registry { return e.obs.reg }
+
+// recordCollectError accounts a device that connected but could not
+// answer (stale key epoch, local fault). The SSI never saw it, so the
+// event is engine-side only.
+func (e *Engine) recordCollectError(rs *runState, d collectDevice, now time.Time) {
+	rs.metrics.CollectErrors++
+	e.obs.tracer.EngineEvent(rs.post.ID, "collect-error", d.t.ID, now, obs.CipherFacts{Attempt: 1})
+	e.obs.devices.With("error").Inc()
+}

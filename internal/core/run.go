@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
-	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/histogram"
+	"github.com/trustedcells/tcq/internal/netsim"
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/querier"
 	"github.com/trustedcells/tcq/internal/sqlparse"
@@ -19,7 +21,10 @@ import (
 
 // run drives the three phases of the generic protocol (Fig. 2) for one
 // Request: collection, aggregation (absent for plain Select-From-Where),
-// filtering. It is the single execution path behind Execute.
+// filtering. It is the single execution path behind Execute. Along the
+// way it grows the query's span tree: a root "execute" span, one child
+// per phase, and per-device events — all timestamped with the simulated
+// clock, so the trace is bit-identical across worker counts.
 func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	if len(e.fleet) == 0 {
 		return nil, fmt.Errorf("%w: the fleet is empty", ErrNoEligibleTDS)
@@ -46,47 +51,84 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	}
 	post.Targets = req.Targets
 	post.Epoch = e.wireEpoch()
-	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID))))
-	now := time.Unix(1700000000, 0) // simulated wall clock origin
+	rs := &runState{
+		post:    post,
+		rng:     rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID)))),
+		metrics: &Metrics{Protocol: req.Kind},
+		faults:  req.Faults,
+		clock:   obs.NewSimClock(obs.SimOrigin()),
+		workers: e.availableWorkers(),
+	}
+	metrics := rs.metrics
 
-	if err := e.ssi.PostQuery(post, now); err != nil {
+	if err := e.ssi.PostQuery(post, rs.clock.Now()); err != nil {
 		return nil, err
 	}
 	defer e.ssi.Drop(post.ID)
 	defer e.dropPlans(post.ID)
 
-	metrics := &Metrics{Protocol: req.Kind}
-
+	// Distribution discovery runs first (its sub-query owns its own
+	// trace), so the root span covers only this query's own phases.
 	cfgTpl, err := e.collectInputs(ctx, req.Querier, stmt, req.Kind, req.Params)
 	if err != nil {
 		return nil, err
 	}
 
-	if err := e.collectionPhase(ctx, post, cfgTpl, rng, now, metrics, req.Faults); err != nil {
+	tr := e.obs.tracer
+	root := tr.StartQuery(post.ID, "execute", rs.clock.Now())
+	root.SetAttr("protocol", req.Kind.String())
+	defer tr.Discard(post.ID) // no-op when the trace was taken
+	e.obs.queries.With(req.Kind.String()).Inc()
+
+	tr.StartChild(post.ID, "collect", obs.PartyEngine, rs.clock.Now())
+	if err := e.collectionPhase(ctx, rs, cfgTpl); err != nil {
 		return nil, err
 	}
+	tr.EndSpan(post.ID, rs.clock.Now())
+	e.obs.coverage.Set(metrics.CoverageRatio)
+	if metrics.Nt > 0 {
+		e.obs.dummyRatio.Set(float64(metrics.Nt-metrics.TrueTuples) / float64(metrics.Nt))
+	}
 
-	if req.CollectOnly {
+	snapshot := func() {
 		metrics.Observation = e.ssi.ObservationFor(post.ID)
 		metrics.LoadBytes += e.ssi.BytesStored(post.ID)
 		metrics.Ledger = e.ssi.LedgerFor(post.ID)
-		return &Response{Metrics: metrics}, nil
 	}
 
-	finalTuples, err := e.aggregateAndFilter(ctx, post, stmt, rng, metrics, req.Faults)
+	if req.CollectOnly {
+		snapshot()
+		tr.EndSpan(post.ID, rs.clock.Now()) // root
+		return &Response{Metrics: metrics, Trace: tr.Take(post.ID)}, nil
+	}
+
+	finalTuples, err := e.aggregateAndFilter(ctx, rs, stmt)
 	if err != nil {
 		return nil, err
 	}
 
+	// Final delivery: the querier downloads and decrypts the result. The
+	// delivery span advances the simulated clock but not TQ (the paper's
+	// T_Q ends when the filtered result is ready at the SSI).
+	dspan := tr.StartChild(post.ID, "deliver", obs.PartyQuerier, rs.clock.Now())
 	res, err := req.Querier.DecryptResult(post, finalTuples)
 	if err != nil {
 		return nil, err
 	}
-	metrics.Observation = e.ssi.ObservationFor(post.ID)
-	metrics.LoadBytes += e.ssi.BytesStored(post.ID)
-	metrics.Ledger = e.ssi.LedgerFor(post.ID)
+	outBytes := protocol.TotalSize(finalTuples)
+	var mtr netsim.Meter
+	mtr.AddDownload(e.cal, outBytes)
+	mtr.AddDecrypt(e.cal, outBytes)
+	rs.clock.Advance(mtr.Total())
+	dspan.SetAttr("rows", strconv.Itoa(len(res.Rows))).
+		SetAttr("bytes", strconv.Itoa(outBytes))
+	tr.EndSpan(post.ID, rs.clock.Now())
+	e.obs.bytes.With("deliver_down").Add(float64(outBytes))
+
+	snapshot()
 	metrics.finish()
-	return &Response{Result: res, Metrics: metrics}, nil
+	tr.EndSpan(post.ID, rs.clock.Now()) // root
+	return &Response{Result: res, Metrics: metrics, Trace: tr.Take(post.ID)}, nil
 }
 
 // collectInputs assembles the per-protocol collection-phase inputs: the
@@ -147,32 +189,30 @@ func (e *Engine) perPartitionTuples(params protocol.Params, sample []protocol.Wi
 
 // aggregateAndFilter runs the protocol-specific aggregation phase followed
 // by the filtering phase and returns the k1-encrypted final tuples.
-func (e *Engine) aggregateAndFilter(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
+func (e *Engine) aggregateAndFilter(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt) ([]protocol.WireTuple, error) {
+	post := rs.post
 	collected := e.ssi.CollectedTuples(post.ID)
-	workers := e.availableWorkers()
 
 	switch post.Kind {
 	case protocol.KindBasic:
 		// Filtering phase only: random partitions of the covering result,
 		// each filtered by a TDS (steps 9-12).
-		parts := ssi.RandomPartitions(collected, e.perPartitionTuples(post.Params, collected), rng)
-		units, ps, err := e.runPhase(ctx, post, "filter-sfw", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		parts := ssi.RandomPartitions(collected, e.perPartitionTuples(post.Params, collected), rs.rng)
+		e.startPhase(rs, "filter-sfw", parts)
+		units, ps, err := e.runPhase(ctx, rs, "filter-sfw", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.FilterSFW(post, p)
 		})
 		if err != nil {
 			return nil, err
 		}
-		metrics.applyPhaseStats(ps)
-		metrics.addNamedPhase("filter-sfw", unitDurations(units), workers, unitBytes(units), ps.Wait)
-		metrics.LoadBytes += unitBytes(units)
+		e.notePhase(rs, "filter-sfw", units, ps)
 		return collectOutputs(units), nil
 
 	case protocol.KindSAgg:
-		return e.runSAgg(ctx, post, stmt, rng, metrics, collected, faults)
+		return e.runSAgg(ctx, rs, stmt, collected)
 
 	case protocol.KindRnfNoise, protocol.KindCNoise, protocol.KindEDHist:
-		return e.runTagged(ctx, post, stmt, rng, metrics, collected, faults)
+		return e.runTagged(ctx, rs, stmt, collected)
 
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %v", post.Kind)
@@ -182,13 +222,13 @@ func (e *Engine) aggregateAndFilter(ctx context.Context, post *protocol.QueryPos
 // runSAgg is the iterative secure aggregation of Section 4.2: random
 // partitions, each folded by a TDS into one partial aggregation, repeated
 // with reduction factor α until a single partial remains, then filtering.
-func (e *Engine) runSAgg(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
+func (e *Engine) runSAgg(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt,
+	collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	post, metrics := rs.post, rs.metrics
 	alpha := post.Params.Alpha
 	if alpha < 2 {
 		alpha = 3.6 // α_op of Section 6.1.1
 	}
-	workers := e.availableWorkers()
 	g := groupCountHint(stmt)
 
 	units := collected
@@ -201,19 +241,24 @@ func (e *Engine) runSAgg(ctx context.Context, post *protocol.QueryPost, stmt *sq
 		per = 2
 	}
 	for len(units) > 1 {
-		parts := ssi.RandomPartitions(units, per, rng)
+		parts := ssi.RandomPartitions(units, per, rs.rng)
 		name := fmt.Sprintf("s_agg-step-%d", len(metrics.Phases)+1)
-		stepUnits, ps, err := e.runPhase(ctx, post, name, rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+		sp := e.startPhase(rs, name, parts)
+		stepUnits, ps, err := e.runPhase(ctx, rs, name, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.Aggregate(post, p, tds.EmitWhole)
 		})
 		if err != nil {
 			return nil, err
 		}
-		metrics.applyPhaseStats(ps)
-		metrics.addNamedPhase(name, unitDurations(stepUnits), workers, unitBytes(stepUnits), ps.Wait)
-		metrics.LoadBytes += unitBytes(stepUnits)
+		e.notePhase(rs, name, stepUnits, ps)
 		next := collectOutputs(stepUnits)
-		e.ssi.ObserveRelay(post.ID, next)
+		e.ssi.ObserveRelay(post.ID, next, rs.clock.Now())
+		if len(next) > 0 {
+			// The round's achieved reduction factor — the protocol's
+			// effective alpha, histogrammed across rounds and runs.
+			e.obs.saggReduction.Observe(float64(len(units)) / float64(len(next)))
+			sp.SetAttr("reduction", fmt.Sprintf("%d->%d", len(units), len(next)))
+		}
 		if len(next) >= len(units) {
 			// No progress (e.g., all-dummy partitions of size 1); force a
 			// final merge in one partition.
@@ -230,71 +275,68 @@ func (e *Engine) runSAgg(ctx context.Context, post *protocol.QueryPost, stmt *sq
 
 	// Filtering phase: the single final partial goes to one TDS which
 	// applies HAVING and encrypts the result for the querier.
-	return e.filterFinal(ctx, post, stmt, rng, metrics, units, faults)
+	return e.filterFinal(ctx, rs, stmt, units)
 }
 
 // runTagged drives the noise and histogram protocols: the SSI groups
 // tuples by tag (Det_Enc(A_G) or h(bucketId)), a first aggregation step
 // folds each partition into per-group partials, a second step completes
 // each group, and the filtering phase applies HAVING.
-func (e *Engine) runTagged(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, collected []protocol.WireTuple, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
-	workers := e.availableWorkers()
+func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt,
+	collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	post := rs.post
 	per := e.perPartitionTuples(post.Params, collected)
 
 	// First aggregation step: partitions hold tuples of one tag; large
 	// groups split across n_NB partitions processed in parallel.
 	parts := ssi.TagPartitions(collected, per)
-	step1, ps, err := e.runPhase(ctx, post, "aggregate-1", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	e.startPhase(rs, "aggregate-1", parts)
+	step1, ps, err := e.runPhase(ctx, rs, "aggregate-1", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
 	})
 	if err != nil {
 		return nil, err
 	}
-	metrics.applyPhaseStats(ps)
-	metrics.addNamedPhase("aggregate-1", unitDurations(step1), workers, unitBytes(step1), ps.Wait)
-	metrics.LoadBytes += unitBytes(step1)
+	e.notePhase(rs, "aggregate-1", step1, ps)
 	partials := collectOutputs(step1)
-	e.ssi.ObserveRelay(post.ID, partials)
+	e.ssi.ObserveRelay(post.ID, partials, rs.clock.Now())
 
 	// Second aggregation step: per-group partitions (each tag is now
 	// Det_Enc of one exact group) merged to completion.
 	parts = ssi.TagPartitions(partials, 0)
-	step2, ps, err := e.runPhase(ctx, post, "aggregate-2", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	e.startPhase(rs, "aggregate-2", parts)
+	step2, ps, err := e.runPhase(ctx, rs, "aggregate-2", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
 	})
 	if err != nil {
 		return nil, err
 	}
-	metrics.applyPhaseStats(ps)
-	metrics.addNamedPhase("aggregate-2", unitDurations(step2), workers, unitBytes(step2), ps.Wait)
-	metrics.LoadBytes += unitBytes(step2)
+	e.notePhase(rs, "aggregate-2", step2, ps)
 	finals := collectOutputs(step2)
-	e.ssi.ObserveRelay(post.ID, finals)
+	e.ssi.ObserveRelay(post.ID, finals, rs.clock.Now())
 
-	return e.filterFinal(ctx, post, stmt, rng, metrics, finals, faults)
+	return e.filterFinal(ctx, rs, stmt, finals)
 }
 
 // filterFinal is the filtering phase of the aggregate protocols: evaluate
 // the HAVING clause over completed groups and deliver k1-encrypted result
 // tuples (step 11 eliminates groups, not dummies).
-func (e *Engine) filterFinal(ctx context.Context, post *protocol.QueryPost, stmt *sqlparse.SelectStmt,
-	rng *rand.Rand, metrics *Metrics, finals []protocol.WireTuple, faults *faultplan.Plan) ([]protocol.WireTuple, error) {
-	workers := e.availableWorkers()
+func (e *Engine) filterFinal(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt,
+	finals []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	post, metrics, rng := rs.post, rs.metrics, rs.rng
 	parts := ssi.RandomPartitions(finals, e.perPartitionTuples(post.Params, finals), rng)
 	if len(parts) == 0 {
 		parts = [][]protocol.WireTuple{nil}
 	}
 	forceEmpty := len(stmt.GroupBy) == 0
-	units, ps, err := e.runPhase(ctx, post, "filtering", rng, faults, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	e.startPhase(rs, "filtering", parts)
+	units, ps, err := e.runPhase(ctx, rs, "filtering", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.FinalizeGroups(post, p, false)
 	})
 	if err != nil {
 		return nil, err
 	}
-	metrics.applyPhaseStats(ps)
-	metrics.addNamedPhase("filtering", unitDurations(units), workers, unitBytes(units), ps.Wait)
-	metrics.LoadBytes += unitBytes(units)
+	e.notePhase(rs, "filtering", units, ps)
 	out := collectOutputs(units)
 	metrics.Groups = countGroups(units)
 
@@ -336,14 +378,6 @@ func unitDurations(units []workUnit) []time.Duration {
 		out[i] = u.busy
 	}
 	return out
-}
-
-func unitBytes(units []workUnit) int64 {
-	var n int64
-	for _, u := range units {
-		n += int64(tupleBytes(u.partition)) + int64(tupleBytes(u.out))
-	}
-	return n
 }
 
 // groupCountHint guesses G for partition sizing: the engine cannot know G

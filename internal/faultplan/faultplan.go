@@ -151,6 +151,23 @@ func (p *Plan) For(deviceID, queryID string) Behavior {
 	return b
 }
 
+// Label names the collection-phase outcome a behavior scripts, for
+// trace events and fault reports: "offline", "drop", "corrupt", "slow"
+// or "clean". Severity order matches For's resolution.
+func (b Behavior) Label() string {
+	switch {
+	case b.Offline:
+		return "offline"
+	case b.DropDeposit:
+		return "drop"
+	case b.CorruptDeposit:
+		return "corrupt"
+	case b.SlowFactor > 1:
+		return "slow"
+	}
+	return "clean"
+}
+
 // DepositWait is the simulated time the SSI spends before discarding a
 // half-finished deposit.
 func (p *Plan) DepositWait() time.Duration {

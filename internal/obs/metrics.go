@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry is a minimal stand-in for a Prometheus client: named
+// counter/gauge/histogram families, optional label dimensions, and a
+// text-exposition-format writer. It deliberately has no dependencies
+// and a deterministic output order (families and series sorted), so the
+// exported file is diffable and checkable by CheckText.
+
+// Counter is a monotonically increasing float64.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reports the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by v.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative le-buckets.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per finite bound; +Inf is the total
+	sum    Gauge
+	total  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with zero or more labelled series.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	bounds     []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]any // label-values key -> *Counter | *Gauge | *Histogram
+	order  []string       // insertion order of keys, sorted at write time
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labelNames) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labelNames: labels,
+		bounds: bounds, series: make(map[string]any)}
+	r.fams[name] = f
+	return f
+}
+
+const seriesKeySep = "\x1f"
+
+func (f *family) get(values []string, make func() any) any {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, seriesKeySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := make()
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers a counter family with label dimensions.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labels, nil)}
+}
+
+// CounterVec selects counters by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers a gauge family with label dimensions.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, labels, nil)}
+}
+
+// GaugeVec selects gauges by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the
+// given ascending bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramVec(name, help, bounds).With()
+}
+
+// HistogramVec registers a histogram family with label dimensions.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, labels, bounds)}
+}
+
+// HistogramVec selects histograms by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	return f.get(values, func() any {
+		h := &Histogram{bounds: f.bounds}
+		h.counts = make([]atomic.Uint64, len(f.bounds))
+		return h
+	}).(*Histogram)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// renderLabels joins name/value pairs plus an optional extra pair into
+// the {a="b",c="d"} form, or "" when empty.
+func renderLabels(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders every family in Prometheus text exposition format,
+// families sorted by name and series sorted by label values, so the
+// output is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			m := f.series[key]
+			var values []string
+			if key != "" || len(f.labelNames) > 0 {
+				values = strings.Split(key, seriesKeySep)
+			}
+			labels := renderLabels(f.labelNames, values, "", "")
+			switch mm := m.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(mm.Value()))
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(mm.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, b := range mm.bounds {
+					cum += mm.counts[i].Load()
+					bl := renderLabels(f.labelNames, values, "le", formatFloat(b))
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum)
+				}
+				bl := renderLabels(f.labelNames, values, "le", "+Inf")
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, mm.Count())
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(mm.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, mm.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+	return nil
+}

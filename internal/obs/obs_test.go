@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimClockMonotone(t *testing.T) {
+	c := NewSimClock(SimOrigin())
+	c.Advance(3 * time.Second)
+	c.Advance(-time.Hour) // ignored: simulated time never rewinds
+	if got := c.Now().Sub(SimOrigin()); got != 3*time.Second {
+		t.Fatalf("clock at +%v, want +3s", got)
+	}
+	c.AdvanceTo(SimOrigin().Add(time.Second)) // earlier: ignored
+	c.AdvanceTo(SimOrigin().Add(5 * time.Second))
+	if got := c.Now().Sub(SimOrigin()); got != 5*time.Second {
+		t.Fatalf("clock at +%v, want +5s", got)
+	}
+}
+
+func buildTrace(t *testing.T) *QueryTrace {
+	t.Helper()
+	tr := NewTracer()
+	at := SimOrigin()
+	tr.StartQuery("q", "execute", at)
+	tr.StartChild("q", "collect", PartyEngine, at)
+	tr.SSIEvent("q", "deposit", "tds-1", at.Add(time.Millisecond),
+		CipherFacts{Tuples: 4, Bytes: 256})
+	tr.EndSpan("q", at.Add(2*time.Millisecond))
+	sp := tr.StartChild("q", "filtering", PartyEngine, at.Add(2*time.Millisecond))
+	sp.SetAttr("groups", "5")
+	tr.EndSpan("q", at.Add(3*time.Millisecond))
+	tr.EndSpan("q", at.Add(3*time.Millisecond))
+	qt := tr.Take("q")
+	if qt == nil {
+		t.Fatal("Take returned nil")
+	}
+	return qt
+}
+
+func TestTracerTreeAndJSONL(t *testing.T) {
+	qt := buildTrace(t)
+	if len(qt.Root.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(qt.Root.Children))
+	}
+	var buf bytes.Buffer
+	if err := qt.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // 3 spans + 1 event
+		t.Fatalf("got %d JSONL lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		if m["type"] != "span" && m["type"] != "event" {
+			t.Fatalf("line %q: unexpected type %v", ln, m["type"])
+		}
+	}
+	if !strings.Contains(buf.String(), `"device":"tds-1"`) {
+		t.Fatalf("event device missing from JSONL:\n%s", buf.String())
+	}
+	// Identical construction must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := buildTrace(t).WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two identical traces serialized differently")
+	}
+	sum := qt.Summary()
+	if !strings.Contains(sum, "execute") || !strings.Contains(sum, "deposit=1") {
+		t.Fatalf("summary missing content:\n%s", sum)
+	}
+}
+
+func TestSSISpanRefusesAttrs(t *testing.T) {
+	tr := NewTracer()
+	tr.StartQuery("q", "execute", SimOrigin())
+	sp := tr.StartChild("q", "store", PartySSI, SimOrigin())
+	sp.SetAttr("district", "Paris") // must be dropped: SSI side is facts-only
+	if len(sp.Attrs) != 0 {
+		t.Fatalf("SSI span accepted attrs: %v", sp.Attrs)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.StartQuery("q", "execute", SimOrigin()).SetAttr("k", "v")
+	tr.StartChild("q", "x", PartyEngine, SimOrigin())
+	tr.SSIEvent("q", "deposit", "d", SimOrigin(), CipherFacts{})
+	tr.EndSpan("q", SimOrigin())
+	if tr.Take("q") != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	tr.Discard("q")
+}
+
+func TestRegistryTextAndChecker(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("tcq_deposits_total", "deposits by outcome", "outcome")
+	c.With("accepted").Add(3)
+	c.With("dropped").Inc()
+	g := r.Gauge("tcq_coverage_ratio", "deposited / eligible")
+	g.Set(0.875)
+	h := r.Histogram("tcq_phase_seconds", "phase durations", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(2)
+	h.Observe(100)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`# TYPE tcq_deposits_total counter`,
+		`tcq_deposits_total{outcome="accepted"} 3`,
+		`tcq_deposits_total{outcome="dropped"} 1`,
+		`tcq_coverage_ratio 0.875`,
+		`tcq_phase_seconds_bucket{le="+Inf"} 3`,
+		`tcq_phase_seconds_count 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exporter output missing %q:\n%s", want, text)
+		}
+	}
+	if err := CheckText(strings.NewReader(text)); err != nil {
+		t.Fatalf("CheckText rejected exporter output: %v\n%s", err, text)
+	}
+	// Deterministic: second render identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestCheckTextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"tcq_thing 1\n", // sample without TYPE
+		"# TYPE tcq_x counter\ntcq_x notanumber\n", // bad value
+		"# TYPE tcq_h histogram\ntcq_h_bucket 3\n", // bucket without le
+		"# TYPE 9bad counter\n",                    // bad metric name
+		"# TYPE tcq_y flavour\n",                   // unknown type
+		"# TYPE tcq_z counter\ntcq_z{a=\"b\" 1\n",  // malformed labels
+	}
+	for _, doc := range bad {
+		if err := CheckText(strings.NewReader(doc)); err == nil {
+			t.Fatalf("CheckText accepted %q", doc)
+		}
+	}
+}
+
+func TestCheckTextHistogramConsistency(t *testing.T) {
+	doc := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 5\n" +
+		"h_bucket{le=\"+Inf\"} 4\n" + // finite bucket exceeds +Inf
+		"h_sum 1\n" +
+		"h_count 4\n"
+	if err := CheckText(strings.NewReader(doc)); err == nil {
+		t.Fatal("CheckText accepted non-monotone histogram")
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CheckText validates a Prometheus text-exposition document: comment
+// grammar, sample-line syntax, metric/label naming, float parsing, TYPE
+// declarations preceding their samples, and histogram consistency
+// (+Inf bucket present and equal to _count, cumulative buckets
+// monotone). It is the bundled stand-in for expfmt so the -metrics-out
+// file can be gate-checked without dependencies.
+func CheckText(r io.Reader) error {
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+		// name, optional {labels}, value — labels parsed separately.
+		sample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\d+)?$`)
+		labels = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	)
+	types := make(map[string]string)
+	type histState struct {
+		lastCum   uint64
+		infSeen   bool
+		infVal    uint64
+		countSeen bool
+		countVal  uint64
+	}
+	hists := make(map[string]*histState) // per series (name+labels sans le)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !metricName.MatchString(fields[2]) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labelBody, value := m[1], m[3], m[4]
+		val, err := strconv.ParseFloat(value, 64)
+		if err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, value, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		le := ""
+		var sansLE []string
+		if labelBody != "" {
+			for _, pair := range splitLabelPairs(labelBody) {
+				lm := labels.FindStringSubmatch(pair)
+				if lm == nil {
+					return fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+				}
+				if !labelName.MatchString(lm[1]) {
+					return fmt.Errorf("line %d: bad label name %q", lineNo, lm[1])
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				} else {
+					sansLE = append(sansLE, pair)
+				}
+			}
+		}
+		if typ == "histogram" {
+			key := base + "{" + strings.Join(sansLE, ",") + "}"
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				cum := uint64(val)
+				if le == "+Inf" {
+					h.infSeen, h.infVal = true, cum
+				} else if cum < h.lastCum {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, base)
+				} else {
+					h.lastCum = cum
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.countSeen, h.countVal = true, uint64(val)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		if !h.countSeen || h.countVal != h.infVal {
+			return fmt.Errorf("histogram %s: _count (%d) != +Inf bucket (%d)", key, h.countVal, h.infVal)
+		}
+		if h.lastCum > h.infVal {
+			return fmt.Errorf("histogram %s: finite bucket exceeds +Inf bucket", key)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits `a="b",c="d"` on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}

@@ -118,6 +118,17 @@ type WireTuple struct {
 // Size returns the bytes this tuple occupies at the SSI.
 func (w WireTuple) Size() int { return len(w.Tag) + len(w.Ciphertext) + len(w.Digest) }
 
+// TotalSize returns the bytes a tuple batch occupies at the SSI — the
+// unit every byte-accounting consumer (metrics, traces, the curious
+// observation ledger) shares.
+func TotalSize(ws []WireTuple) int {
+	n := 0
+	for _, w := range ws {
+		n += w.Size()
+	}
+	return n
+}
+
 // Deposit is the envelope a TDS uploads at step 4 of Fig. 2. The tuples
 // themselves are ciphertext; the envelope adds the cleartext metadata an
 // availability-agnostic SSI needs to survive churn:

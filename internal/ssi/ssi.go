@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 )
 
@@ -64,6 +65,10 @@ type LedgerEntry struct {
 	Attempt int
 	// Wait is the simulated timeout + backoff the SSI spent on the event.
 	Wait time.Duration
+	// At is the simulated instant the SSI recorded the event — an offset
+	// from obs.SimOrigin, never wall time, so ledgers stay bit-identical
+	// across worker counts and hosts. Every recovery path stamps it.
+	At time.Time
 }
 
 // DepositOutcome is one envelope's fate inside a committed wave batch.
@@ -97,12 +102,19 @@ func (o *Observation) clone() Observation {
 type SSI struct {
 	mu      sync.Mutex
 	queries map[string]*QueryState
+	trace   *obs.Tracer // nil-safe; mirrors ledger events as SSI-party trace events
 }
 
 // New returns an empty SSI.
 func New() *SSI {
 	return &SSI{queries: make(map[string]*QueryState)}
 }
+
+// WithTracer mirrors every recorded ledger event and relay observation
+// into tr as SSI-party trace events. The CipherFacts-only event payload
+// guarantees the mirror carries ciphertext volumes and timings, nothing
+// else — exactly the honest-but-curious view.
+func (s *SSI) WithTracer(tr *obs.Tracer) { s.trace = tr }
 
 // PostQuery deposits a query in the global querybox (step 1 of Fig. 2).
 func (s *SSI) PostQuery(post *protocol.QueryPost, now time.Time) error {
@@ -254,6 +266,8 @@ func (s *SSI) Record(id string, e LedgerEntry) {
 		return
 	}
 	st.ledger = append(st.ledger, e)
+	s.trace.SSIEvent(id, e.Kind, e.Device, e.At,
+		obs.CipherFacts{Attempt: e.Attempt, Wait: e.Wait})
 }
 
 // LedgerFor returns a copy of the recovery ledger of a query.
@@ -298,8 +312,9 @@ func (s *SSI) observe(st *QueryState, w protocol.WireTuple) {
 }
 
 // ObserveRelay records intermediate tuples the SSI relays during the
-// aggregation phase; they feed the same curious ledger.
-func (s *SSI) ObserveRelay(id string, tuples []protocol.WireTuple) {
+// aggregation phase at the given simulated instant; they feed the same
+// curious ledger, and the relay's ciphertext volume lands in the trace.
+func (s *SSI) ObserveRelay(id string, tuples []protocol.WireTuple, at time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.queries[id]
@@ -309,6 +324,9 @@ func (s *SSI) ObserveRelay(id string, tuples []protocol.WireTuple) {
 	for _, w := range tuples {
 		s.observe(st, w)
 	}
+	s.trace.SSIEvent(id, "relay", "", at, obs.CipherFacts{
+		Tuples: len(tuples), Bytes: int64(protocol.TotalSize(tuples)),
+	})
 }
 
 // CollectionDone reports whether the SIZE condition has been reached.

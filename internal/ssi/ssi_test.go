@@ -102,8 +102,8 @@ func TestObservationLedger(t *testing.T) {
 	if _, _, err := s.Deposit("q1", batch, t0); err != nil {
 		t.Fatal(err)
 	}
-	s.ObserveRelay("q1", []protocol.WireTuple{tuple("c", 5)})
-	s.ObserveRelay("nope", []protocol.WireTuple{tuple("c", 5)}) // ignored
+	s.ObserveRelay("q1", []protocol.WireTuple{tuple("c", 5)}, t0)
+	s.ObserveRelay("nope", []protocol.WireTuple{tuple("c", 5)}, t0) // ignored
 	o := s.ObservationFor("q1")
 	if o.TotalTuples != 5 || o.TaggedTuples != 4 {
 		t.Errorf("observation = %+v", o)

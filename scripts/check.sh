@@ -31,8 +31,14 @@ go build ./...
 echo "==> go test"
 go test ./...
 
+echo "==> obslint (no direct time.Now() in internal/)"
+go run ./scripts/obslint.go
+
 echo "==> churn determinism gate"
 go vet ./... && go test -race -count=1 ./internal/core -run 'Churn|Determinism'
+
+echo "==> trace determinism gate"
+go test -race -count=1 ./internal/core -run 'GoldenTrace|SSIVisibility|TraceLedger'
 
 if [ "$short" -eq 0 ]; then
     echo "==> go test -race"

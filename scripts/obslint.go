@@ -1,0 +1,103 @@
+// Command obslint enforces the repo's simulated-clock discipline: no file
+// under internal/ may call time.Now() directly. All simulated timestamps
+// must flow through obs.SimClock and the single sanctioned wall-clock
+// escape hatch, obs.Wall() (internal/obs/clock.go) — otherwise traces and
+// metrics stop being deterministic across runs and worker counts.
+//
+// Usage: go run ./scripts/obslint.go [dir]   (dir defaults to internal)
+//
+// Test files are exempt: they may time out, poll or measure wall time.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// allowed are the files sanctioned to touch the wall clock.
+var allowed = map[string]bool{
+	filepath.Join("internal", "obs", "clock.go"): true,
+}
+
+func main() {
+	root := "internal"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	bad := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if allowed[filepath.Clean(path)] {
+			return nil
+		}
+		hits, err := lintFile(path)
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			fmt.Fprintln(os.Stderr, h)
+			bad++
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obslint:", err)
+		os.Exit(2)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "obslint: %d direct time.Now() call(s) in %s/; use obs.SimClock or obs.Wall()\n", bad, root)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every non-comment line of one file that calls
+// time.Now(. A leading // comment or a trailing // comment does not
+// count; string literals are not special-cased (no legitimate Go source
+// embeds "time.Now(" in a string here).
+func lintFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hits []string
+	sc := bufio.NewScanner(f)
+	line := 0
+	inBlock := false
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if inBlock {
+			if i := strings.Index(text, "*/"); i >= 0 {
+				text = text[i+2:]
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if i := strings.Index(text, "/*"); i >= 0 {
+			// Keep only what precedes the block comment; multi-line blocks
+			// swallow the following lines.
+			if end := strings.Index(text[i:], "*/"); end < 0 {
+				inBlock = true
+				text = text[:i]
+			}
+		}
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
+		if strings.Contains(text, "time.Now(") {
+			hits = append(hits, fmt.Sprintf("%s:%d: direct time.Now() call", path, line))
+		}
+	}
+	return hits, sc.Err()
+}
