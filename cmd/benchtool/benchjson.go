@@ -164,9 +164,11 @@ func runBenchJSON(path string, fleet, workers, iters int, scenario string, out i
 	ctx := context.Background()
 	collect := func(eng *core.Engine, q *querier.Querier, plan *faultplan.Plan) func() error {
 		return func() error {
+			// SkipVerify isolates the protocol's cost from the commitment
+			// checks; the verified path has its own tests and its own flag.
 			_, err := eng.Execute(ctx, core.Request{
 				Querier: q, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
-				Faults: plan, CollectOnly: true,
+				Faults: plan, CollectOnly: true, SkipVerify: true,
 			})
 			return err
 		}
@@ -197,6 +199,7 @@ func runBenchJSON(path string, fleet, workers, iters int, scenario string, out i
 		endToEnd, func() error {
 			resp, err := parEng.Execute(ctx, core.Request{
 				Querier: parQ, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
+				SkipVerify: true,
 			})
 			if err == nil && len(resp.Result.Rows) == 0 {
 				return fmt.Errorf("empty result")

@@ -16,6 +16,15 @@
 // uploads, slow devices and crash-before-commit during the aggregation
 // phases. The run then reports its coverage ratio and recovery account.
 //
+// The -ssi-adversary flag upgrades the threat model from honest-but-curious
+// to weakly malicious: the SSI itself misbehaves on schedule (dropping,
+// duplicating, replaying or equivocating ciphertext, forging coverage
+// claims). Verified execution (-verify, on by default) checks the SSI
+// against the fleet's k2-keyed deposit commitments and either recovers the
+// honest result or fails with a typed detection error — never a silently
+// wrong answer. -ssi-persistent re-strikes on quarantine retries, forcing
+// the degradation path.
+//
 // Observability flags:
 //
 //	-trace-out q.jsonl    write the query's span tree (simulated-clock
@@ -82,17 +91,26 @@ type options struct {
 	faultSeed     int64
 	coverageFloor float64
 
+	ssiAdversary  string
+	ssiPersistent bool
+	verify        bool
+
 	traceOut     string
 	traceSummary bool
 	metricsOut   string
 	pprofAddr    string
 }
 
-// faultPlan assembles the scripted churn, or nil when no churn flag is set.
-func (o options) faultPlan() *faultplan.Plan {
+// faultPlan assembles the scripted churn and SSI misbehavior, or nil when
+// no fault flag is set.
+func (o options) faultPlan() (*faultplan.Plan, error) {
+	script, err := parseSSIScript(o.ssiAdversary, o.ssiPersistent)
+	if err != nil {
+		return nil, err
+	}
 	if o.churnOffline == 0 && o.churnDrop == 0 && o.churnCorrupt == 0 &&
-		o.churnSlow == 0 && o.churnCrash == 0 && o.coverageFloor == 0 {
-		return nil
+		o.churnSlow == 0 && o.churnCrash == 0 && o.coverageFloor == 0 && script == nil {
+		return nil, nil
 	}
 	return &faultplan.Plan{
 		Seed:            o.faultSeed,
@@ -102,7 +120,39 @@ func (o options) faultPlan() *faultplan.Plan {
 		SlowFraction:    o.churnSlow,
 		CrashFraction:   o.churnCrash,
 		CoverageFloor:   o.coverageFloor,
+		SSI:             script,
+	}, nil
+}
+
+// parseSSIScript turns the -ssi-adversary flag's comma-separated behavior
+// list into a script, or nil when the flag is empty.
+func parseSSIScript(list string, persistent bool) (*faultplan.SSIScript, error) {
+	if list == "" {
+		return nil, nil
 	}
+	known := faultplan.SSIMisbehaviors()
+	var bs []faultplan.SSIMisbehavior
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, b := range known {
+			if string(b) == name {
+				bs = append(bs, b)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown SSI misbehavior %q (known: %v)", name, known)
+		}
+	}
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	return &faultplan.SSIScript{Behaviors: bs, Persistent: persistent}, nil
 }
 
 func main() {
@@ -125,6 +175,12 @@ func main() {
 	flag.Float64Var(&o.churnCrash, "churn-crash", 0, "fraction of devices crashing before committing a partition")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed of the scripted churn")
 	flag.Float64Var(&o.coverageFloor, "coverage-floor", 0, "fail the query below this collection coverage ratio")
+	flag.StringVar(&o.ssiAdversary, "ssi-adversary", "",
+		"comma-separated SSI misbehaviors to script (drop-tuple, duplicate-tuple, replay-stale-partition, forge-coverage, equivocate-partitioning)")
+	flag.BoolVar(&o.ssiPersistent, "ssi-persistent", false,
+		"re-strike scripted SSI misbehaviors on every opportunity, including quarantine retries")
+	flag.BoolVar(&o.verify, "verify", true,
+		"verify the SSI against the fleet's deposit commitments (disable to isolate protocol cost)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the query trace as JSON lines to this file")
 	flag.BoolVar(&o.traceSummary, "trace-summary", false, "print the query trace as an ASCII span tree")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (Prometheus text) to this file")
@@ -161,7 +217,7 @@ func run(fleet int, protoName, query string, nf, buckets int, available, failure
 func runExt(fleet int, protoName, query string, nf, buckets int, available, failure float64, audit int, compromised float64, seed int64) error {
 	return runOpts(options{fleet: fleet, protoName: protoName, query: query,
 		nf: nf, buckets: buckets, available: available, failure: failure,
-		audit: audit, compromised: compromised, seed: seed})
+		audit: audit, compromised: compromised, seed: seed, verify: true})
 }
 
 func runOpts(o options) error {
@@ -207,13 +263,19 @@ func runOpts(o options) error {
 		return err
 	}
 
-	plan := o.faultPlan()
+	plan, err := o.faultPlan()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("fleet=%d protocol=%v available=%.0f%% failure=%.0f%%\n",
 		o.fleet, kind, o.available*100, o.failure*100)
 	if plan != nil {
 		fmt.Printf("churn: offline=%.0f%% drop=%.0f%% corrupt=%.0f%% slow=%.0f%% crash=%.0f%% (fault seed %d)\n",
 			plan.OfflineFraction*100, plan.DropFraction*100, plan.CorruptFraction*100,
 			plan.SlowFraction*100, plan.CrashFraction*100, plan.Seed)
+		if plan.SSI != nil {
+			fmt.Printf("SSI adversary: %v (persistent=%v)\n", plan.SSI.Behaviors, plan.SSI.Persistent)
+		}
 	}
 	fmt.Println("query:", o.query)
 
@@ -226,13 +288,23 @@ func runOpts(o options) error {
 
 	start := time.Now()
 	resp, err := eng.Execute(ctx, core.Request{
-		Querier: q,
-		SQL:     o.query,
-		Kind:    kind,
-		Params:  protocol.Params{Nf: o.nf, NumBuckets: o.buckets},
-		Faults:  plan,
+		Querier:    q,
+		SQL:        o.query,
+		Kind:       kind,
+		Params:     protocol.Params{Nf: o.nf, NumBuckets: o.buckets},
+		Faults:     plan,
+		SkipVerify: !o.verify,
 	})
 	if err != nil {
+		// An abort after execution started still carries metrics, ledger
+		// and trace: report the detection before failing, and export the
+		// requested artifacts so the abort is auditable.
+		if resp != nil {
+			printAbort(resp, err)
+			if expErr := exportObservability(o, eng, resp); expErr != nil {
+				fmt.Fprintln(os.Stderr, "tdsnet:", expErr)
+			}
+		}
 		return err
 	}
 	res, m := resp.Result, resp.Metrics
@@ -262,8 +334,36 @@ func runOpts(o options) error {
 	fmt.Printf("  tuples seen   %d (tagged: %d)\n", m.Observation.TotalTuples, m.Observation.TaggedTuples)
 	fmt.Printf("  distinct tags %d\n", len(m.Observation.TagCounts))
 	fmt.Printf("  bytes seen    %.1f KB (all ciphertext)\n", float64(m.Observation.BytesSeen)/1e3)
+	printIntegrity(resp.Integrity)
 
 	return exportObservability(o, eng, resp)
+}
+
+// printIntegrity renders the verified-execution report, or notes that
+// verification was off.
+func printIntegrity(rep *core.IntegrityReport) {
+	if rep == nil {
+		fmt.Printf("\nverified execution: off (-verify=false)\n")
+		return
+	}
+	fmt.Printf("\nverified execution:\n")
+	fmt.Printf("  checks        %d (%d deposit commitments, %d partition builds)\n",
+		rep.Checks, rep.Deposits, rep.Phases)
+	fmt.Printf("  violations    %d (quarantined %d, recovered %d)\n",
+		rep.Violations, rep.Quarantines, rep.Recovered)
+	fmt.Printf("  run digest    %x\n", rep.Digest)
+}
+
+// printAbort reports a run that failed after execution started: the typed
+// error, the detection account, and the ledger tail that explains it.
+func printAbort(resp *core.Response, err error) {
+	fmt.Printf("\nquery aborted: %v\n", err)
+	if m := resp.Metrics; m != nil {
+		fmt.Printf("  coverage at abort  %.1f%% (%d of %d eligible TDSs deposited)\n",
+			m.CoverageRatio*100, m.DepositedDevices, m.EligibleDevices)
+		printRecoveryReport(m.Ledger)
+	}
+	printIntegrity(resp.Integrity)
 }
 
 // maxLedgerLines bounds the recovery report; churned thousand-device

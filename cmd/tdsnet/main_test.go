@@ -126,14 +126,21 @@ func TestObservabilityExports(t *testing.T) {
 }
 
 func TestFaultPlanOnlyWhenScripted(t *testing.T) {
-	if (options{}).faultPlan() != nil {
-		t.Error("zero options grew a fault plan")
+	if p, err := (options{}).faultPlan(); err != nil || p != nil {
+		t.Errorf("zero options grew a fault plan: %+v (err %v)", p, err)
 	}
-	p := (options{churnDrop: 0.2, faultSeed: 5}).faultPlan()
-	if p == nil || p.DropFraction != 0.2 || p.Seed != 5 {
-		t.Errorf("fault plan = %+v", p)
+	p, err := (options{churnDrop: 0.2, faultSeed: 5}).faultPlan()
+	if err != nil || p == nil || p.DropFraction != 0.2 || p.Seed != 5 {
+		t.Errorf("fault plan = %+v (err %v)", p, err)
 	}
-	if (options{coverageFloor: 0.5}).faultPlan() == nil {
-		t.Error("coverage floor alone should still build a plan")
+	if p, err := (options{coverageFloor: 0.5}).faultPlan(); err != nil || p == nil {
+		t.Errorf("coverage floor alone should still build a plan (err %v)", err)
+	}
+	p, err = (options{ssiAdversary: "drop-tuple, forge-coverage", ssiPersistent: true}).faultPlan()
+	if err != nil || p == nil || p.SSI == nil || len(p.SSI.Behaviors) != 2 || !p.SSI.Persistent {
+		t.Errorf("SSI script alone should build a plan: %+v (err %v)", p, err)
+	}
+	if _, err := (options{ssiAdversary: "melt-datacenter"}).faultPlan(); err == nil {
+		t.Error("unknown misbehavior name was accepted")
 	}
 }

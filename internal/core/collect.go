@@ -158,10 +158,11 @@ func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.C
 func (e *Engine) commitDeposit(rs *runState, d collectDevice,
 	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time) (bool, error) {
 	dep := protocol.NewDeposit(rs.post.ID, d.t.ID, 1, rs.post.Epoch, tuples)
+	dep.Commit = d.t.CommitDeposit(rs.post, 1, tuples)
 	if d.b.CorruptDeposit {
 		dep.Sum ^= 0x1 // one flipped transport bit; the checksum catches it
 	}
-	accepted, done, err := e.ssi.DepositEnvelope(rs.post.ID, dep, now)
+	accepted, done, err := rs.ssi.DepositEnvelope(rs.post.ID, dep, now)
 	if err != nil {
 		if errors.Is(err, ssi.ErrCorruptDeposit) || errors.Is(err, ssi.ErrStaleDeposit) {
 			e.recordRejected(rs, d, now, err)
@@ -169,21 +170,23 @@ func (e *Engine) commitDeposit(rs *runState, d collectDevice,
 		}
 		return false, err
 	}
-	e.acceptDeposit(rs, d, accepted, len(tuples), protocol.TotalSize(tuples), stats, now)
+	e.acceptDeposit(rs, d, accepted, tuples, dep.Commit, stats, now)
 	return done, nil
 }
 
-// acceptDeposit folds one accepted deposit into the metrics, the trace
-// and the registry. sentBytes is the envelope's ciphertext volume — what
-// the SSI actually watched arrive, whether or not the SIZE cap truncated
-// the accepted count.
-func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted, sent, sentBytes int,
-	stats tds.CollectStats, now time.Time) {
+// acceptDeposit folds one accepted deposit into the metrics, the trace,
+// the registry, and the verification records. The byte volume billed is
+// the envelope's full ciphertext — what the SSI actually watched arrive,
+// whether or not the SIZE cap truncated the accepted count.
+func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted int,
+	tuples []protocol.WireTuple, commit []byte, stats tds.CollectStats, now time.Time) {
+	sent, sentBytes := len(tuples), protocol.TotalSize(tuples)
 	rs.metrics.Nt += int64(accepted)
 	if accepted == sent {
 		rs.metrics.TrueTuples += int64(stats.True)
 	}
 	rs.metrics.DepositedDevices++
+	rs.recordDepositCommit(d, accepted, tuples, commit)
 	e.obs.tracer.SSIEvent(rs.post.ID, "deposit", d.t.ID, now,
 		obs.CipherFacts{Tuples: accepted, Bytes: int64(sentBytes), Attempt: 1})
 	e.obs.devices.With("accepted").Inc()
@@ -203,7 +206,7 @@ func (e *Engine) recordRejected(rs *runState, d collectDevice, now time.Time, er
 		kind, outcome = "deposit-corrupt", "corrupt"
 		rs.metrics.CorruptDeposits++
 	}
-	e.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+	rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
 		Kind: kind, Phase: "collection", Device: d.t.ID, Attempt: 1, At: now,
 	})
 	e.obs.devices.With(outcome).Inc()
@@ -216,7 +219,7 @@ func (e *Engine) recordDropped(rs *runState, d collectDevice, now time.Time) {
 	rs.metrics.DroppedDeposits++
 	rs.metrics.Timeouts++
 	rs.metrics.RetryWait += wait
-	e.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+	rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
 		Kind: "deposit-timeout", Phase: "collection", Device: d.t.ID,
 		Attempt: 1, Wait: wait, At: now,
 	})
@@ -233,7 +236,7 @@ func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds
 	interval := e.cfg.ConnectionInterval
 	now := start
 	for _, d := range devices {
-		if e.ssi.CollectionDone(post.ID, now) {
+		if rs.ssi.CollectionDone(post.ID, now) {
 			break
 		}
 		if err := ctxErr(ctx); err != nil {
@@ -283,7 +286,7 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 			end = len(devices)
 		}
 		wave := devices[base:end]
-		if e.ssi.CollectionDone(post.ID, now) {
+		if rs.ssi.CollectionDone(post.ID, now) {
 			return now, nil
 		}
 		if err := ctxErr(ctx); err != nil {
@@ -323,7 +326,7 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 			continue
 		}
 		for j, d := range wave {
-			if e.ssi.CollectionDone(post.ID, now) {
+			if rs.ssi.CollectionDone(post.ID, now) {
 				return now, nil
 			}
 			if d.b.DropDeposit {
@@ -370,13 +373,14 @@ func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []colle
 			continue
 		}
 		dep := protocol.NewDeposit(post.ID, wave[j].t.ID, 1, post.Epoch, res[j].tuples)
+		dep.Commit = wave[j].t.CommitDeposit(post, 1, res[j].tuples)
 		if wave[j].b.CorruptDeposit {
 			dep.Sum ^= 0x1
 		}
 		deps = append(deps, dep)
 		idxOf = append(idxOf, j)
 	}
-	out, doneAt, done, err := e.ssi.DepositEnvelopeBatch(post.ID, deps, now)
+	out, doneAt, done, err := rs.ssi.DepositEnvelopeBatch(post.ID, deps, now)
 	if err != nil {
 		return false, err
 	}
@@ -402,8 +406,8 @@ func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []colle
 				if out[b].Err != nil {
 					e.recordRejected(rs, wave[j], now, out[b].Err)
 				} else {
-					e.acceptDeposit(rs, wave[j], out[b].Accepted, len(res[j].tuples),
-						protocol.TotalSize(res[j].tuples), res[j].stats, now)
+					e.acceptDeposit(rs, wave[j], out[b].Accepted, res[j].tuples,
+						deps[b].Commit, res[j].stats, now)
 				}
 			}
 			b++

@@ -67,7 +67,8 @@ func benchCollectionPhase(b *testing.B, fleet, workers int) {
 			b.Fatal(err)
 		}
 		var m Metrics
-		rs := &runState{post: post, rng: rng, metrics: &m, clock: obs.NewSimClock(now)}
+		rs := &runState{post: post, rng: rng, metrics: &m, clock: obs.NewSimClock(now),
+			ssi: eng.ssi, integ: &integrityState{}}
 		if err := eng.collectionPhase(context.Background(), rs, tds.CollectConfig{}); err != nil {
 			b.Fatal(err)
 		}

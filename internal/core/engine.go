@@ -88,6 +88,10 @@ type Engine struct {
 	cal       netsim.Calibration
 	planCache *tds.PlanCache // fleet-shared compiled plans, per query
 	obs       *engineObs     // tracer + metrics registry
+	// verifier recomputes k2 deposit and partition commitments on the
+	// trusted side of the run — the engine playing the querier's checker
+	// against whatever the SSI claims. Refreshed on key rotation.
+	verifier *tdscrypto.Committer
 
 	mu        sync.Mutex
 	seq       int
@@ -124,16 +128,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 	eo := newEngineObs()
 	s := ssi.New()
 	s.WithTracer(eo.tracer) // the SSI mirrors ledger events into the trace
+	ring := keyAuth.Ring()
 	return &Engine{
 		cfg:       cfg,
 		schema:    cfg.Schema,
 		ssi:       s,
 		authority: auth,
 		keyAuth:   keyAuth,
-		keys:      keyAuth.Ring(),
+		keys:      ring,
 		cal:       cfg.Calibration,
 		planCache: tds.NewPlanCache(),
 		obs:       eo,
+		verifier:  tdscrypto.NewCommitter(ring.K2),
 		discovery: make(map[string]*discovered),
 	}, nil
 }
@@ -164,6 +170,7 @@ func (e *Engine) dropPlans(id string) {
 func (e *Engine) RotateKeys() {
 	e.keyAuth.Rotate()
 	e.keys = e.keyAuth.Ring()
+	e.verifier = tdscrypto.NewCommitter(e.keys.K2)
 }
 
 // ReenrollAll re-provisions every enrolled TDS with the current key ring,
@@ -399,6 +406,21 @@ type Metrics struct {
 	// PartitionsAbandoned counts partitions dropped after the fault plan's
 	// MaxAttempts re-issues — graceful degradation instead of livelock.
 	PartitionsAbandoned int
+	// IntegrityChecks counts verification steps of the verified execution
+	// path: one per acknowledged deposit, per covering-count and
+	// coverage-account reconciliation, and per partition build (retries
+	// included). Zero when the request set SkipVerify.
+	IntegrityChecks int
+	// IntegrityViolations counts checks the SSI failed — each one a
+	// detected protocol violation, never a silent skew.
+	IntegrityViolations int
+	// IntegrityQuarantines counts partition builds quarantined after a
+	// failed multiset check.
+	IntegrityQuarantines int
+	// IntegrityRecovered counts quarantined builds whose verified retry
+	// passed — graceful degradation that still delivered the honest
+	// result.
+	IntegrityRecovered int
 	// Observation is the honest-but-curious SSI ledger for the run.
 	Observation ssi.Observation
 	// Ledger is the SSI's recovery audit trail: every deposit timeout,
@@ -568,7 +590,7 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 			// legacy model bills no wait, but the ledger still names the
 			// assignee and the instant.
 			stats.Reassigned++
-			e.ssi.Record(post.ID, ssi.LedgerEntry{
+			rs.ssi.Record(post.ID, ssi.LedgerEntry{
 				Kind: "reassign", Phase: phase, Device: ws[0].ID,
 				Attempt: t.attempt, At: phaseStart.Add(stats.Wait),
 			})
@@ -584,13 +606,13 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 			stats.Timeouts++
 			at := phaseStart.Add(stats.Wait) // instant the SSI starts waiting this one out
 			stats.Wait += wait
-			e.ssi.Record(post.ID, ssi.LedgerEntry{
+			rs.ssi.Record(post.ID, ssi.LedgerEntry{
 				Kind: "reassign", Phase: phase, Device: ws[0].ID,
 				Attempt: t.attempt, Wait: wait, At: at,
 			})
 			if max := faults.MaxAttempts; max > 0 && t.attempt >= max {
 				stats.Abandoned++
-				e.ssi.Record(post.ID, ssi.LedgerEntry{
+				rs.ssi.Record(post.ID, ssi.LedgerEntry{
 					Kind: "partition-abandoned", Phase: phase,
 					Device: ws[0].ID, Attempt: t.attempt,
 					At: phaseStart.Add(stats.Wait),

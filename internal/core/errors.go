@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Typed sentinel errors of the run path. Callers match them with
 // errors.Is; every error returned by Execute that corresponds to one of
@@ -17,3 +20,25 @@ var (
 	// still report the exact ratio reached.
 	ErrCoverageBelowFloor = errors.New("core: collection coverage below floor")
 )
+
+// ErrSSIMisbehavior is the typed detection error of the verified
+// execution path: the engine caught the infrastructure violating the
+// protocol and could not recover through the quarantine-and-retry path.
+// A query that returns it delivered no rows — detection, never a
+// silently wrong answer. Match with errors.As.
+type ErrSSIMisbehavior struct {
+	// Kind names the failed check: "covering-count" (the stored tuple set
+	// does not match the acknowledged deposits), "deposit-commitment" (a
+	// stored deposit fails its k2 commitment), "partition-multiset" (a
+	// partition build is not a permutation of its input), or
+	// "coverage-account" (the claimed coverage disagrees with the
+	// recovery ledger).
+	Kind string
+	// Phase is where the check failed: "collection" or the partition
+	// phase label ("filter-sfw", "aggregate-1", ...).
+	Phase string
+}
+
+func (e *ErrSSIMisbehavior) Error() string {
+	return fmt.Sprintf("core: SSI misbehavior detected: %s in %s phase", e.Kind, e.Phase)
+}

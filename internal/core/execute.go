@@ -36,6 +36,13 @@ type Request struct {
 	// with Metrics but no Result — the benchmark-instrumentation mode of
 	// the former CollectOnce.
 	CollectOnly bool
+	// SkipVerify disables the verified execution path: no deposit
+	// commitments are recorded, no partition build is multiset-checked,
+	// and Response.Integrity is nil. The default (false) verifies — the
+	// upgraded threat model where the SSI is weakly malicious rather than
+	// honest-but-curious. Skipping is for benchmarks that must isolate
+	// protocol cost from verification cost.
+	SkipVerify bool
 }
 
 // Response is one execution's outcome.
@@ -52,6 +59,11 @@ type Response struct {
 	// CollectWorkers settings; serialize with Trace.WriteJSONL or render
 	// with Trace.Summary.
 	Trace *obs.QueryTrace
+	// Integrity is the verified-execution report: how many commitments
+	// and partition builds were checked, what was detected and recovered,
+	// and the folded k2 digest over everything that entered aggregation.
+	// Nil when the request set SkipVerify.
+	Integrity *IntegrityReport
 }
 
 // Execute runs one query end-to-end: collection, aggregation (for the
@@ -63,6 +75,12 @@ type Response struct {
 // aborts between protocol steps and returns an error matching
 // errors.Is(err, ErrQueryTimeout). A nil plan and empty targets reproduce
 // the legacy Run behavior exactly.
+//
+// A run that aborts after execution started (coverage floor, context
+// expiry, detected SSI misbehavior) returns the error together with a
+// non-nil Response carrying the metrics, ledger and trace accumulated up
+// to the abort — check the error before using Response.Result, which is
+// nil on every failure.
 func (e *Engine) Execute(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"github.com/trustedcells/tcq/internal/faultplan"
 	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/ssi"
 )
 
 // engineObs bundles the engine's observability surface: the tracer that
@@ -30,6 +32,8 @@ type engineObs struct {
 	phaseSeconds  *obs.HistogramVec
 	saggReduction *obs.Histogram
 	depositTuples *obs.Histogram
+	queriesFailed *obs.CounterVec // aborted runs, by reason
+	integrity     *obs.CounterVec // verified-execution events, by kind
 }
 
 func newEngineObs() *engineObs {
@@ -66,6 +70,12 @@ func newEngineObs() *engineObs {
 		depositTuples: reg.Histogram("tcq_deposit_tuples",
 			"wire tuples per accepted deposit",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		queriesFailed: reg.CounterVec("tcq_queries_failed_total",
+			"runs aborted after execution started, by reason (timeout, coverage-floor, ssi-misbehavior, error)",
+			"reason"),
+		integrity: reg.CounterVec("tcq_integrity_events_total",
+			"verified-execution events (check, violation, quarantine, recovered)",
+			"kind"),
 	}
 }
 
@@ -81,6 +91,17 @@ type runState struct {
 	faults  *faultplan.Plan
 	clock   *obs.SimClock
 	workers int // TDSs connected during aggregation/filtering phases
+
+	// ssi is the service this run talks to: the engine's honest SSI, or
+	// the per-query Adversary wrapping it when the fault plan scripts
+	// infrastructure misbehavior. Everything on the run path goes through
+	// it; only lifecycle cleanup (Drop) stays on the inner SSI.
+	ssi ssi.Service
+	// verify enables the commitment checks (Request.SkipVerify inverts).
+	verify bool
+	// integ is the verification context: deposit records, the running
+	// digest, and the check tallies behind the IntegrityReport.
+	integ *integrityState
 }
 
 // startPhase opens the span of one aggregation/filtering phase and
@@ -141,6 +162,42 @@ func unitBytesInOut(units []workUnit) (down, up int64) {
 // Registry exposes the engine's cumulative metrics registry; render it
 // with WriteText for Prometheus-format scraping or -metrics-out files.
 func (e *Engine) Registry() *obs.Registry { return e.obs.reg }
+
+// abortRun settles a run that failed after execution started: the abort
+// reason lands in the failure counter and the recovery ledger, the
+// metrics snapshot is completed from the SSI's state, and every open
+// span is closed so the returned trace is well-formed. The Response it
+// returns carries no rows but full observability — Execute hands both
+// the Response and the error to the caller.
+func (e *Engine) abortRun(rs *runState, err error) (*Response, error) {
+	id := rs.post.ID
+	reason := abortReason(err)
+	e.obs.queriesFailed.With(reason).Inc()
+	rs.ssi.Record(id, ssi.LedgerEntry{Kind: "query-abort", Phase: reason, At: rs.clock.Now()})
+	rs.metrics.Observation = rs.ssi.ObservationFor(id)
+	rs.metrics.LoadBytes += rs.ssi.BytesStored(id)
+	rs.metrics.Ledger = rs.ssi.LedgerFor(id)
+	e.obs.tracer.CloseAll(id, rs.clock.Now())
+	return &Response{
+		Metrics:   rs.metrics,
+		Trace:     e.obs.tracer.Take(id),
+		Integrity: rs.integrityReport(),
+	}, err
+}
+
+// abortReason classifies an abort for the failure counter's label.
+func abortReason(err error) string {
+	var mis *ErrSSIMisbehavior
+	switch {
+	case errors.Is(err, ErrQueryTimeout):
+		return "timeout"
+	case errors.Is(err, ErrCoverageBelowFloor):
+		return "coverage-floor"
+	case errors.As(err, &mis):
+		return "ssi-misbehavior"
+	}
+	return "error"
+}
 
 // recordCollectError accounts a device that connected but could not
 // answer (stale key epoch, local fault). The SSI never saw it, so the

@@ -51,6 +51,14 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	}
 	post.Targets = req.Targets
 	post.Epoch = e.wireEpoch()
+	// The run talks to the honest SSI — or, when the fault plan scripts
+	// infrastructure misbehavior, to a per-query Adversary wrapping it.
+	// The adversary's strike points depend only on (fault seed, query ID),
+	// so adversarial runs are as reproducible as honest ones.
+	var svc ssi.Service = e.ssi
+	if req.Faults != nil && req.Faults.SSI != nil {
+		svc = ssi.NewAdversary(e.ssi, req.Faults.SSI, req.Faults.Seed, post.ID)
+	}
 	rs := &runState{
 		post:    post,
 		rng:     rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(post.ID)))),
@@ -58,10 +66,13 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 		faults:  req.Faults,
 		clock:   obs.NewSimClock(obs.SimOrigin()),
 		workers: e.availableWorkers(),
+		ssi:     svc,
+		verify:  !req.SkipVerify,
+		integ:   &integrityState{},
 	}
 	metrics := rs.metrics
 
-	if err := e.ssi.PostQuery(post, rs.clock.Now()); err != nil {
+	if err := rs.ssi.PostQuery(post, rs.clock.Now()); err != nil {
 		return nil, err
 	}
 	defer e.ssi.Drop(post.ID)
@@ -82,7 +93,7 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 
 	tr.StartChild(post.ID, "collect", obs.PartyEngine, rs.clock.Now())
 	if err := e.collectionPhase(ctx, rs, cfgTpl); err != nil {
-		return nil, err
+		return e.abortRun(rs, err)
 	}
 	tr.EndSpan(post.ID, rs.clock.Now())
 	e.obs.coverage.Set(metrics.CoverageRatio)
@@ -90,21 +101,27 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 		e.obs.dummyRatio.Set(float64(metrics.Nt-metrics.TrueTuples) / float64(metrics.Nt))
 	}
 
+	// The covering result is settled: verify it against the deposit
+	// commitments before any TDS aggregates a single tuple.
+	if err := e.verifyCollection(rs); err != nil {
+		return e.abortRun(rs, err)
+	}
+
 	snapshot := func() {
-		metrics.Observation = e.ssi.ObservationFor(post.ID)
-		metrics.LoadBytes += e.ssi.BytesStored(post.ID)
-		metrics.Ledger = e.ssi.LedgerFor(post.ID)
+		metrics.Observation = rs.ssi.ObservationFor(post.ID)
+		metrics.LoadBytes += rs.ssi.BytesStored(post.ID)
+		metrics.Ledger = rs.ssi.LedgerFor(post.ID)
 	}
 
 	if req.CollectOnly {
 		snapshot()
 		tr.EndSpan(post.ID, rs.clock.Now()) // root
-		return &Response{Metrics: metrics, Trace: tr.Take(post.ID)}, nil
+		return &Response{Metrics: metrics, Trace: tr.Take(post.ID), Integrity: rs.integrityReport()}, nil
 	}
 
 	finalTuples, err := e.aggregateAndFilter(ctx, rs, stmt)
 	if err != nil {
-		return nil, err
+		return e.abortRun(rs, err)
 	}
 
 	// Final delivery: the querier downloads and decrypts the result. The
@@ -113,7 +130,7 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	dspan := tr.StartChild(post.ID, "deliver", obs.PartyQuerier, rs.clock.Now())
 	res, err := req.Querier.DecryptResult(post, finalTuples)
 	if err != nil {
-		return nil, err
+		return e.abortRun(rs, err)
 	}
 	outBytes := protocol.TotalSize(finalTuples)
 	var mtr netsim.Meter
@@ -128,7 +145,7 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	snapshot()
 	metrics.finish()
 	tr.EndSpan(post.ID, rs.clock.Now()) // root
-	return &Response{Result: res, Metrics: metrics, Trace: tr.Take(post.ID)}, nil
+	return &Response{Result: res, Metrics: metrics, Trace: tr.Take(post.ID), Integrity: rs.integrityReport()}, nil
 }
 
 // collectInputs assembles the per-protocol collection-phase inputs: the
@@ -191,13 +208,18 @@ func (e *Engine) perPartitionTuples(params protocol.Params, sample []protocol.Wi
 // by the filtering phase and returns the k1-encrypted final tuples.
 func (e *Engine) aggregateAndFilter(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt) ([]protocol.WireTuple, error) {
 	post := rs.post
-	collected := e.ssi.CollectedTuples(post.ID)
+	collected := rs.ssi.CollectedTuples(post.ID)
 
 	switch post.Kind {
 	case protocol.KindBasic:
 		// Filtering phase only: random partitions of the covering result,
 		// each filtered by a TDS (steps 9-12).
-		parts := ssi.RandomPartitions(collected, e.perPartitionTuples(post.Params, collected), rs.rng)
+		parts, err := e.buildVerified(rs, "filter-sfw", collected, func() [][]protocol.WireTuple {
+			return rs.ssi.PartitionRandom(post.ID, collected, e.perPartitionTuples(post.Params, collected), rs.rng)
+		})
+		if err != nil {
+			return nil, err
+		}
 		e.startPhase(rs, "filter-sfw", parts)
 		units, ps, err := e.runPhase(ctx, rs, "filter-sfw", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.FilterSFW(post, p)
@@ -241,8 +263,14 @@ func (e *Engine) runSAgg(ctx context.Context, rs *runState, stmt *sqlparse.Selec
 		per = 2
 	}
 	for len(units) > 1 {
-		parts := ssi.RandomPartitions(units, per, rs.rng)
 		name := fmt.Sprintf("s_agg-step-%d", len(metrics.Phases)+1)
+		input, size := units, per
+		parts, err := e.buildVerified(rs, name, input, func() [][]protocol.WireTuple {
+			return rs.ssi.PartitionRandom(post.ID, input, size, rs.rng)
+		})
+		if err != nil {
+			return nil, err
+		}
 		sp := e.startPhase(rs, name, parts)
 		stepUnits, ps, err := e.runPhase(ctx, rs, name, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.Aggregate(post, p, tds.EmitWhole)
@@ -252,7 +280,7 @@ func (e *Engine) runSAgg(ctx context.Context, rs *runState, stmt *sqlparse.Selec
 		}
 		e.notePhase(rs, name, stepUnits, ps)
 		next := collectOutputs(stepUnits)
-		e.ssi.ObserveRelay(post.ID, next, rs.clock.Now())
+		rs.ssi.ObserveRelay(post.ID, next, rs.clock.Now())
 		if len(next) > 0 {
 			// The round's achieved reduction factor — the protocol's
 			// effective alpha, histogrammed across rounds and runs.
@@ -289,7 +317,12 @@ func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.Sel
 
 	// First aggregation step: partitions hold tuples of one tag; large
 	// groups split across n_NB partitions processed in parallel.
-	parts := ssi.TagPartitions(collected, per)
+	parts, err := e.buildVerified(rs, "aggregate-1", collected, func() [][]protocol.WireTuple {
+		return rs.ssi.PartitionByTag(post.ID, collected, per)
+	})
+	if err != nil {
+		return nil, err
+	}
 	e.startPhase(rs, "aggregate-1", parts)
 	step1, ps, err := e.runPhase(ctx, rs, "aggregate-1", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
@@ -299,11 +332,16 @@ func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.Sel
 	}
 	e.notePhase(rs, "aggregate-1", step1, ps)
 	partials := collectOutputs(step1)
-	e.ssi.ObserveRelay(post.ID, partials, rs.clock.Now())
+	rs.ssi.ObserveRelay(post.ID, partials, rs.clock.Now())
 
 	// Second aggregation step: per-group partitions (each tag is now
 	// Det_Enc of one exact group) merged to completion.
-	parts = ssi.TagPartitions(partials, 0)
+	parts, err = e.buildVerified(rs, "aggregate-2", partials, func() [][]protocol.WireTuple {
+		return rs.ssi.PartitionByTag(post.ID, partials, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
 	e.startPhase(rs, "aggregate-2", parts)
 	step2, ps, err := e.runPhase(ctx, rs, "aggregate-2", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
@@ -313,7 +351,7 @@ func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.Sel
 	}
 	e.notePhase(rs, "aggregate-2", step2, ps)
 	finals := collectOutputs(step2)
-	e.ssi.ObserveRelay(post.ID, finals, rs.clock.Now())
+	rs.ssi.ObserveRelay(post.ID, finals, rs.clock.Now())
 
 	return e.filterFinal(ctx, rs, stmt, finals)
 }
@@ -324,7 +362,12 @@ func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.Sel
 func (e *Engine) filterFinal(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt,
 	finals []protocol.WireTuple) ([]protocol.WireTuple, error) {
 	post, metrics, rng := rs.post, rs.metrics, rs.rng
-	parts := ssi.RandomPartitions(finals, e.perPartitionTuples(post.Params, finals), rng)
+	parts, err := e.buildVerified(rs, "filtering", finals, func() [][]protocol.WireTuple {
+		return rs.ssi.PartitionRandom(post.ID, finals, e.perPartitionTuples(post.Params, finals), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
 	if len(parts) == 0 {
 		parts = [][]protocol.WireTuple{nil}
 	}

@@ -82,6 +82,71 @@ type Plan struct {
 	// fails the query with core.ErrCoverageBelowFloor. 0 disables the
 	// floor.
 	CoverageFloor float64
+
+	// SSI scripts infrastructure-side misbehavior: the supporting servers
+	// themselves dropping, duplicating or replaying ciphertext instead of
+	// the devices churning. Nil keeps the SSI honest-but-curious.
+	SSI *SSIScript
+}
+
+// SSIMisbehavior names one scripted infrastructure attack. Unlike device
+// Behaviors — accidents of the physical world — these are deliberate
+// protocol violations by the weakly malicious SSI of the upgraded threat
+// model; the engine's integrity layer must detect every one of them.
+type SSIMisbehavior string
+
+// The scripted SSI attacks.
+const (
+	// SSIDropTuple removes one tuple from a partition build: a covering
+	// result silently shrunk.
+	SSIDropTuple SSIMisbehavior = "drop-tuple"
+	// SSIDuplicateTuple stores one tuple twice in a partition build,
+	// double-counting its contribution to the aggregate.
+	SSIDuplicateTuple SSIMisbehavior = "duplicate-tuple"
+	// SSIReplayStalePartition substitutes a partition from an earlier
+	// phase of the same query for a current one.
+	SSIReplayStalePartition SSIMisbehavior = "replay-stale-partition"
+	// SSIForgeCoverage discards a device's deposited tuples while still
+	// reporting the deposit as accepted, inflating the claimed coverage.
+	SSIForgeCoverage SSIMisbehavior = "forge-coverage"
+	// SSIEquivocatePartitioning hands the same tuple to two different
+	// partitions, so two TDSs each fold it once.
+	SSIEquivocatePartitioning SSIMisbehavior = "equivocate-partitioning"
+)
+
+// SSIMisbehaviors returns every scripted attack, in a fixed order — the
+// sweep axis of the chaos tests.
+func SSIMisbehaviors() []SSIMisbehavior {
+	return []SSIMisbehavior{
+		SSIDropTuple, SSIDuplicateTuple, SSIReplayStalePartition,
+		SSIForgeCoverage, SSIEquivocatePartitioning,
+	}
+}
+
+// SSIScript scripts the adversarial SSI for a run. Strike points are
+// drawn deterministically from (Plan.Seed, query ID), so an adversarial
+// run is as reproducible as an honest one at any worker count.
+type SSIScript struct {
+	// Behaviors lists the attacks the adversary mounts. Each fires at its
+	// deterministically drawn opportunity, once per query by default.
+	Behaviors []SSIMisbehavior
+	// Persistent re-arms every behavior after it fires, so the attack also
+	// hits the engine's quarantine-and-retry path — the degradation case
+	// that must end in a typed detection error instead of a result.
+	Persistent bool
+}
+
+// Scripts reports whether b is among the scripted behaviors.
+func (s *SSIScript) Scripts(b SSIMisbehavior) bool {
+	if s == nil {
+		return false
+	}
+	for _, x := range s.Behaviors {
+		if x == b {
+			return true
+		}
+	}
+	return false
 }
 
 // Behavior is what the plan scripts for one device on one query.

@@ -121,3 +121,28 @@ func TestRetryWaitComposesTimeoutAndBackoff(t *testing.T) {
 		t.Errorf("retry wait = %v", got)
 	}
 }
+
+func TestSSIScriptMembership(t *testing.T) {
+	var nilScript *SSIScript
+	if nilScript.Scripts(SSIDropTuple) {
+		t.Fatal("nil script claims to script an attack")
+	}
+	s := &SSIScript{Behaviors: []SSIMisbehavior{SSIDropTuple, SSIForgeCoverage}}
+	if !s.Scripts(SSIDropTuple) || !s.Scripts(SSIForgeCoverage) {
+		t.Fatal("script denies its own behaviors")
+	}
+	if s.Scripts(SSIReplayStalePartition) {
+		t.Fatal("script claims an unscripted behavior")
+	}
+	all := SSIMisbehaviors()
+	if len(all) != 5 {
+		t.Fatalf("expected 5 scripted attacks, got %d", len(all))
+	}
+	seen := map[SSIMisbehavior]bool{}
+	for _, b := range all {
+		if seen[b] {
+			t.Fatalf("duplicate misbehavior %q", b)
+		}
+		seen[b] = true
+	}
+}

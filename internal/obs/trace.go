@@ -175,6 +175,25 @@ func (t *Tracer) EngineEvent(id, name, device string, at time.Time, f CipherFact
 	t.Event(id, Event{Name: name, Party: PartyEngine, Device: device, At: at, Facts: f})
 }
 
+// CloseAll closes every open span of query id at the given instant —
+// the abort path, where a failure deep inside a phase must still leave a
+// well-formed span tree for the returned trace.
+func (t *Tracer) CloseAll(id string, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qt := t.active[id]
+	if qt == nil {
+		return
+	}
+	for i := len(qt.stack) - 1; i >= 0; i-- {
+		qt.stack[i].End = at
+	}
+	qt.stack = qt.stack[:0]
+}
+
 // Take removes and returns the finished trace for query id, or nil if
 // none is active.
 func (t *Tracer) Take(id string) *QueryTrace {

@@ -1,0 +1,149 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire form of one serialized Deposit envelope: a magic/version header,
+// uvarint-framed strings and tuple fields, the fixed 8-byte checksum, and
+// the framed commitment. The codec exists so deposits can cross a real
+// transport (and so the fuzzer can attack the boundary): everything a TDS
+// uploads is reconstructible byte-for-byte, and every framing decision is
+// validated on the way back in — a corrupted buffer fails the decode, the
+// checksum or the k2 commitment, never panics and never silently yields a
+// different deposit.
+const (
+	depositMagic   = 0xD7
+	depositVersion = 1
+)
+
+// EncodeDeposit serializes one envelope.
+func EncodeDeposit(d *Deposit) []byte {
+	out := make([]byte, 0, 16+len(d.QueryID)+len(d.DeviceID)+d.Size()+len(d.Commit))
+	out = append(out, depositMagic, depositVersion)
+	out = appendFramed(out, []byte(d.QueryID))
+	out = appendFramed(out, []byte(d.DeviceID))
+	out = binary.AppendUvarint(out, uint64(d.Attempt))
+	out = binary.AppendUvarint(out, uint64(d.Epoch))
+	out = binary.AppendUvarint(out, uint64(len(d.Tuples)))
+	for _, w := range d.Tuples {
+		out = appendFramed(out, w.Tag)
+		out = appendFramed(out, w.Ciphertext)
+		out = appendFramed(out, w.Digest)
+	}
+	out = binary.BigEndian.AppendUint64(out, d.Sum)
+	out = appendFramed(out, d.Commit)
+	return out
+}
+
+func appendFramed(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// DecodeDeposit parses a serialized envelope. Every length is checked
+// against the remaining buffer before any allocation, so hostile input
+// cannot panic the decoder or balloon memory; trailing garbage is an
+// error. A successful decode only means the framing was well-formed —
+// callers still gate on IntegrityOK and on the k2 commitment.
+func DecodeDeposit(b []byte) (*Deposit, error) {
+	if len(b) < 2 || b[0] != depositMagic || b[1] != depositVersion {
+		return nil, fmt.Errorf("protocol: not a v%d deposit envelope", depositVersion)
+	}
+	r := reader{buf: b[2:]}
+	d := &Deposit{}
+	d.QueryID = string(r.framed("query id"))
+	d.DeviceID = string(r.framed("device id"))
+	d.Attempt = r.count("attempt")
+	d.Epoch = r.count("epoch")
+	n := r.count("tuple count")
+	if r.err == nil && n > len(r.buf)/3 {
+		// Each tuple costs at least three frame bytes; a count beyond that
+		// is a forged header, rejected before allocating.
+		r.err = fmt.Errorf("protocol: tuple count %d exceeds buffer", n)
+	}
+	if r.err == nil && n > 0 {
+		d.Tuples = make([]WireTuple, n)
+		for i := range d.Tuples {
+			d.Tuples[i].Tag = cloneBytes(r.framed("tag"))
+			d.Tuples[i].Ciphertext = cloneBytes(r.framed("ciphertext"))
+			d.Tuples[i].Digest = cloneBytes(r.framed("digest"))
+		}
+	}
+	d.Sum = r.sum()
+	d.Commit = cloneBytes(r.framed("commitment"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after deposit envelope", len(r.buf))
+	}
+	return d, nil
+}
+
+// cloneBytes detaches a decoded field from the input buffer; empty fields
+// stay nil so a round trip is byte-identical.
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// reader is a cursor over the encoded buffer that latches the first
+// error; all reads after a failure return zero values.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("protocol: truncated %s", what)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) framed(what string) []byte {
+	n := r.uvarint(what + " length")
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("protocol: %s length %d exceeds buffer", what, n)
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+// count reads a small non-negative integer (attempt, epoch, tuple count).
+func (r *reader) count(what string) int {
+	v := r.uvarint(what)
+	if r.err == nil && v > 1<<31 {
+		r.err = fmt.Errorf("protocol: %s %d out of range", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) sum() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = fmt.Errorf("protocol: truncated checksum")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}

@@ -1,0 +1,106 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// fuzzCommitter is the fixed k2 committer of the envelope fuzz tests.
+func fuzzCommitter() *tdscrypto.Committer {
+	return tdscrypto.NewCommitter(tdscrypto.DeriveKey(tdscrypto.Key{}, "fuzz-k2"))
+}
+
+// sealedDeposit builds a genuine committed envelope for the fuzz corpus.
+func sealedDeposit(c *tdscrypto.Committer) *Deposit {
+	tuples := []WireTuple{
+		{Tag: []byte("tag-a"), Ciphertext: []byte("ciphertext-one"), Digest: []byte("0123456789abcdef")},
+		{Ciphertext: []byte("ct2")},
+		{Tag: []byte{0}, Ciphertext: []byte{0xff, 0x00, 0x7f}},
+	}
+	d := NewDeposit("q-000042", "tds-00007", 3, 2, tuples)
+	d.Commit = DepositCommitment(c, d.QueryID, d.DeviceID, d.Attempt, d.Epoch, d.Tuples)
+	return d
+}
+
+// commitOK recomputes the k2 commitment of a decoded envelope and compares
+// it against the carried one — the verifier-side acceptance gate.
+func commitOK(c *tdscrypto.Committer, d *Deposit) bool {
+	want := DepositCommitment(c, d.QueryID, d.DeviceID, d.Attempt, d.Epoch, d.Tuples)
+	return tdscrypto.CommitEqual(d.Commit, want)
+}
+
+func TestDepositCodecRoundTrip(t *testing.T) {
+	c := fuzzCommitter()
+	cases := []*Deposit{
+		sealedDeposit(c),
+		NewDeposit("q-1", "", 0, 0, nil),
+		NewDeposit("", "dev", 1, 1, []WireTuple{{}}),
+	}
+	for _, d := range cases {
+		got, err := DecodeDeposit(EncodeDeposit(d))
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", d, err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Fatalf("round trip changed the deposit:\n got %+v\nwant %+v", got, d)
+		}
+		if !got.IntegrityOK() {
+			t.Fatalf("round trip broke the checksum of %+v", d)
+		}
+	}
+}
+
+// TestDepositCodecRejectsEveryBitFlip flips every bit of a genuine encoded
+// envelope and asserts no flip survives all three gates: the decode, the
+// transport checksum and the k2 commitment. The checksum alone is
+// forgeable (FNV is not a MAC) and does not cover the envelope header —
+// the commitment is what makes header tampering detectable.
+func TestDepositCodecRejectsEveryBitFlip(t *testing.T) {
+	c := fuzzCommitter()
+	enc := EncodeDeposit(sealedDeposit(c))
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 1 << bit
+			d, err := DecodeDeposit(mut)
+			if err != nil {
+				continue
+			}
+			if !d.IntegrityOK() {
+				continue
+			}
+			if commitOK(c, d) {
+				t.Fatalf("bit %d of byte %d flipped undetected: %+v", bit, i, d)
+			}
+		}
+	}
+}
+
+// FuzzDepositDecode attacks the envelope boundary: arbitrary bytes must
+// never panic the decoder, and anything that decodes re-encodes to a
+// stable byte string. Inputs that additionally pass the checksum and the
+// keyed commitment must round-trip to an identical envelope — the
+// no-silent-mutation property of the wire format.
+func FuzzDepositDecode(f *testing.F) {
+	c := fuzzCommitter()
+	f.Add(EncodeDeposit(sealedDeposit(c)))
+	f.Add(EncodeDeposit(NewDeposit("q-1", "tds-1", 1, 1, nil)))
+	f.Add([]byte{depositMagic, depositVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDeposit(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeDeposit(d)
+		d2, err := DecodeDeposit(enc)
+		if err != nil {
+			t.Fatalf("re-decode of a decoded envelope failed: %v", err)
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("re-encode is not stable:\nfirst  %+v\nsecond %+v", d, d2)
+		}
+	})
+}

@@ -12,6 +12,7 @@ package protocol
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -156,6 +157,14 @@ type Deposit struct {
 	Tuples []WireTuple
 	// Sum is the FNV-1a transport checksum over the tuples.
 	Sum uint64
+	// Commit is the depositing TDS's k2-keyed integrity commitment over
+	// (QueryID, DeviceID, Attempt, Epoch, Tuples) — see DepositCommitment.
+	// Unlike Sum, which any party can recompute and which only catches
+	// accidental corruption, Commit is unforgeable without k2: a verifier
+	// holding the fleet key can prove the stored tuples are exactly the
+	// ones this device sealed, in order, nothing dropped, duplicated or
+	// replayed from another context. Empty on legacy/anonymous envelopes.
+	Commit []byte
 }
 
 // NewDeposit assembles a sealed envelope: the checksum is computed over
@@ -193,6 +202,26 @@ func (d *Deposit) checksum() uint64 {
 
 // IntegrityOK reports whether the tuples still match the sealed checksum.
 func (d *Deposit) IntegrityOK() bool { return d.Sum == d.checksum() }
+
+// DepositCommitment computes the k2-keyed leaf commitment a TDS seals over
+// one deposit: a MAC binding the query, the device, its attempt counter,
+// the key epoch and every tuple byte, with length framing throughout. The
+// same function serves both sides — the TDS commits what it uploads, the
+// verifier recommits what the SSI claims to have stored — so any
+// infrastructure-side mutation of the envelope or its context fails the
+// comparison.
+func DepositCommitment(c *tdscrypto.Committer, queryID, deviceID string,
+	attempt, epoch int, tuples []WireTuple) []byte {
+	segs := make([][]byte, 0, 4+3*len(tuples))
+	var counters [16]byte
+	binary.BigEndian.PutUint64(counters[:8], uint64(attempt))
+	binary.BigEndian.PutUint64(counters[8:], uint64(epoch))
+	segs = append(segs, []byte(queryID), []byte(deviceID), counters[:8], counters[8:])
+	for _, w := range tuples {
+		segs = append(segs, w.Tag, w.Ciphertext, w.Digest)
+	}
+	return c.Commit("deposit", segs...)
+}
 
 // Size returns the bytes the deposit's tuples occupy.
 func (d *Deposit) Size() int {

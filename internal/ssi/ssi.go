@@ -43,10 +43,37 @@ type QueryState struct {
 	Done        bool // SIZE condition reached
 	StartedAt   time.Time
 
-	observed Observation
-	attempts map[string]int // device -> highest committed deposit attempt
-	ledger   []LedgerEntry
+	observed  Observation
+	attempts  map[string]int // device -> highest committed deposit attempt
+	ledger    []LedgerEntry
+	lastBuild [][]protocol.WireTuple // most recent partition build, for Repartition
 }
+
+// Service is the infrastructure interface the engine's run path drives:
+// everything the protocols need from the supporting servers — querybox,
+// deposits, partition building, the recovery ledger and the curious
+// observation record. *SSI is the honest-but-curious implementation;
+// Adversary wraps it with scripted misbehavior for the upgraded threat
+// model. Keeping the engine on this interface is what makes the integrity
+// layer meaningful: the verifier must not care which one it is talking to.
+type Service interface {
+	PostQuery(post *protocol.QueryPost, now time.Time) error
+	DepositEnvelope(id string, dep *protocol.Deposit, now time.Time) (accepted int, done bool, err error)
+	DepositEnvelopeBatch(id string, deps []*protocol.Deposit, now time.Time) (out []DepositOutcome, doneAt int, done bool, err error)
+	CollectionDone(id string, now time.Time) bool
+	CollectedTuples(id string) []protocol.WireTuple
+	ObserveRelay(id string, tuples []protocol.WireTuple, at time.Time)
+	Record(id string, e LedgerEntry)
+	LedgerFor(id string) []LedgerEntry
+	ObservationFor(id string) Observation
+	BytesStored(id string) int64
+	PartitionRandom(id string, tuples []protocol.WireTuple, perPartition int, rng *rand.Rand) [][]protocol.WireTuple
+	PartitionByTag(id string, tuples []protocol.WireTuple, maxPerPartition int) [][]protocol.WireTuple
+	Repartition(id string) [][]protocol.WireTuple
+	Drop(id string)
+}
+
+var _ Service = (*SSI)(nil)
 
 // LedgerEntry is one recovery-relevant event the SSI recorded for a query:
 // a deposit that timed out, was rejected, or a partition re-issued to a
@@ -386,6 +413,63 @@ func (s *SSI) Drop(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.queries, id)
+}
+
+// PartitionRandom is RandomPartitions as a querybox operation: the build
+// is remembered so Repartition can re-issue it. This is the method the
+// engine's verified path calls; the free function remains for callers
+// outside a query's lifecycle.
+func (s *SSI) PartitionRandom(id string, tuples []protocol.WireTuple, perPartition int, rng *rand.Rand) [][]protocol.WireTuple {
+	parts := RandomPartitions(tuples, perPartition, rng)
+	s.stashBuild(id, parts)
+	return parts
+}
+
+// PartitionByTag is TagPartitions as a querybox operation, remembered for
+// Repartition like PartitionRandom.
+func (s *SSI) PartitionByTag(id string, tuples []protocol.WireTuple, maxPerPartition int) [][]protocol.WireTuple {
+	parts := TagPartitions(tuples, maxPerPartition)
+	s.stashBuild(id, parts)
+	return parts
+}
+
+// Repartition re-issues the most recent partition build of a query — what
+// the engine demands after quarantining a build that failed verification.
+// The honest SSI's stash is a private copy taken at build time, so the
+// re-issue is exactly the build it originally computed, whatever happened
+// to the slices it handed out.
+func (s *SSI) Repartition(id string) [][]protocol.WireTuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok || st.lastBuild == nil {
+		return nil
+	}
+	return copyBuild(st.lastBuild)
+}
+
+// stashBuild snapshots a partition build for Repartition.
+func (s *SSI) stashBuild(id string, parts [][]protocol.WireTuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return
+	}
+	st.lastBuild = copyBuild(parts)
+}
+
+// copyBuild deep-copies the partition structure (the tuples themselves
+// are immutable value structs shared by design).
+func copyBuild(parts [][]protocol.WireTuple) [][]protocol.WireTuple {
+	out := make([][]protocol.WireTuple, len(parts))
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		out[i] = append([]protocol.WireTuple(nil), p...)
+	}
+	return out
 }
 
 // RandomPartitions splits tuples into partitions of at most perPartition

@@ -49,6 +49,7 @@ type TDS struct {
 	k2raw      tdscrypto.Key
 	bucketHash *tdscrypto.BucketHasher
 	auditMAC   *tdscrypto.MACPool
+	committer  *tdscrypto.Committer
 
 	mu    sync.Mutex
 	plans map[string]*sqlexec.Plan // query ID -> compiled plan
@@ -70,8 +71,19 @@ func New(id string, db *storage.LocalDB, ring tdscrypto.KeyRing,
 		k1: s1, k2: s2, k2raw: ring.K2,
 		bucketHash: tdscrypto.NewBucketHasher(ring.K2),
 		auditMAC:   tdscrypto.NewMACPool(ring.K2),
+		committer:  tdscrypto.NewCommitter(ring.K2),
 		plans:      make(map[string]*sqlexec.Plan),
 	}, nil
+}
+
+// CommitDeposit seals a collection deposit with the device's k2-keyed
+// commitment (Section 2.2's tamper-resistance, extended to the wire): the
+// MAC binds query, device, attempt, epoch and every tuple, so the SSI can
+// neither thin out the deposit nor claim coverage it discarded without
+// the querier-side verifier noticing. Only a key holder — a TDS — can
+// produce it, which is exactly what the weakly malicious SSI is not.
+func (t *TDS) CommitDeposit(post *protocol.QueryPost, attempt int, tuples []protocol.WireTuple) []byte {
+	return protocol.DepositCommitment(t.committer, post.ID, t.ID, attempt, post.Epoch, tuples)
 }
 
 // PlanCache shares compiled query plans across a fleet. It is keyed by

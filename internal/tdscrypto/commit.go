@@ -1,0 +1,83 @@
+package tdscrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// CommitSize is the byte length of every commitment this package emits.
+// 16 bytes (128-bit HMAC truncation) matches the audit digests and bucket
+// hashes: collision resistance far beyond the fleet sizes simulated here,
+// at minimal wire cost.
+const CommitSize = 16
+
+// Committer computes k2-keyed integrity commitments: the MACs a TDS seals
+// over its deposit and the Merkle-style folds that bind every phase's
+// partitions into one verifiable digest. The SSI never holds k2, so it can
+// neither forge a commitment over tuples it dropped, duplicated or
+// replayed, nor verify one — commitments are opaque bytes to it, exactly
+// like the ciphertexts they protect.
+//
+// Commit and Fold are domain separated from each other and from every
+// other k2 MAC in the system (audit digests, bucket hashes, Det_Enc
+// nonces) by key derivation: the committer runs under DeriveKey(k2,
+// "commit"), so no commitment can be replayed as any other MAC. Safe for
+// concurrent use.
+type Committer struct {
+	macs *MACPool
+}
+
+// NewCommitter prepares a committer keyed for the fleet key. Two
+// committers built from equal keys produce equal commitments — that is
+// what lets a verifier recompute and compare a TDS's leaf commitment.
+func NewCommitter(k Key) *Committer {
+	return &Committer{macs: NewMACPool(DeriveKey(k, "commit"))}
+}
+
+// Domain separators of the two commitment shapes.
+var (
+	commitLeafPrefix = []byte("commit/leaf/")
+	commitFoldPrefix = []byte("commit/fold/")
+)
+
+// Commit MACs a sequence of byte segments under the commitment key, with
+// length framing so segment boundaries cannot be shifted without
+// detection: Commit("a", "bc") never equals Commit("ab", "c"). domain
+// names what is being committed ("deposit", a phase name) and separates
+// unrelated commitment uses from one another.
+func (c *Committer) Commit(domain string, segments ...[]byte) []byte {
+	return c.sum(commitLeafPrefix, domain, segments)
+}
+
+// Fold combines child commitments into one parent commitment — the
+// Merkle-style reduction that turns per-deposit leaves into a collection
+// root and per-partition commitments into a phase commitment. Children
+// are framed like Commit segments, so a fold over n children can never
+// collide with a fold over their concatenation.
+func (c *Committer) Fold(domain string, children ...[]byte) []byte {
+	return c.sum(commitFoldPrefix, domain, children)
+}
+
+func (c *Committer) sum(prefix []byte, domain string, segments [][]byte) []byte {
+	mac := c.macs.Get()
+	var frame [8]byte
+	mac.Write(prefix)
+	mac.Write([]byte(domain))
+	for _, seg := range segments {
+		binary.BigEndian.PutUint64(frame[:], uint64(len(seg)))
+		mac.Write(frame[:])
+		mac.Write(seg)
+	}
+	var sum [sha256.Size]byte
+	out := make([]byte, CommitSize)
+	copy(out, mac.Sum(sum[:0]))
+	c.macs.Put(mac)
+	return out
+}
+
+// CommitEqual compares two commitments in constant time. Empty or
+// differently sized inputs are unequal, never panics.
+func CommitEqual(a, b []byte) bool {
+	return len(a) == CommitSize && hmac.Equal(a, b)
+}

@@ -1,0 +1,72 @@
+package tdscrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCommitDeterministicAndKeyed(t *testing.T) {
+	k := DeriveKey(Key{}, "test-master")
+	c1, c2 := NewCommitter(k), NewCommitter(k)
+	a := c1.Commit("deposit", []byte("q-1"), []byte("tds-1"), []byte{1, 2, 3})
+	b := c2.Commit("deposit", []byte("q-1"), []byte("tds-1"), []byte{1, 2, 3})
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal keys and inputs produced different commitments")
+	}
+	if len(a) != CommitSize {
+		t.Fatalf("commitment size %d, want %d", len(a), CommitSize)
+	}
+	other := NewCommitter(DeriveKey(Key{}, "other-master"))
+	if bytes.Equal(a, other.Commit("deposit", []byte("q-1"), []byte("tds-1"), []byte{1, 2, 3})) {
+		t.Fatal("different keys produced equal commitments")
+	}
+	if !CommitEqual(a, b) {
+		t.Fatal("CommitEqual rejects equal commitments")
+	}
+	if CommitEqual(a, other.Commit("deposit", []byte("q-1"))) {
+		t.Fatal("CommitEqual accepts unequal commitments")
+	}
+	if CommitEqual(nil, nil) {
+		t.Fatal("CommitEqual accepts empty commitments")
+	}
+}
+
+func TestCommitFraming(t *testing.T) {
+	c := NewCommitter(DeriveKey(Key{}, "frame"))
+	// Shifting bytes across segment boundaries must change the commitment.
+	a := c.Commit("d", []byte("ab"), []byte("c"))
+	b := c.Commit("d", []byte("a"), []byte("bc"))
+	if bytes.Equal(a, b) {
+		t.Fatal("segment boundaries are not framed")
+	}
+	// Domains separate.
+	if bytes.Equal(c.Commit("d1", []byte("x")), c.Commit("d2", []byte("x"))) {
+		t.Fatal("domains do not separate commitments")
+	}
+	// Leaf and fold shapes separate even over equal bytes.
+	if bytes.Equal(c.Commit("d", []byte("x")), c.Fold("d", []byte("x"))) {
+		t.Fatal("Commit and Fold collide")
+	}
+	// Fold is sensitive to child order and count.
+	l1, l2 := c.Commit("d", []byte("1")), c.Commit("d", []byte("2"))
+	if bytes.Equal(c.Fold("d", l1, l2), c.Fold("d", l2, l1)) {
+		t.Fatal("fold ignores child order")
+	}
+	if bytes.Equal(c.Fold("d", l1, l2), c.Fold("d", append(append([]byte{}, l1...), l2...))) {
+		t.Fatal("fold over two children collides with fold over their concatenation")
+	}
+}
+
+func TestCommitConcurrentUse(t *testing.T) {
+	c := NewCommitter(DeriveKey(Key{}, "conc"))
+	want := c.Commit("d", []byte("payload"))
+	done := make(chan []byte, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- c.Commit("d", []byte("payload")) }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; !bytes.Equal(got, want) {
+			t.Fatalf("concurrent commitment diverged: %x != %x", got, want)
+		}
+	}
+}

@@ -40,9 +40,20 @@ go vet ./... && go test -race -count=1 ./internal/core -run 'Churn|Determinism'
 echo "==> trace determinism gate"
 go test -race -count=1 ./internal/core -run 'GoldenTrace|SSIVisibility|TraceLedger'
 
+echo "==> adversary determinism gate"
+go test -race -count=1 ./internal/core -run 'Adversary|Integrity' \
+    && go test -race -count=1 ./internal/ssi -run 'Adversary'
+
 if [ "$short" -eq 0 ]; then
     echo "==> go test -race"
     go test -race ./...
+
+    # A ~10s smoke over the coverage-guided fuzz targets: enough to catch a
+    # freshly broken decoder invariant, nowhere near a real fuzzing session.
+    echo "==> fuzz smoke"
+    go test -run '^$' -fuzz '^FuzzDepositDecode$' -fuzztime 3s ./internal/protocol
+    go test -run '^$' -fuzz '^FuzzDecodeRow$' -fuzztime 3s ./internal/storage
+    go test -run '^$' -fuzz '^FuzzDecrypt$' -fuzztime 3s ./internal/tdscrypto
 fi
 
 echo "OK"
