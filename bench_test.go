@@ -11,7 +11,9 @@ package tcq
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -458,6 +460,98 @@ func BenchmarkBroadcastRevocation(b *testing.B) {
 		entries = len(msg.Entries)
 	}
 	b.ReportMetric(float64(entries), "cover_entries")
+}
+
+// ---- Fleet-scale memory model (DESIGN.md §10) ----
+
+// benchProvisionFleet measures fleet enrollment and reports how much live
+// heap one enrolled device costs, packed or eager. The sweep companion is
+// `benchtool -fleet-sweep`, which records the same figure across orders of
+// magnitude into BENCH_fleet.json.
+func benchProvisionFleet(b *testing.B, packed bool) {
+	const fleet = 10_000
+	w := workload.DefaultSmartMeter(9)
+	w.Districts = 10
+	var eng *core.Engine
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		eng, err = core.NewEngine(core.Config{
+			Schema: w.Schema(),
+			Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+				{Role: "energy-analyst", AggregateOnly: true},
+			}},
+			AuthorityKey: tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
+			MasterKey:    tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+			Seed:         9,
+			PackedFleet:  packed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// One fleet (the last) is still live; everything else is garbage.
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if retained := int64(after.HeapAlloc) - int64(before.HeapAlloc); retained > 0 {
+		b.ReportMetric(float64(retained)/fleet, "bytes/device")
+	}
+	runtime.KeepAlive(eng)
+}
+
+func BenchmarkProvisionFleetPacked(b *testing.B) { benchProvisionFleet(b, true) }
+func BenchmarkProvisionFleetEager(b *testing.B)  { benchProvisionFleet(b, false) }
+
+// BenchmarkPackedCollection runs one full collection wave over a packed
+// 20k-device fleet: devices materialize per connection, deposit through
+// the wave arena and slab, and are dropped again.
+func BenchmarkPackedCollection(b *testing.B) {
+	const fleet = 20_000
+	w := workload.DefaultSmartMeter(9)
+	w.Districts = 10
+	eng, err := core.NewEngine(core.Config{
+		Schema: w.Schema(),
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "energy-analyst", AggregateOnly: true},
+		}},
+		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
+		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+		AvailableFraction: 0.5,
+		CollectWorkers:    1,
+		Seed:              9,
+		PackedFleet:       true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
+		b.Fatal(err)
+	}
+	cred := eng.Authority().Issue("edf", []string{"energy-analyst"},
+		time.Unix(1700000000, 0).Add(24*time.Hour))
+	q, err := querier.New("edf", eng.K1(), cred, eng.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Execute(ctx, core.Request{
+			Querier: q, SQL: benchSQL, Kind: protocol.KindSAgg,
+			CollectOnly: true, SkipVerify: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCryptoPartition4KB is the raw software analogue of the board's

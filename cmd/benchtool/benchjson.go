@@ -32,6 +32,9 @@ type benchRecord struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// BytesPerDevice divides the record's heap footprint across the fleet
+	// — the scale axis of the -fleet-sweep mode. Zero elsewhere.
+	BytesPerDevice float64 `json:"bytes_per_device,omitempty"`
 	// Phases breaks the end-to-end record down by protocol phase in
 	// simulated time — the paper's cost axis, independent of the host.
 	Phases []benchPhase `json:"phases,omitempty"`
@@ -261,6 +264,10 @@ func printDeltas(path string, report benchReport, out io.Writer) {
 		fmt.Fprintf(out, "%-48s %8.2fms -> %8.2fms (%s)   %8.0f -> %8.0f allocs/op (%s)\n",
 			r.Name, p.NsPerOp/1e6, r.NsPerOp/1e6, pctDelta(p.NsPerOp, r.NsPerOp),
 			p.AllocsPerOp, r.AllocsPerOp, pctDelta(p.AllocsPerOp, r.AllocsPerOp))
+		if r.BytesPerDevice > 0 {
+			fmt.Fprintf(out, "%-48s %8.1f -> %8.1f B/device (%s)\n",
+				"", p.BytesPerDevice, r.BytesPerDevice, pctDelta(p.BytesPerDevice, r.BytesPerDevice))
+		}
 	}
 }
 

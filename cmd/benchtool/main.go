@@ -38,7 +38,19 @@ func main() {
 	benchWorkers := flag.Int("bench-workers", 0, "bench-json: CollectWorkers (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 20, "bench-json: iterations per benchmark")
 	benchScenario := flag.String("bench-scenario", "both", "bench-json: clean | churn | both")
+	fleetSweep := flag.Bool("fleet-sweep", false, "measure packed fleets across -fleet-sizes and write -fleet-out")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "fleet-sweep: output file")
+	fleetSizes := flag.String("fleet-sizes", "1000,100000,1000000", "fleet-sweep: comma-separated fleet sizes")
+	fleetIters := flag.Int("fleet-iters", 1, "fleet-sweep: collection iterations per fleet size")
+	fleetBudget := flag.Float64("fleet-budget", 0, "fleet-sweep: fail if packed provisioning exceeds this many bytes/device (0 = no gate)")
 	flag.Parse()
+	if *fleetSweep {
+		if err := runFleetSweep(*fleetOut, *fleetSizes, *fleetIters, *fleetBudget, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtool:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON {
 		workers := *benchWorkers
 		if workers <= 0 {

@@ -14,6 +14,7 @@ import (
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/tds"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
 )
 
 // The collection phase connects TDSs one by one (in random order, as
@@ -77,10 +78,14 @@ func (e *Engine) collectOne(t *tds.TDS, post *protocol.QueryPost,
 }
 
 // collectDevice is one eligible, non-offline device with its scripted
-// behavior for this query.
+// behavior for this query. In a packed fleet t stays nil until the
+// device's wave wakes; everything decided before that instant — slot
+// order, fault behavior, trace identity — needs only the ID.
 type collectDevice struct {
-	t *tds.TDS
-	b faultplan.Behavior
+	slot int
+	id   string
+	b    faultplan.Behavior
+	t    *tds.TDS // nil for a packed slot that has not been materialized
 }
 
 // step is the simulated time this device's connection slot occupies: the
@@ -94,9 +99,11 @@ func (d collectDevice) step(interval time.Duration) time.Duration {
 
 // collectResult is one device's speculative collection outcome.
 type collectResult struct {
+	t       *tds.TDS // the device the wave materialized (or reused)
 	tuples  []protocol.WireTuple
 	stats   tds.CollectStats
 	err     error
+	fatal   error     // engine-side failure (packed slot would not unpack)
 	specNow time.Time // the clock the result was computed against
 }
 
@@ -111,22 +118,22 @@ func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.C
 	order := rs.rng.Perm(len(e.fleet))
 	devices := make([]collectDevice, 0, len(order))
 	for _, idx := range order {
-		t := e.fleet[idx]
-		if !post.TargetedTo(t.ID) {
+		id := e.deviceID(idx)
+		if !post.TargetedTo(id) {
 			continue
 		}
 		metrics.EligibleDevices++
-		b := faults.For(t.ID, post.ID)
+		b := faults.For(id, post.ID)
 		if b.Offline {
 			// An offline window covering the query: the device never
 			// connects, so it occupies no connection slot at all. The
 			// engine knows its fault script hit; the SSI never saw it.
 			metrics.OfflineDevices++
-			e.obs.tracer.EngineEvent(post.ID, "fault-"+b.Label(), t.ID, start, obs.CipherFacts{})
+			e.obs.tracer.EngineEvent(post.ID, "fault-"+b.Label(), id, start, obs.CipherFacts{})
 			e.obs.devices.With("offline").Inc()
 			continue
 		}
-		devices = append(devices, collectDevice{t: t, b: b})
+		devices = append(devices, collectDevice{slot: idx, id: id, b: b, t: e.fleet[idx]})
 	}
 
 	var end time.Time
@@ -157,7 +164,8 @@ func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.C
 // whether the deposit completed the collection.
 func (e *Engine) commitDeposit(rs *runState, d collectDevice,
 	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time) (bool, error) {
-	dep := protocol.NewDeposit(rs.post.ID, d.t.ID, 1, rs.post.Epoch, tuples)
+	rs.slab.Grow(1)
+	dep := rs.slab.New(rs.post.ID, d.id, 1, rs.post.Epoch, tuples)
 	dep.Commit = d.t.CommitDeposit(rs.post, 1, tuples)
 	if d.b.CorruptDeposit {
 		dep.Sum ^= 0x1 // one flipped transport bit; the checksum catches it
@@ -187,7 +195,7 @@ func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted int,
 	}
 	rs.metrics.DepositedDevices++
 	rs.recordDepositCommit(d, accepted, tuples, commit)
-	e.obs.tracer.SSIEvent(rs.post.ID, "deposit", d.t.ID, now,
+	e.obs.tracer.SSIEvent(rs.post.ID, "deposit", d.id, now,
 		obs.CipherFacts{Tuples: accepted, Bytes: int64(sentBytes), Attempt: 1})
 	e.obs.devices.With("accepted").Inc()
 	e.obs.tuples.With("accepted").Add(float64(accepted))
@@ -207,7 +215,7 @@ func (e *Engine) recordRejected(rs *runState, d collectDevice, now time.Time, er
 		rs.metrics.CorruptDeposits++
 	}
 	rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
-		Kind: kind, Phase: "collection", Device: d.t.ID, Attempt: 1, At: now,
+		Kind: kind, Phase: "collection", Device: d.id, Attempt: 1, At: now,
 	})
 	e.obs.devices.With(outcome).Inc()
 }
@@ -220,7 +228,7 @@ func (e *Engine) recordDropped(rs *runState, d collectDevice, now time.Time) {
 	rs.metrics.Timeouts++
 	rs.metrics.RetryWait += wait
 	rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
-		Kind: "deposit-timeout", Phase: "collection", Device: d.t.ID,
+		Kind: "deposit-timeout", Phase: "collection", Device: d.id,
 		Attempt: 1, Wait: wait, At: now,
 	})
 	e.obs.devices.With("dropped").Inc()
@@ -235,6 +243,9 @@ func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds
 	post := rs.post
 	interval := e.cfg.ConnectionInterval
 	now := start
+	// One arena serves the whole walk: each connection's ciphertexts are
+	// carved from shared blocks instead of individual allocations.
+	cfgTpl.Arena = &tdscrypto.Arena{}
 	for _, d := range devices {
 		if rs.ssi.CollectionDone(post.ID, now) {
 			break
@@ -248,6 +259,15 @@ func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds
 			e.recordDropped(rs, d, now)
 			now = now.Add(d.step(interval))
 			continue
+		}
+		if d.t == nil {
+			// The packed slot wakes for exactly this connection; the
+			// loop-local copy keeps the walk from accumulating devices.
+			t, err := e.materializeDevice(d.slot)
+			if err != nil {
+				return now, err
+			}
+			d.t = t
 		}
 		tuples, stats, err := e.collectOne(d.t, post, cfgTpl, now)
 		if err != nil {
@@ -280,6 +300,12 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 	interval := e.cfg.ConnectionInterval
 	now := start
 	res := make([]collectResult, workers)
+	// One arena per worker slot, reused across waves (wg.Wait separates
+	// the waves, so a slot's arena is never touched concurrently).
+	arenas := make([]*tdscrypto.Arena, workers)
+	for j := range arenas {
+		arenas[j] = &tdscrypto.Arena{}
+	}
 	for base := 0; base < len(devices); base += workers {
 		end := base + workers
 		if end > len(devices) {
@@ -305,8 +331,18 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 				wg.Add(1)
 				go func(j int, d collectDevice, spec time.Time) {
 					defer wg.Done()
-					tuples, stats, err := e.collectOne(d.t, post, cfgTpl, spec)
-					res[j] = collectResult{tuples: tuples, stats: stats, err: err, specNow: spec}
+					if d.t == nil {
+						t, err := e.materializeDevice(d.slot)
+						if err != nil {
+							res[j] = collectResult{fatal: err, specNow: spec}
+							return
+						}
+						d.t = t
+					}
+					cfg := cfgTpl
+					cfg.Arena = arenas[j]
+					tuples, stats, err := e.collectOne(d.t, post, cfg, spec)
+					res[j] = collectResult{t: d.t, tuples: tuples, stats: stats, err: err, specNow: spec}
 				}(j, d, spec)
 			}
 			spec = spec.Add(d.step(interval))
@@ -335,6 +371,10 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 				continue
 			}
 			r := res[j]
+			if r.fatal != nil {
+				return now, r.fatal
+			}
+			d.t = r.t
 			if !r.specNow.Equal(now) {
 				// An earlier device errored, so simulated time advanced less
 				// than predicted. Redo this device at the actual clock; the
@@ -366,14 +406,21 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []collectResult,
 	now time.Time) (bool, error) {
 	post := rs.post
+	rs.slab.Grow(len(res))
 	deps := make([]*protocol.Deposit, 0, len(res))
 	idxOf := make([]int, 0, len(res)) // envelope index -> wave index
 	for j := range res {
-		if wave[j].b.DropDeposit || res[j].err != nil {
+		if wave[j].b.DropDeposit {
 			continue
 		}
-		dep := protocol.NewDeposit(post.ID, wave[j].t.ID, 1, post.Epoch, res[j].tuples)
-		dep.Commit = wave[j].t.CommitDeposit(post, 1, res[j].tuples)
+		if res[j].fatal != nil {
+			return false, res[j].fatal
+		}
+		if res[j].err != nil {
+			continue
+		}
+		dep := rs.slab.New(post.ID, wave[j].id, 1, post.Epoch, res[j].tuples)
+		dep.Commit = res[j].t.CommitDeposit(post, 1, res[j].tuples)
 		if wave[j].b.CorruptDeposit {
 			dep.Sum ^= 0x1
 		}
@@ -406,7 +453,9 @@ func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []colle
 				if out[b].Err != nil {
 					e.recordRejected(rs, wave[j], now, out[b].Err)
 				} else {
-					e.acceptDeposit(rs, wave[j], out[b].Accepted, res[j].tuples,
+					d := wave[j]
+					d.t = res[j].t // a SIZE-truncated acceptance re-commits through it
+					e.acceptDeposit(rs, d, out[b].Accepted, res[j].tuples,
 						deps[b].Commit, res[j].stats, now)
 				}
 			}

@@ -72,6 +72,15 @@ type Config struct {
 	// enrollment (simulation of the extended threat model). Compromised
 	// devices silently drop half of the work in partitions they process.
 	CompromisedFraction float64
+	// PackedFleet provisions the fleet in the packed representation:
+	// ProvisionFleet serializes each device's database into one shared
+	// blob and materializes a live TDS only while the device is
+	// connected, with key rings derived on demand per epoch. Memory per
+	// enrolled device drops from a full LocalDB plus key schedules to a
+	// few dozen bytes, which is what makes million-device fleets
+	// routinely benchmarkable. Every observable — rows, metrics,
+	// ledgers, traces — is bit-identical to the eager representation.
+	PackedFleet bool
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -92,6 +101,13 @@ type Engine struct {
 	// trusted side of the run — the engine playing the querier's checker
 	// against whatever the SSI claims. Refreshed on key rotation.
 	verifier *tdscrypto.Committer
+
+	// packed backs the nil entries of fleet when Config.PackedFleet is
+	// set; kmCache shares one expanded key ring per epoch across every
+	// device materialized from it.
+	packed  *packedFleet
+	kmMu    sync.Mutex
+	kmCache map[uint32]*tds.KeyMaterial
 
 	mu        sync.Mutex
 	seq       int
@@ -158,7 +174,9 @@ func (e *Engine) newTDS(id string, db *storage.LocalDB, ring tdscrypto.KeyRing) 
 func (e *Engine) dropPlans(id string) {
 	e.planCache.Drop(id)
 	for _, t := range e.fleet {
-		t.DropPlan(id)
+		if t != nil { // packed slots hold plans only while materialized
+			t.DropPlan(id)
+		}
 	}
 }
 
@@ -178,6 +196,12 @@ func (e *Engine) RotateKeys() {
 // compromised — re-enrollment changes keys, not silicon.
 func (e *Engine) ReenrollAll() error {
 	for i, old := range e.fleet {
+		if old == nil {
+			// A packed slot re-enrolls by recording the new epoch; the
+			// ring is derived from it when the device next wakes.
+			e.packed.epoch[i] = uint32(e.keyAuth.Epoch())
+			continue
+		}
 		t, err := e.newTDS(old.ID, old.DB, e.keys)
 		if err != nil {
 			return err
@@ -210,17 +234,17 @@ func (e *Engine) RevokeAndRotate(ids ...string) error {
 		e.bcast = bc
 		e.deviceKeys = make(map[string]tdscrypto.DeviceKeySet, len(e.fleet))
 		e.revoked = make(map[string]bool)
-		for slot, t := range e.fleet {
+		for slot := range e.fleet {
 			dk, err := bc.DeviceKeys(slot)
 			if err != nil {
 				return err
 			}
-			e.deviceKeys[t.ID] = dk
+			e.deviceKeys[e.deviceID(slot)] = dk
 		}
 	}
 	slotOf := make(map[string]int, len(e.fleet))
-	for i, t := range e.fleet {
-		slotOf[t.ID] = i
+	for i := range e.fleet {
+		slotOf[e.deviceID(i)] = i
 	}
 	for _, id := range ids {
 		slot, ok := slotOf[id]
@@ -239,12 +263,20 @@ func (e *Engine) RevokeAndRotate(ids ...string) error {
 		return err
 	}
 	for i, old := range e.fleet {
-		if e.revoked[old.ID] {
+		id := e.deviceID(i)
+		if e.revoked[id] {
 			continue // cannot open the broadcast; stays on the dead epoch
 		}
-		ring, err := e.deviceKeys[old.ID].OpenRing(msg)
+		ring, err := e.deviceKeys[id].OpenRing(msg)
 		if err != nil {
-			return fmt.Errorf("core: device %s failed to open the key broadcast: %w", old.ID, err)
+			return fmt.Errorf("core: device %s failed to open the key broadcast: %w", id, err)
+		}
+		if old == nil {
+			// The opened ring is the authority's freshly rotated ring;
+			// the packed slot records the epoch and re-derives it on
+			// wake. Revoked packed slots keep their dead epoch.
+			e.packed.epoch[i] = uint32(e.keyAuth.Epoch())
+			continue
 		}
 		t, err := e.newTDS(old.ID, old.DB, ring)
 		if err != nil {
@@ -299,7 +331,13 @@ func (e *Engine) AddTDS(db *storage.LocalDB) (*tds.TDS, error) {
 }
 
 // ProvisionFleet enrolls n TDSs whose databases are produced by populate.
+// Each database is consumed during its own enrollment and not referenced
+// afterwards: with Config.PackedFleet it is serialized and discarded, and
+// either way the engine retains nothing of populate's scratch state.
 func (e *Engine) ProvisionFleet(n int, populate func(i int) *storage.LocalDB) error {
+	if e.cfg.PackedFleet {
+		return e.provisionPacked(n, populate)
+	}
 	for i := 0; i < n; i++ {
 		if _, err := e.AddTDS(populate(i)); err != nil {
 			return err
@@ -518,11 +556,13 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 	phaseStart := rs.clock.Now()
 	var stats phaseStats
 	// Revoked devices cannot open the current epoch's queries; the SSI
-	// never hands them partitions (the revocation list is public).
-	live := make([]*tds.TDS, 0, len(e.fleet))
-	for _, t := range e.fleet {
-		if !e.revoked[t.ID] {
-			live = append(live, t)
+	// never hands them partitions (the revocation list is public). The
+	// live set holds fleet slots, not devices — packed slots materialize
+	// only when actually drawn.
+	live := make([]int, 0, len(e.fleet))
+	for slot := range e.fleet {
+		if !e.revoked[e.deviceID(slot)] {
+			live = append(live, slot)
 		}
 	}
 	if len(live) == 0 {
@@ -581,7 +621,11 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 				continue
 			}
 			seen[i] = true
-			ws = append(ws, live[i])
+			w, err := e.runDevice(rs, live[i])
+			if err != nil {
+				return nil, stats, err
+			}
+			ws = append(ws, w)
 		}
 		if e.cfg.FailureRate > 0 && stats.Reassigned < maxReassign && failDraw() {
 			// The TDS dies mid-partition: after a timeout the SSI re-sends

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tds"
+)
+
+// The packed fleet representation (Config.PackedFleet): instead of one
+// live *tds.TDS per enrolled device — a materialized LocalDB, a plans
+// map, and expanded key schedules each — the engine keeps a serialized
+// database blob per device plus a few bytes of enrollment state, and
+// rebuilds a device only for the instants it is actually connected. Key
+// rings are derived on demand from the KeyAuthority (RingAt) and their
+// expanded form is cached per epoch, so an entire connection wave shares
+// one set of AES key schedules and HMAC pools. Device identity, RNG
+// seeding, corruption draws and key epochs are all reproduced exactly,
+// which is what keeps packed and eager fleets bit-identical in every
+// observable: rows, metrics, ledgers and traces.
+
+// packedFleet is the slot-indexed store behind the nil entries of
+// Engine.fleet. Slot i's blob region is blob[end[i-1]:end[i]] (zero
+// length for eagerly enrolled slots), so the whole fleet costs one
+// backing array plus ~13 bytes of bookkeeping per device.
+type packedFleet struct {
+	blob    []byte   // concatenated storage.PackDB blobs, in slot order
+	end     []int64  // per slot: end offset of its blob region
+	epoch   []uint32 // key-authority epoch the slot last enrolled at
+	corrupt []bool   // compromised-at-enrollment flag (extended threat model)
+}
+
+// pad extends the bookkeeping through slot n-1 with zero-length regions,
+// covering slots that were enrolled eagerly via AddTDS.
+func (p *packedFleet) pad(n int) {
+	for len(p.end) < n {
+		p.end = append(p.end, int64(len(p.blob)))
+		p.epoch = append(p.epoch, 0)
+		p.corrupt = append(p.corrupt, false)
+	}
+}
+
+// addPacked appends one packed slot.
+func (p *packedFleet) addPacked(blob []byte, epoch uint32, corrupt bool) {
+	p.blob = append(p.blob, blob...)
+	p.end = append(p.end, int64(len(p.blob)))
+	p.epoch = append(p.epoch, epoch)
+	p.corrupt = append(p.corrupt, corrupt)
+}
+
+// region returns slot's serialized database.
+func (p *packedFleet) region(slot int) []byte {
+	start := int64(0)
+	if slot > 0 {
+		start = p.end[slot-1]
+	}
+	return p.blob[start:p.end[slot]]
+}
+
+// packedID is the canonical device ID of a fleet slot — by construction
+// identical to the ID AddTDS would have assigned the same slot.
+func packedID(slot int) string { return fmt.Sprintf("tds-%05d", slot) }
+
+// deviceID names a fleet slot without materializing it.
+func (e *Engine) deviceID(slot int) string {
+	if t := e.fleet[slot]; t != nil {
+		return t.ID
+	}
+	return packedID(slot)
+}
+
+// keyMaterial expands (and caches) the key ring of one epoch. Every
+// device enrolled at the same epoch holds the same ring, so a million
+// packed devices share one AES key schedule, HMAC pool and committer
+// per epoch instead of carrying their own.
+func (e *Engine) keyMaterial(epoch uint32) (*tds.KeyMaterial, error) {
+	e.kmMu.Lock()
+	defer e.kmMu.Unlock()
+	if km, ok := e.kmCache[epoch]; ok {
+		return km, nil
+	}
+	km, err := tds.NewKeyMaterial(e.keyAuth.RingAt(uint64(epoch)))
+	if err != nil {
+		return nil, err
+	}
+	if e.kmCache == nil {
+		e.kmCache = make(map[uint32]*tds.KeyMaterial)
+	}
+	e.kmCache[epoch] = km
+	return km, nil
+}
+
+// materializeDevice rebuilds one packed slot into a live TDS: unpack the
+// database against the fleet's shared schema (so the shared plan cache
+// keys match), borrow the epoch's expanded key material, and restore the
+// enrollment-time corruption flag. Safe for concurrent use; the caller
+// owns the returned device and drops it when the connection ends.
+func (e *Engine) materializeDevice(slot int) (*tds.TDS, error) {
+	if t := e.fleet[slot]; t != nil {
+		return t, nil
+	}
+	db, err := storage.UnpackDB(e.schema, e.packed.region(slot))
+	if err != nil {
+		return nil, fmt.Errorf("core: slot %d: %w", slot, err)
+	}
+	km, err := e.keyMaterial(e.packed.epoch[slot])
+	if err != nil {
+		return nil, err
+	}
+	t := tds.NewWithMaterial(packedID(slot), db, km, e.cfg.Policy, e.authority)
+	t.Shared = e.planCache
+	t.Corrupt = e.packed.corrupt[slot]
+	return t, nil
+}
+
+// runDevice materializes a slot for the rest of one run, caching the
+// device in the run state so the aggregation/filtering phases — which
+// draw the same workers repeatedly — pay the unpack once. Collection
+// deliberately bypasses this cache: a walk over a million-device fleet
+// must not accumulate a million live devices.
+func (e *Engine) runDevice(rs *runState, slot int) (*tds.TDS, error) {
+	if t := e.fleet[slot]; t != nil {
+		return t, nil
+	}
+	if t, ok := rs.devs[slot]; ok {
+		return t, nil
+	}
+	t, err := e.materializeDevice(slot)
+	if err != nil {
+		return nil, err
+	}
+	if rs.devs == nil {
+		rs.devs = make(map[int]*tds.TDS)
+	}
+	rs.devs[slot] = t
+	return t, nil
+}
+
+// provisionPacked is ProvisionFleet's packed branch: serialize each
+// populated database into the shared blob and discard the original, so
+// enrollment retains nothing of populate's per-device scratch.
+func (e *Engine) provisionPacked(n int, populate func(i int) *storage.LocalDB) error {
+	if e.packed == nil {
+		e.packed = &packedFleet{}
+	}
+	epoch := uint32(e.keyAuth.Epoch())
+	for i := 0; i < n; i++ {
+		slot := len(e.fleet)
+		corrupt := false
+		if f := e.cfg.CompromisedFraction; f > 0 {
+			// The exact draw AddTDS would have made for this slot.
+			r := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(packedID(slot))) ^ 0x5eed))
+			corrupt = r.Float64() < f
+		}
+		e.packed.pad(slot)
+		e.packed.addPacked(storage.PackDB(populate(i)), epoch, corrupt)
+		e.fleet = append(e.fleet, nil)
+	}
+	return nil
+}

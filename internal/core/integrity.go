@@ -95,7 +95,7 @@ func (rs *runState) recordDepositCommit(d collectDevice, accepted int,
 		commit = d.t.CommitDeposit(rs.post, 1, tuples[:accepted])
 	}
 	rs.integ.records = append(rs.integ.records, depositRecord{
-		device: d.t.ID, attempt: 1, accepted: accepted, commit: commit,
+		device: d.id, attempt: 1, accepted: accepted, commit: commit,
 	})
 }
 
@@ -131,28 +131,33 @@ func (e *Engine) verifyCollection(rs *runState) error {
 		return nil
 	}
 	id := rs.post.ID
-	stored := rs.ssi.CollectedTuples(id)
 
 	total := 0
 	for _, r := range rs.integ.records {
 		total += r.accepted
 	}
 	e.noteCheck(rs)
-	if total != len(stored) {
+	if total != rs.ssi.CollectedCount(id) {
 		return e.integrityViolation(rs, "covering-count", "collection")
 	}
 
-	leaves := make([][]byte, 0, len(rs.integ.records))
+	// The walk streams: each record's window of the stored sequence is
+	// fetched on its own and its commitment folds straight into the
+	// collection root, so verification never holds the covering result
+	// in one slice. The folded digest is byte-identical to the old
+	// collect-all-leaves Fold.
+	fold := e.verifier.StartFold("collection-root")
 	off := 0
 	for _, r := range rs.integ.records {
-		slice := stored[off : off+r.accepted]
+		slice := rs.ssi.CollectedRange(id, off, off+r.accepted)
 		off += r.accepted
 		want := protocol.DepositCommitment(e.verifier, id, r.device, r.attempt, rs.post.Epoch, slice)
 		e.noteCheck(rs)
 		if !tdscrypto.CommitEqual(r.commit, want) {
+			fold.Discard()
 			return e.integrityViolation(rs, "deposit-commitment", "collection")
 		}
-		leaves = append(leaves, want)
+		fold.Add(want)
 	}
 	rs.integ.deposits = len(rs.integ.records)
 
@@ -170,10 +175,11 @@ func (e *Engine) verifyCollection(rs *runState) error {
 	}
 	e.noteCheck(rs)
 	if timeouts != rs.metrics.DroppedDeposits || corrupt != rs.metrics.CorruptDeposits {
+		fold.Discard()
 		return e.integrityViolation(rs, "coverage-account", "collection")
 	}
 
-	rs.integ.digest = e.verifier.Fold("collection-root", leaves...)
+	rs.integ.digest = fold.Sum()
 	return nil
 }
 

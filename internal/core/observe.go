@@ -10,6 +10,7 @@ import (
 	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
+	"github.com/trustedcells/tcq/internal/tds"
 )
 
 // engineObs bundles the engine's observability surface: the tracer that
@@ -102,6 +103,13 @@ type runState struct {
 	// integ is the verification context: deposit records, the running
 	// digest, and the check tallies behind the IntegrityReport.
 	integ *integrityState
+	// devs caches the devices the aggregation/filtering phases
+	// materialized from a packed fleet, so repeated worker draws pay the
+	// unpack once per run. Collection never touches it.
+	devs map[int]*tds.TDS
+	// slab recycles deposit envelopes across collection waves instead of
+	// allocating one per device.
+	slab protocol.DepositSlab
 }
 
 // startPhase opens the span of one aggregation/filtering phase and
@@ -204,6 +212,6 @@ func abortReason(err error) string {
 // event is engine-side only.
 func (e *Engine) recordCollectError(rs *runState, d collectDevice, now time.Time) {
 	rs.metrics.CollectErrors++
-	e.obs.tracer.EngineEvent(rs.post.ID, "collect-error", d.t.ID, now, obs.CipherFacts{Attempt: 1})
+	e.obs.tracer.EngineEvent(rs.post.ID, "collect-error", d.id, now, obs.CipherFacts{Attempt: 1})
 	e.obs.devices.With("error").Inc()
 }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/storage"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// The packed-fleet contract: Config.PackedFleet changes the memory shape
+// of the fleet and nothing else. Every test here runs the same scripted
+// scenario against an eager and a packed engine and requires bit-equal
+// rows, metrics and recovery ledgers (the ledger rides inside Metrics).
+
+// packedPair runs one request against an eager and a packed twin of the
+// same fixture and returns both outcomes.
+func packedPair(t *testing.T, fleet int, cfgEdit func(*Config), req func(f *fixture) Request) (eager, packed *Response) {
+	t.Helper()
+	run := func(packed bool) *Response {
+		f := newFixture(t, fleet, func(c *Config) {
+			c.PackedFleet = packed
+			if cfgEdit != nil {
+				cfgEdit(c)
+			}
+		})
+		resp, err := f.eng.Execute(context.Background(), req(f))
+		if err != nil {
+			t.Fatalf("packed=%v: %v", packed, err)
+		}
+		return resp
+	}
+	return run(false), run(true)
+}
+
+// TestPackedFleetEquivalence: every protocol, under the reference churn
+// plan, must produce identical rows and metrics from both fleet shapes.
+func TestPackedFleetEquivalence(t *testing.T) {
+	for _, sc := range churnScenarios {
+		t.Run(sc.kind.String(), func(t *testing.T) {
+			eager, packed := packedPair(t, 40, nil, func(f *fixture) Request {
+				return Request{
+					Querier: f.q, SQL: sc.sql, Kind: sc.kind, Params: sc.params,
+					Faults: churnPlan(),
+				}
+			})
+			if !reflect.DeepEqual(sortedRows(eager.Result), sortedRows(packed.Result)) {
+				t.Errorf("rows diverge between fleet shapes")
+			}
+			if !reflect.DeepEqual(eager.Metrics, packed.Metrics) {
+				t.Errorf("metrics diverge:\neager:  %+v\npacked: %+v", eager.Metrics, packed.Metrics)
+			}
+		})
+	}
+}
+
+// TestPackedCompromisedEquivalence: the enrollment-time corruption draw
+// must land on the same devices in both shapes (the audit then detects
+// and names the same suspects).
+func TestPackedCompromisedEquivalence(t *testing.T) {
+	edit := func(c *Config) {
+		c.CompromisedFraction = 0.3
+		c.AuditReplicas = 3
+	}
+	eager, packed := packedPair(t, 24, edit, func(f *fixture) Request {
+		return Request{Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+			Params: protocol.Params{PartitionTuples: 4}}
+	})
+	if !reflect.DeepEqual(sortedRows(eager.Result), sortedRows(packed.Result)) {
+		t.Error("rows diverge")
+	}
+	if !reflect.DeepEqual(eager.Metrics.Suspects, packed.Metrics.Suspects) {
+		t.Errorf("suspects diverge: %v vs %v", eager.Metrics.Suspects, packed.Metrics.Suspects)
+	}
+	if !reflect.DeepEqual(eager.Metrics, packed.Metrics) {
+		t.Error("metrics diverge")
+	}
+}
+
+// TestPackedDeterminismAcrossWorkers: the packed pipeline keeps the
+// worker-count independence contract.
+func TestPackedDeterminismAcrossWorkers(t *testing.T) {
+	runAt := func(workers int) (rows []string, m Metrics) {
+		f := newFixture(t, 40, func(c *Config) {
+			c.PackedFleet = true
+			c.CollectWorkers = workers
+		})
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+			Params: protocol.Params{PartitionTuples: 4}, Faults: churnPlan(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		met := *resp.Metrics
+		met.TLocal = 0
+		return sortedRows(resp.Result), met
+	}
+	seqRows, seqM := runAt(1)
+	parRows, parM := runAt(8)
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Error("rows depend on CollectWorkers")
+	}
+	if !reflect.DeepEqual(seqM, parM) {
+		t.Errorf("metrics depend on CollectWorkers:\nseq: %+v\npar: %+v", seqM, parM)
+	}
+}
+
+// TestPackedRotationStaleEpoch: a packed slot enrolled at epoch 0 must
+// keep failing against an epoch-1 query exactly like a stale eager
+// device, and ReenrollAll must restore it by bumping the derived epoch.
+func TestPackedRotationStaleEpoch(t *testing.T) {
+	for _, packed := range []bool{false, true} {
+		f := newFixture(t, 12, func(c *Config) { c.PackedFleet = packed })
+		f.eng.RotateKeys()
+		fresh := newQuerierForEngine(t, f.eng, "fresh")
+		got, m, err := f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != 0 || m.CollectErrors != 12 {
+			t.Errorf("packed=%v: stale fleet rows=%d errors=%d, want 0/12",
+				packed, len(got.Rows), m.CollectErrors)
+		}
+		if err := f.eng.ReenrollAll(); err != nil {
+			t.Fatal(err)
+		}
+		got, m, err = f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != 12 || m.CollectErrors != 0 {
+			t.Errorf("packed=%v: after re-enrollment rows=%d errors=%d", packed, len(got.Rows), m.CollectErrors)
+		}
+	}
+}
+
+// TestPackedRevocation: broadcast revocation must expel the same devices
+// from a packed fleet, with the survivors re-keyed through the broadcast
+// and the revoked slots dead on their old epoch.
+func TestPackedRevocation(t *testing.T) {
+	type outcome struct {
+		rows []string
+		m    Metrics
+	}
+	run := func(packed bool) outcome {
+		f := newFixture(t, 16, func(c *Config) { c.PackedFleet = packed })
+		if err := f.eng.RevokeAndRotate("tds-00003", "tds-00007"); err != nil {
+			t.Fatalf("packed=%v: %v", packed, err)
+		}
+		fresh := newQuerierForEngine(t, f.eng, "fresh")
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: fresh, SQL: `SELECT cid FROM Consumer`, Kind: protocol.KindBasic,
+		})
+		if err != nil {
+			t.Fatalf("packed=%v: %v", packed, err)
+		}
+		m := *resp.Metrics
+		return outcome{rows: sortedRows(resp.Result), m: m}
+	}
+	eager, packed := run(false), run(true)
+	if packed.m.CollectErrors != 2 {
+		t.Errorf("revoked packed devices: CollectErrors = %d, want 2", packed.m.CollectErrors)
+	}
+	if len(packed.rows) != 14 {
+		t.Errorf("rows = %d, want the 14 survivors", len(packed.rows))
+	}
+	if !reflect.DeepEqual(eager.rows, packed.rows) {
+		t.Error("rows diverge between fleet shapes")
+	}
+	if !reflect.DeepEqual(eager.m, packed.m) {
+		t.Error("metrics diverge between fleet shapes")
+	}
+}
+
+// heapInUse forces a full collection and reports live heap bytes.
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestPackedMemoryFootprint: the packed representation must hold an
+// enrolled device in at least 10x less heap than the eager one, and
+// ProvisionFleet must not retain the populate scratch databases.
+func TestPackedMemoryFootprint(t *testing.T) {
+	const n = 2000
+	build := func(packed bool) *Engine {
+		f := newFixtureEngineOnly(t, n, packed)
+		return f
+	}
+
+	base := heapInUse()
+	eager := build(false)
+	eagerBytes := int64(heapInUse() - base)
+	runtime.KeepAlive(eager)
+	eager = nil
+
+	base = heapInUse()
+	packed := build(true)
+	packedBytes := int64(heapInUse() - base)
+
+	perEager := eagerBytes / n
+	perPacked := packedBytes / n
+	t.Logf("bytes/device: eager %d, packed %d", perEager, perPacked)
+	if perPacked <= 0 {
+		t.Skip("heap delta too noisy to measure")
+	}
+	if perEager < 10*perPacked {
+		t.Errorf("packed fleet not >=10x smaller: eager %d B/device, packed %d B/device",
+			perEager, perPacked)
+	}
+	// The packed store itself must stay within a few hundred bytes per
+	// device — retaining the populate scratch would blow well past this.
+	if perPacked > 512 {
+		t.Errorf("packed fleet retains %d B/device; the provisioning scratch is leaking", perPacked)
+	}
+	runtime.KeepAlive(packed)
+}
+
+// newFixtureEngineOnly provisions an engine without the fixture's habit
+// of retaining every populated database (which would dominate the heap
+// measurements above).
+func newFixtureEngineOnly(t *testing.T, fleetSize int, packed bool) *Engine {
+	t.Helper()
+	schema := meterSchema()
+	cfg := Config{
+		Schema: schema,
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{{
+			Role: "energy-analyst", AggregateOnly: true,
+		}}},
+		AuthorityKey: tdscrypto.DeriveKey(tdscrypto.Key{}, "authority"),
+		MasterKey:    tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+		Seed:         7,
+		PackedFleet:  packed,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ProvisionFleet(fleetSize, func(i int) *storage.LocalDB {
+		return householdDB(schema, i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}

@@ -388,8 +388,12 @@ func (e *Engine) filterFinal(ctx context.Context, rs *runState, stmt *sqlparse.S
 		// row (COUNT = 0, others NULL); one live TDS synthesizes it.
 		var w *tds.TDS
 		for _, idx := range rng.Perm(len(e.fleet)) {
-			if !e.revoked[e.fleet[idx].ID] {
-				w = e.fleet[idx]
+			if !e.revoked[e.deviceID(idx)] {
+				t, err := e.runDevice(rs, idx)
+				if err != nil {
+					return nil, err
+				}
+				w = t
 				break
 			}
 		}

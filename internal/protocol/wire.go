@@ -176,6 +176,41 @@ func NewDeposit(queryID, deviceID string, attempt, epoch int, tuples []WireTuple
 	return d
 }
 
+// DepositSlab recycles Deposit envelopes across collection waves: one
+// backing array serves a whole wave, so committing a 1,000-device wave
+// costs one slab ensure instead of 1,000 envelope allocations. Grow
+// reserves capacity up front and New never appends past it, so pointers
+// handed out during a wave stay valid for that wave. The receivers of a
+// deposit (SSI, adversary wrapper) consume the envelope synchronously and
+// never retain it, which is what makes reuse across waves safe.
+type DepositSlab struct {
+	buf []Deposit
+}
+
+// Grow readies the slab for a wave of up to n envelopes, reusing the
+// backing array when it is already large enough.
+func (s *DepositSlab) Grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]Deposit, 0, n)
+	}
+	s.buf = s.buf[:0]
+}
+
+// New assembles a sealed envelope inside the slab, equivalent to
+// NewDeposit. If the wave outgrows the reserved capacity the envelope
+// falls back to its own allocation rather than invalidating earlier
+// pointers.
+func (s *DepositSlab) New(queryID, deviceID string, attempt, epoch int, tuples []WireTuple) *Deposit {
+	if len(s.buf) == cap(s.buf) {
+		return NewDeposit(queryID, deviceID, attempt, epoch, tuples)
+	}
+	s.buf = append(s.buf, Deposit{QueryID: queryID, DeviceID: deviceID,
+		Attempt: attempt, Epoch: epoch, Tuples: tuples})
+	d := &s.buf[len(s.buf)-1]
+	d.Sum = d.checksum()
+	return d
+}
+
 // checksum is FNV-1a over every byte of every tuple, with length framing
 // so tuple boundaries cannot be shifted without detection.
 func (d *Deposit) checksum() uint64 {

@@ -262,6 +262,10 @@ func (a *Adversary) CollectionDone(id string, now time.Time) bool {
 func (a *Adversary) CollectedTuples(id string) []protocol.WireTuple {
 	return a.inner.CollectedTuples(id)
 }
+func (a *Adversary) CollectedCount(id string) int { return a.inner.CollectedCount(id) }
+func (a *Adversary) CollectedRange(id string, start, end int) []protocol.WireTuple {
+	return a.inner.CollectedRange(id, start, end)
+}
 func (a *Adversary) ObserveRelay(id string, tuples []protocol.WireTuple, at time.Time) {
 	a.inner.ObserveRelay(id, tuples, at)
 }

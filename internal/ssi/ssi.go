@@ -38,16 +38,69 @@ var (
 // QueryState is everything the SSI holds for one active query.
 type QueryState struct {
 	Post        *protocol.QueryPost
-	Tuples      []protocol.WireTuple
 	BytesStored int64
 	Done        bool // SIZE condition reached
 	StartedAt   time.Time
 
+	tuples    tupleStore // the spillable collection multiset
 	observed  Observation
 	attempts  map[string]int // device -> highest committed deposit attempt
 	ledger    []LedgerEntry
 	lastBuild [][]protocol.WireTuple // most recent partition build, for Repartition
 }
+
+// tupleChunk is the tupleStore chunk size. 4096 tuples per chunk keeps a
+// million-tuple collection in a few hundred fixed-size chunks instead of
+// one slice that doubles through gigabyte reallocations.
+const tupleChunk = 4096
+
+// tupleStore holds the collection multiset as a sequence of fixed-size
+// chunks: deposits stream in through append, verifiers read back bounded
+// windows through slice, and the whole collection is never required to
+// live in one contiguous allocation. Append order is preserved exactly —
+// the covering-count and per-deposit commitment checks rely on offsets
+// into the deposit-order sequence.
+type tupleStore struct {
+	chunks [][]protocol.WireTuple
+	n      int
+}
+
+func (ts *tupleStore) append(w protocol.WireTuple) {
+	if len(ts.chunks) == 0 || len(ts.chunks[len(ts.chunks)-1]) == tupleChunk {
+		ts.chunks = append(ts.chunks, make([]protocol.WireTuple, 0, tupleChunk))
+	}
+	last := len(ts.chunks) - 1
+	ts.chunks[last] = append(ts.chunks[last], w)
+	ts.n++
+}
+
+// slice copies the half-open window [start, end) into a fresh slice.
+// Out-of-range bounds are clamped.
+func (ts *tupleStore) slice(start, end int) []protocol.WireTuple {
+	if start < 0 {
+		start = 0
+	}
+	if end > ts.n {
+		end = ts.n
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]protocol.WireTuple, 0, end-start)
+	for i := start; i < end; {
+		c := ts.chunks[i/tupleChunk]
+		off := i % tupleChunk
+		take := len(c) - off
+		if rem := end - i; take > rem {
+			take = rem
+		}
+		out = append(out, c[off:off+take]...)
+		i += take
+	}
+	return out
+}
+
+func (ts *tupleStore) all() []protocol.WireTuple { return ts.slice(0, ts.n) }
 
 // Service is the infrastructure interface the engine's run path drives:
 // everything the protocols need from the supporting servers — querybox,
@@ -62,6 +115,8 @@ type Service interface {
 	DepositEnvelopeBatch(id string, deps []*protocol.Deposit, now time.Time) (out []DepositOutcome, doneAt int, done bool, err error)
 	CollectionDone(id string, now time.Time) bool
 	CollectedTuples(id string) []protocol.WireTuple
+	CollectedCount(id string) int
+	CollectedRange(id string, start, end int) []protocol.WireTuple
 	ObserveRelay(id string, tuples []protocol.WireTuple, at time.Time)
 	Record(id string, e LedgerEntry)
 	LedgerFor(id string) []LedgerEntry
@@ -313,11 +368,11 @@ func (s *SSI) LedgerFor(id string) []LedgerEntry {
 // depositLocked stores one device's tuples; the caller holds s.mu.
 func (s *SSI) depositLocked(st *QueryState, tuples []protocol.WireTuple, now time.Time) (accepted int) {
 	for _, w := range tuples {
-		st.Tuples = append(st.Tuples, w)
+		st.tuples.append(w)
 		st.BytesStored += int64(w.Size())
 		s.observe(st, w)
 		accepted++
-		if max := st.Post.Size.MaxTuples; max > 0 && int64(len(st.Tuples)) >= max {
+		if max := st.Post.Size.MaxTuples; max > 0 && int64(st.tuples.n) >= max {
 			st.Done = true
 			break
 		}
@@ -372,7 +427,9 @@ func (s *SSI) CollectionDone(id string, now time.Time) bool {
 	return st.Done
 }
 
-// CollectedTuples returns the covering result of the collection phase.
+// CollectedTuples returns the covering result of the collection phase as
+// one flat copy. Large-fleet consumers should prefer CollectedCount +
+// CollectedRange, which never force the whole collection into one slice.
 func (s *SSI) CollectedTuples(id string) []protocol.WireTuple {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -380,9 +437,31 @@ func (s *SSI) CollectedTuples(id string) []protocol.WireTuple {
 	if !ok {
 		return nil
 	}
-	out := make([]protocol.WireTuple, len(st.Tuples))
-	copy(out, st.Tuples)
-	return out
+	return st.tuples.all()
+}
+
+// CollectedCount returns the number of tuples stored for the query.
+func (s *SSI) CollectedCount(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return 0
+	}
+	return st.tuples.n
+}
+
+// CollectedRange returns a copy of the stored tuples [start, end) in
+// deposit order — the window a streaming verifier walks one deposit at a
+// time instead of materializing the whole collection.
+func (s *SSI) CollectedRange(id string, start, end int) []protocol.WireTuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok {
+		return nil
+	}
+	return st.tuples.slice(start, end)
 }
 
 // ObservationFor returns a snapshot of the curious ledger of a query.

@@ -1,0 +1,68 @@
+package ssi
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+)
+
+// TestTupleStoreChunks: the spillable deposit store must agree with the
+// flat view across chunk boundaries — counts, windowed ranges and the
+// materialized slice all describe the same sequence, in deposit order.
+func TestTupleStoreChunks(t *testing.T) {
+	s := New()
+	if err := s.PostQuery(post("q1", sqlparse.SizeClause{}), t0); err != nil {
+		t.Fatal(err)
+	}
+	// Three deposits straddling the 4096-tuple chunk size.
+	sizes := []int{3000, 3000, 4200}
+	total := 0
+	for d, n := range sizes {
+		batch := make([]protocol.WireTuple, n)
+		for i := range batch {
+			batch[i] = tuple(fmt.Sprintf("t-%d-%d", d, i), 4)
+		}
+		accepted, _, err := s.Deposit("q1", batch, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += accepted
+	}
+	if got := s.CollectedCount("q1"); got != total {
+		t.Fatalf("CollectedCount = %d, want %d", got, total)
+	}
+	all := s.CollectedTuples("q1")
+	if len(all) != total {
+		t.Fatalf("CollectedTuples = %d, want %d", len(all), total)
+	}
+	// Order must be deposit order.
+	if string(all[0].Tag) != "t-0-0" || string(all[total-1].Tag) != "t-2-4199" {
+		t.Errorf("order: first %q last %q", all[0].Tag, all[total-1].Tag)
+	}
+	// Windows, including ones that straddle chunk boundaries exactly.
+	windows := [][2]int{{0, total}, {0, 1}, {4095, 4097}, {4096, 8192}, {8191, 8193}, {total - 1, total}, {5, 5}}
+	for _, w := range windows {
+		got := s.CollectedRange("q1", w[0], w[1])
+		if len(got) != w[1]-w[0] {
+			t.Fatalf("range [%d,%d): len %d", w[0], w[1], len(got))
+		}
+		for i := range got {
+			if string(got[i].Tag) != string(all[w[0]+i].Tag) {
+				t.Fatalf("range [%d,%d): element %d = %q, want %q",
+					w[0], w[1], i, got[i].Tag, all[w[0]+i].Tag)
+			}
+		}
+	}
+	// Out-of-bounds requests clamp instead of panicking.
+	if got := s.CollectedRange("q1", total-2, total+50); len(got) != 2 {
+		t.Errorf("clamped range: len %d, want 2", len(got))
+	}
+	if got := s.CollectedRange("q1", -3, 2); len(got) != 2 {
+		t.Errorf("negative start: len %d, want 2", len(got))
+	}
+	if got := s.CollectedRange("nope", 0, 5); got != nil {
+		t.Errorf("unknown query range: %v", got)
+	}
+}

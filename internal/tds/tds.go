@@ -58,6 +58,30 @@ type TDS struct {
 // New creates a TDS with its key ring, database and access policy.
 func New(id string, db *storage.LocalDB, ring tdscrypto.KeyRing,
 	policy *accessctl.Policy, authority *accessctl.Authority) (*TDS, error) {
+	km, err := NewKeyMaterial(ring)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithMaterial(id, db, km, policy, authority), nil
+}
+
+// KeyMaterial is the expanded cryptographic state of one key ring: AES key
+// schedules, pooled HMAC states, bucket hasher and committer. Every device
+// enrolled at the same epoch holds an identical ring, so the expansion is
+// identical too — a packed fleet expands a ring once per epoch and shares
+// the result across every device of a connection wave instead of paying
+// the key schedules per device. All components are safe for concurrent
+// use, so one KeyMaterial can back many TDSs at once.
+type KeyMaterial struct {
+	K1, K2     *tdscrypto.Suite
+	K2Raw      tdscrypto.Key
+	BucketHash *tdscrypto.BucketHasher
+	AuditMAC   *tdscrypto.MACPool
+	Committer  *tdscrypto.Committer
+}
+
+// NewKeyMaterial expands a key ring into ready-to-use cipher state.
+func NewKeyMaterial(ring tdscrypto.KeyRing) (*KeyMaterial, error) {
 	s1, err := tdscrypto.NewSuite(ring.K1)
 	if err != nil {
 		return nil, err
@@ -66,14 +90,27 @@ func New(id string, db *storage.LocalDB, ring tdscrypto.KeyRing,
 	if err != nil {
 		return nil, err
 	}
+	return &KeyMaterial{
+		K1: s1, K2: s2, K2Raw: ring.K2,
+		BucketHash: tdscrypto.NewBucketHasher(ring.K2),
+		AuditMAC:   tdscrypto.NewMACPool(ring.K2),
+		Committer:  tdscrypto.NewCommitter(ring.K2),
+	}, nil
+}
+
+// NewWithMaterial creates a TDS that borrows already-expanded key
+// material. Behavior is indistinguishable from New over the same ring;
+// only the expansion cost is shared.
+func NewWithMaterial(id string, db *storage.LocalDB, km *KeyMaterial,
+	policy *accessctl.Policy, authority *accessctl.Authority) *TDS {
 	return &TDS{
 		ID: id, DB: db, Policy: policy, Authority: authority,
-		k1: s1, k2: s2, k2raw: ring.K2,
-		bucketHash: tdscrypto.NewBucketHasher(ring.K2),
-		auditMAC:   tdscrypto.NewMACPool(ring.K2),
-		committer:  tdscrypto.NewCommitter(ring.K2),
+		k1: km.K1, k2: km.K2, k2raw: km.K2Raw,
+		bucketHash: km.BucketHash,
+		auditMAC:   km.AuditMAC,
+		committer:  km.Committer,
 		plans:      make(map[string]*sqlexec.Plan),
-	}, nil
+	}
 }
 
 // CommitDeposit seals a collection deposit with the device's k2-keyed
@@ -183,6 +220,11 @@ type CollectConfig struct {
 	Rng *rand.Rand
 	// Now is the simulated wall-clock time for credential expiry checks.
 	Now time.Time
+	// Arena optionally slab-allocates the ciphertexts and tags this call
+	// produces. Nil means plain allocations; output bytes are identical
+	// either way. The caller must not share one arena across concurrent
+	// Collect calls.
+	Arena *tdscrypto.Arena
 }
 
 // CollectStats instruments the collection step for the simulation's
@@ -196,9 +238,10 @@ type CollectStats struct {
 // encryption schemes copy plaintexts into fresh ciphertext buffers, so
 // reusing the plaintext scratch across tuples is safe.
 type collectScratch struct {
-	payload []byte      // marker + encoded row plaintext
-	tag     []byte      // encoded grouping values / bucket identifier
-	row     storage.Row // assembled fake row
+	payload []byte           // marker + encoded row plaintext
+	tag     []byte           // encoded grouping values / bucket identifier
+	row     storage.Row      // assembled fake row
+	arena   *tdscrypto.Arena // optional slab for ciphertexts and tags
 }
 
 // Collect performs the collection-phase work of this TDS: download and
@@ -229,7 +272,7 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, fmt.Errorf("tds %s: local execution: %w", t.ID, err)
 		}
 	}
-	var sc collectScratch
+	sc := collectScratch{arena: cfg.Arena}
 	if len(rows) == 0 {
 		// Dummy sized like a plausible tuple of this plan. In the tagged
 		// protocols the dummy carries a plausible random tag, otherwise its
@@ -239,7 +282,7 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, err
 		}
 		sc.payload = protocol.AppendDummyPayload(sc.payload[:0], t.sampleBodySize(plan))
-		w, err := t.encryptTuple(post, sc.payload, tag)
+		w, err := t.encryptTuple(post, sc.payload, tag, sc.arena)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -254,7 +297,7 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, err
 		}
 		sc.payload = protocol.AppendRowPayload(sc.payload[:0], protocol.MarkerTrue, row)
-		w, err := t.encryptTuple(post, sc.payload, tag)
+		w, err := t.encryptTuple(post, sc.payload, tag, sc.arena)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -347,7 +390,7 @@ func groupValues(plan *sqlexec.Plan, row storage.Row) storage.Row {
 // returned tag is freshly allocated by the cipher and safe to retain.
 func (t *TDS) groupTag(post *protocol.QueryPost, group storage.Row, sc *collectScratch) ([]byte, error) {
 	sc.tag = storage.AppendRow(sc.tag[:0], group)
-	return t.k2.DetEncrypt(sc.tag, post.AAD())
+	return t.k2.DetEncryptArena(sc.tag, post.AAD(), sc.arena)
 }
 
 // randomFakes appends nf fake tuples whose A_G values are drawn uniformly
@@ -408,11 +451,11 @@ func (t *TDS) encryptFake(post *protocol.QueryPost, row storage.Row, group stora
 		return protocol.WireTuple{}, err
 	}
 	sc.payload = protocol.AppendRowPayload(sc.payload[:0], protocol.MarkerFake, row)
-	return t.encryptTuple(post, sc.payload, tag)
+	return t.encryptTuple(post, sc.payload, tag, sc.arena)
 }
 
-func (t *TDS) encryptTuple(post *protocol.QueryPost, payload, tag []byte) (protocol.WireTuple, error) {
-	ct, err := t.k2.NDetEncrypt(payload, post.AAD())
+func (t *TDS) encryptTuple(post *protocol.QueryPost, payload, tag []byte, ar *tdscrypto.Arena) (protocol.WireTuple, error) {
+	ct, err := t.k2.NDetEncryptArena(payload, post.AAD(), ar)
 	if err != nil {
 		return protocol.WireTuple{}, fmt.Errorf("tds %s: encrypt: %w", t.ID, err)
 	}
@@ -536,7 +579,7 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 		// response of plausible size. The audit digest covers the semantic
 		// outcome ("empty"), not the random padding, so honest replicas
 		// still agree.
-		w, err := t.encryptTuple(post, protocol.DummyPayload(t.sampleBodySize(plan)), nil)
+		w, err := t.encryptTuple(post, protocol.DummyPayload(t.sampleBodySize(plan)), nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -547,7 +590,7 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 	switch emit {
 	case EmitWhole:
 		enc := acc.Encode()
-		w, err := t.encryptTuple(post, protocol.EncodePayload(protocol.MarkerPartial, enc), nil)
+		w, err := t.encryptTuple(post, protocol.EncodePayload(protocol.MarkerPartial, enc), nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -566,7 +609,7 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 			enc = sqlexec.AppendGroup(enc[:0], plan, g)
 			sc.payload = append(sc.payload[:0], byte(protocol.MarkerPartial))
 			sc.payload = append(sc.payload, enc...)
-			w, err := t.encryptTuple(post, sc.payload, tag)
+			w, err := t.encryptTuple(post, sc.payload, tag, sc.arena)
 			if err != nil {
 				return nil, err
 			}

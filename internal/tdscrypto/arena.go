@@ -1,0 +1,37 @@
+package tdscrypto
+
+// arenaBlockSize is the slab granularity of an Arena. 64 KiB keeps each
+// block below the large-object threshold while amortizing hundreds of
+// ciphertext allocations into one malloc.
+const arenaBlockSize = 64 << 10
+
+// Arena is a bump allocator for the small byte slices a collection wave
+// produces in bulk: ciphertexts, tags and deposit payloads. Alloc carves
+// zero-length slices with exact capacity out of append-only blocks, so a
+// wave's worth of per-tuple allocations collapses into a handful of block
+// mallocs. There is no Reset — allocated slices are retained by the SSI
+// for the lifetime of the query, so blocks simply stay reachable through
+// the tuples that live in them. An Arena is not safe for concurrent use;
+// collection gives each worker slot its own.
+//
+// The zero value is ready to use, and every arena-aware function accepts a
+// nil *Arena, falling back to plain make.
+type Arena struct {
+	block []byte
+}
+
+// Alloc returns a zero-length slice with exactly the requested capacity.
+// Appending up to that capacity stays inside the reserved region and can
+// never bleed into a neighboring allocation. Requests larger than a
+// quarter block fall through to a dedicated allocation.
+func (a *Arena) Alloc(capacity int) []byte {
+	if a == nil || capacity > arenaBlockSize/4 {
+		return make([]byte, 0, capacity)
+	}
+	if cap(a.block)-len(a.block) < capacity {
+		a.block = make([]byte, 0, arenaBlockSize)
+	}
+	off := len(a.block)
+	a.block = a.block[:off+capacity]
+	return a.block[off : off : off+capacity]
+}

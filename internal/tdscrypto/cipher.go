@@ -92,6 +92,19 @@ func (s *Suite) NDetEncrypt(plaintext, aad []byte) ([]byte, error) {
 	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil
 }
 
+// NDetEncryptArena is NDetEncrypt with the output carved from the arena
+// instead of its own allocation. The arena slot has exact capacity for
+// nonce + ciphertext + tag, so Seal appends in place. A nil arena falls
+// back to NDetEncrypt. The ciphertext bytes are identical either way.
+func (s *Suite) NDetEncryptArena(plaintext, aad []byte, a *Arena) ([]byte, error) {
+	out := a.Alloc(nonceSize + len(plaintext) + s.aead.Overhead())
+	out = out[:nonceSize]
+	if _, err := rand.Read(out); err != nil {
+		return nil, fmt.Errorf("tdscrypto: nonce: %w", err)
+	}
+	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil
+}
+
 // DetEncrypt encrypts plaintext deterministically (Det_Enc): the nonce is a
 // MAC of the plaintext (SIV-style), so equal plaintexts produce equal
 // ciphertexts under the same key. The SSI uses that equality to assemble
@@ -105,6 +118,23 @@ func (s *Suite) DetEncrypt(plaintext, aad []byte) ([]byte, error) {
 	var sum [sha256.Size]byte
 	synthetic := mac.Sum(sum[:0])[:nonceSize]
 	out := make([]byte, nonceSize, nonceSize+len(plaintext)+s.aead.Overhead())
+	copy(out, synthetic)
+	s.detMAC.Put(mac)
+	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil
+}
+
+// DetEncryptArena is DetEncrypt with the output carved from the arena.
+// A nil arena falls back to a plain allocation; the ciphertext bytes are
+// identical either way (Det_Enc is deterministic per key and plaintext).
+func (s *Suite) DetEncryptArena(plaintext, aad []byte, a *Arena) ([]byte, error) {
+	mac := s.detMAC.Get()
+	mac.Write(aad)
+	mac.Write(sepZero)
+	mac.Write(plaintext)
+	var sum [sha256.Size]byte
+	synthetic := mac.Sum(sum[:0])[:nonceSize]
+	out := a.Alloc(nonceSize + len(plaintext) + s.aead.Overhead())
+	out = out[:nonceSize]
 	copy(out, synthetic)
 	s.detMAC.Put(mac)
 	return s.aead.Seal(out, out[:nonceSize], plaintext, aad), nil

@@ -4,6 +4,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 )
 
 // CommitSize is the byte length of every commitment this package emits.
@@ -57,6 +58,55 @@ func (c *Committer) Commit(domain string, segments ...[]byte) []byte {
 // collide with a fold over their concatenation.
 func (c *Committer) Fold(domain string, children ...[]byte) []byte {
 	return c.sum(commitFoldPrefix, domain, children)
+}
+
+// FoldStream is an incremental Fold: children are absorbed one at a time
+// instead of being gathered into a slice first, so a verifier can fold a
+// million deposit leaves into one collection root without ever holding
+// them together. StartFold/Add/Sum over the same children produces the
+// byte-identical commitment Fold would — the MAC absorbs the exact same
+// prefix, domain and length-framed child sequence. A FoldStream is single
+// use and not safe for concurrent use; call either Sum or Discard exactly
+// once.
+type FoldStream struct {
+	c   *Committer
+	mac hash.Hash
+}
+
+// StartFold begins an incremental fold over the domain.
+func (c *Committer) StartFold(domain string) *FoldStream {
+	mac := c.macs.Get()
+	mac.Write(commitFoldPrefix)
+	mac.Write([]byte(domain))
+	return &FoldStream{c: c, mac: mac}
+}
+
+// Add absorbs one child commitment, length-framed exactly like Fold.
+func (f *FoldStream) Add(child []byte) {
+	var frame [8]byte
+	binary.BigEndian.PutUint64(frame[:], uint64(len(child)))
+	f.mac.Write(frame[:])
+	f.mac.Write(child)
+}
+
+// Sum finishes the fold and returns the parent commitment, equal to
+// Fold(domain, children...) over the Added children in order.
+func (f *FoldStream) Sum() []byte {
+	var sum [sha256.Size]byte
+	out := make([]byte, CommitSize)
+	copy(out, f.mac.Sum(sum[:0]))
+	f.c.macs.Put(f.mac)
+	f.mac = nil
+	return out
+}
+
+// Discard abandons the fold without producing a commitment, recycling the
+// underlying MAC state. Used when verification fails mid-stream.
+func (f *FoldStream) Discard() {
+	if f.mac != nil {
+		f.c.macs.Put(f.mac)
+		f.mac = nil
+	}
 }
 
 func (c *Committer) sum(prefix []byte, domain string, segments [][]byte) []byte {

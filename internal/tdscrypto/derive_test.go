@@ -1,0 +1,145 @@
+package tdscrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// TestRingAtMatchesStoredRings is the golden equivalence behind the packed
+// fleet: a ring derived on demand for any epoch must be bit-identical to
+// the ring a device stored when it enrolled at that epoch, before and
+// after rotations.
+func TestRingAtMatchesStoredRings(t *testing.T) {
+	a := NewKeyAuthority(DeriveKey(Key{}, "golden-master"))
+	var stored []KeyRing
+	for e := 0; e < 5; e++ {
+		stored = append(stored, a.Ring())
+		a.Rotate()
+	}
+	for e, want := range stored {
+		got := a.RingAt(uint64(e))
+		if got != want {
+			t.Errorf("epoch %d: derived ring differs from stored ring", e)
+		}
+	}
+	// Rotation must never rewrite history: after 5 rotations epoch 0 still
+	// derives the original ring.
+	if a.RingAt(0) != stored[0] {
+		t.Error("epoch 0 ring changed after rotations")
+	}
+}
+
+// TestRingAtGoldenVectors pins the derivation to fixed bytes so a future
+// refactor of DeriveKey or the epoch labels cannot silently re-key a
+// deployed fleet.
+func TestRingAtGoldenVectors(t *testing.T) {
+	a := NewKeyAuthority(DeriveKey(Key{}, "golden-master"))
+	golden := []struct{ k1, k2 string }{
+		{"8d44cb686ed85ec57c53d99d974120021b37a32b2bbfd660a4a3df2cbd4a7b04",
+			"d4ecdd4557fbfeef9b6c32b881948c6afa91efe64e161262eefbcbfa66e57c53"},
+		{"0d3a017c315b8a250d14eca950fd5ef02d4031ada05a37e149663c3d061bacbe",
+			"88ead8fc3a0436a74c644263ecdd928efcc50c3439ceb0be03045a599bcddb51"},
+		{"db91c076526ca645ee62cb763455f8c0b8c7e92d369e8bb37ed45415694bdfa4",
+			"225527eaa59caf76492fcc89782c047c0d33a6aaac6eaa000218c4c02a4b6173"},
+	}
+	for e, g := range golden {
+		r := a.RingAt(uint64(e))
+		if got := hex.EncodeToString(r.K1[:]); got != g.k1 {
+			t.Errorf("epoch %d K1 = %s, want %s", e, got, g.k1)
+		}
+		if got := hex.EncodeToString(r.K2[:]); got != g.k2 {
+			t.Errorf("epoch %d K2 = %s, want %s", e, got, g.k2)
+		}
+	}
+}
+
+// TestFoldStreamMatchesFold: the incremental fold must be byte-identical
+// to the slice-based one for any child sequence, including empty folds
+// and empty children.
+func TestFoldStreamMatchesFold(t *testing.T) {
+	c := NewCommitter(DeriveKey(Key{}, "fold"))
+	cases := [][][]byte{
+		nil,
+		{[]byte{}},
+		{[]byte("a")},
+		{[]byte("a"), []byte("bc"), nil, []byte("defg")},
+	}
+	for i, children := range cases {
+		want := c.Fold("collection-root", children...)
+		f := c.StartFold("collection-root")
+		for _, ch := range children {
+			f.Add(ch)
+		}
+		if got := f.Sum(); !bytes.Equal(got, want) {
+			t.Errorf("case %d: stream fold %x != fold %x", i, got, want)
+		}
+	}
+	// Discard must recycle cleanly and leave later folds unaffected.
+	f := c.StartFold("collection-root")
+	f.Add([]byte("poison"))
+	f.Discard()
+	f.Discard() // idempotent
+	want := c.Fold("collection-root", []byte("a"))
+	f = c.StartFold("collection-root")
+	f.Add([]byte("a"))
+	if got := f.Sum(); !bytes.Equal(got, want) {
+		t.Errorf("fold after discard %x != %x", got, want)
+	}
+}
+
+// TestArenaEncrypt: arena-backed encryption must produce the same bytes
+// (Det_Enc) and the same decryptable plaintext (nDet_Enc) as the plain
+// allocating path, for nil arenas, small slots and oversized fallbacks.
+func TestArenaEncrypt(t *testing.T) {
+	s := MustSuite(DeriveKey(Key{}, "arena"))
+	aad := []byte("header")
+	plaintexts := [][]byte{
+		[]byte("short"),
+		bytes.Repeat([]byte("x"), 1000),
+		bytes.Repeat([]byte("y"), 100000), // over the slab cap -> fallback
+	}
+	arenas := []*Arena{nil, new(Arena)}
+	for _, a := range arenas {
+		for i, pt := range plaintexts {
+			det, err := s.DetEncrypt(pt, aad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			detA, err := s.DetEncryptArena(pt, aad, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(det, detA) {
+				t.Errorf("arena=%v pt %d: Det_Enc bytes differ", a != nil, i)
+			}
+			ndA, err := s.NDetEncryptArena(pt, aad, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Decrypt(ndA, aad)
+			if err != nil {
+				t.Fatalf("arena=%v pt %d: decrypt: %v", a != nil, i, err)
+			}
+			if !bytes.Equal(got, pt) {
+				t.Errorf("arena=%v pt %d: round trip mismatch", a != nil, i)
+			}
+		}
+	}
+	// Adjacent slots must not alias: a later encryption cannot clobber an
+	// earlier ciphertext carved from the same block.
+	a := new(Arena)
+	first, err := s.DetEncryptArena([]byte("first"), aad, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), first...)
+	for i := 0; i < 100; i++ {
+		if _, err := s.NDetEncryptArena(bytes.Repeat([]byte("z"), 64), aad, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(first, snapshot) {
+		t.Error("arena slot overwritten by later allocations")
+	}
+}

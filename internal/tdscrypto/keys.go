@@ -87,10 +87,17 @@ func NewKeyAuthority(master Key) *KeyAuthority {
 }
 
 // Ring returns the key ring for the current epoch.
-func (a *KeyAuthority) Ring() KeyRing {
+func (a *KeyAuthority) Ring() KeyRing { return a.RingAt(a.epoch) }
+
+// RingAt derives the key ring of an arbitrary epoch. Derivation is pure in
+// (master, epoch), which is what lets a fleet store only each device's
+// enrollment epoch and reconstruct its full ring on demand — a device
+// enrolled at epoch n holds exactly RingAt(n), bit-identical to the ring
+// Ring() returned when n was current, before and after any Rotate().
+func (a *KeyAuthority) RingAt(epoch uint64) KeyRing {
 	return KeyRing{
-		K1: DeriveKey(a.master, fmt.Sprintf("k1/%d", a.epoch)),
-		K2: DeriveKey(a.master, fmt.Sprintf("k2/%d", a.epoch)),
+		K1: DeriveKey(a.master, fmt.Sprintf("k1/%d", epoch)),
+		K2: DeriveKey(a.master, fmt.Sprintf("k2/%d", epoch)),
 	}
 }
 

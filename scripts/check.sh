@@ -48,6 +48,14 @@ if [ "$short" -eq 0 ]; then
     echo "==> go test -race"
     go test -race ./...
 
+    # Fleet-scale smoke: provision and collect a packed 100k-device fleet
+    # under a hard memory ceiling, and fail if the packed representation
+    # regresses above the recorded enrollment budget (BENCH_fleet.json
+    # records ~110 B/device; 256 leaves headroom for platform noise).
+    echo "==> fleet memory gate (packed, 100k devices)"
+    GOMEMLIMIT=2GiB go run ./cmd/benchtool -fleet-sweep -fleet-sizes 100000 \
+        -fleet-iters 1 -fleet-budget 256 -fleet-out /tmp/tcq_fleet_check.json
+
     # A ~10s smoke over the coverage-guided fuzz targets: enough to catch a
     # freshly broken decoder invariant, nowhere near a real fuzzing session.
     echo "==> fuzz smoke"
