@@ -160,6 +160,13 @@ func newBenchFixture(b *testing.B, fleet int) *benchFixture {
 	return &benchFixture{eng: eng, q: q}
 }
 
+// benchExec is the bench-side spelling of the plain Execute shape.
+func benchExec(eng *core.Engine, q *querier.Querier, sql string,
+	kind protocol.Kind, params protocol.Params) (*core.Response, error) {
+	return eng.Execute(context.Background(), core.Request{
+		Querier: q, SQL: sql, Kind: kind, Params: params})
+}
+
 const benchSQL = `SELECT C.district, AVG(P.cons) FROM Power P, Consumer C ` +
 	`WHERE C.cid = P.cid GROUP BY C.district`
 
@@ -167,20 +174,20 @@ func benchEndToEnd(b *testing.B, kind protocol.Kind, params protocol.Params) {
 	f := newBenchFixture(b, 60)
 	// Warm the discovery cache so tagged protocols measure the query, not
 	// the one-time discovery.
-	if _, _, err := f.eng.Run(f.q, benchSQL, protocol.KindSAgg, protocol.Params{}); err != nil {
+	if _, err := benchExec(f.eng, f.q, benchSQL, protocol.KindSAgg, protocol.Params{}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var tq time.Duration
 	for i := 0; i < b.N; i++ {
-		res, m, err := f.eng.Run(f.q, benchSQL, kind, params)
+		resp, err := benchExec(f.eng, f.q, benchSQL, kind, params)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Rows) == 0 {
+		if len(resp.Result.Rows) == 0 {
 			b.Fatal("empty result")
 		}
-		tq = m.TQ
+		tq = resp.Metrics.TQ
 	}
 	b.ReportMetric(tq.Seconds()*1e3, "simulated_TQ_ms")
 }
@@ -206,7 +213,7 @@ func BenchmarkEndToEndBasicSFW(b *testing.B) {
 	sql := `SELECT C.cid, C.district FROM Consumer C WHERE C.accommodation = 'flat'`
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{}); err != nil {
+		if _, err := benchExec(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -352,11 +359,11 @@ func BenchmarkEndToEndAudited(b *testing.B) {
 	b.ResetTimer()
 	var detections int
 	for i := 0; i < b.N; i++ {
-		_, m, err := eng.Run(q, benchSQL, protocol.KindSAgg, protocol.Params{})
+		resp, err := benchExec(eng, q, benchSQL, protocol.KindSAgg, protocol.Params{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		detections = m.AuditDetections
+		detections = resp.Metrics.AuditDetections
 	}
 	b.ReportMetric(float64(detections), "detections")
 }

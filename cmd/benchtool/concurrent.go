@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/core"
+	"github.com/trustedcells/tcq/internal/obs"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+	"github.com/trustedcells/tcq/internal/workload"
+)
+
+// The -concurrent-sweep mode measures the multi-tenant query server: Q
+// identical verified queries submitted at once to one core.Server over
+// one shared packed fleet, for each Q in -concurrent-queries. Reported
+// per point: wall-clock throughput (queries/sec, a host-dependent
+// number) and the exact p50/p99 of the per-query simulated latency
+// (Metrics.TQ — host-independent, so its stability across Q is the
+// determinism contract made visible: a query's simulated cost must not
+// depend on what else is in flight).
+
+// concurrentPoint is one sweep point of BENCH_concurrent.json.
+type concurrentPoint struct {
+	Queries       int     `json:"queries"`
+	MaxInFlight   int     `json:"max_inflight"`
+	WallMs        float64 `json:"wall_ms"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	SimP50Ms      float64 `json:"sim_p50_ms"`
+	SimP99Ms      float64 `json:"sim_p99_ms"`
+}
+
+// concurrentReport is the file layout of BENCH_concurrent.json.
+type concurrentReport struct {
+	Tool       string            `json:"tool"`
+	GoMaxProcs int               `json:"go_max_procs"`
+	Fleet      int               `json:"fleet"`
+	Sweep      []concurrentPoint `json:"sweep"`
+}
+
+// runConcurrentSweep measures Server throughput and simulated latency
+// across the -concurrent-queries points and writes the report to path.
+func runConcurrentSweep(path, sizes string, fleet, inflight int, out io.Writer) error {
+	if fleet < 1 {
+		return fmt.Errorf("-concurrent-fleet must be >= 1 (got %d)", fleet)
+	}
+	if inflight <= 0 {
+		inflight = runtime.GOMAXPROCS(0)
+	}
+	var points []int
+	for _, f := range strings.Split(sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("-concurrent-queries: bad count %q", f)
+		}
+		points = append(points, n)
+	}
+
+	w := workload.DefaultSmartMeter(9)
+	w.Districts = 10
+	eng, err := core.NewEngine(core.Config{
+		Schema: w.Schema(),
+		Policy: &accessctl.Policy{Rules: []accessctl.Rule{
+			{Role: "energy-analyst", AggregateOnly: true},
+		}},
+		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
+		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
+		AvailableFraction: 0.5,
+		PackedFleet:       true, // exercises the server's shared device cache
+		Seed:              9,
+	})
+	if err != nil {
+		return err
+	}
+	if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
+		return err
+	}
+	cred := eng.Authority().Issue("edf", []string{"energy-analyst"},
+		time.Unix(1700000000, 0).Add(24*time.Hour))
+	q, err := querier.New("edf", eng.K1(), cred, eng.Schema())
+	if err != nil {
+		return err
+	}
+
+	report := concurrentReport{
+		Tool:       "benchtool -concurrent-sweep",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Fleet:      fleet,
+	}
+	ctx := context.Background()
+	for _, n := range points {
+		srv := core.NewServer(eng, core.ServerConfig{MaxInFlight: inflight, QueueDepth: n})
+		latencies := make([]float64, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, err := srv.Submit(ctx, core.Request{
+					Querier: q, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
+					QueryID: fmt.Sprintf("sweep-%d-%03d", n, i),
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				latencies[i] = resp.Metrics.TQ.Seconds() * 1e3
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		srv.Close()
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("Q=%d: %w", n, err)
+			}
+		}
+		pt := concurrentPoint{
+			Queries:       n,
+			MaxInFlight:   inflight,
+			WallMs:        float64(wall.Nanoseconds()) / 1e6,
+			QueriesPerSec: float64(n) / wall.Seconds(),
+			SimP50Ms:      obs.Quantile(latencies, 0.50),
+			SimP99Ms:      obs.Quantile(latencies, 0.99),
+		}
+		report.Sweep = append(report.Sweep, pt)
+		fmt.Fprintf(out, "Q=%-4d inflight=%-3d %8.1f q/s   sim p50 %7.2fms  p99 %7.2fms   wall %v\n",
+			pt.Queries, pt.MaxInFlight, pt.QueriesPerSec, pt.SimP50Ms, pt.SimP99Ms,
+			wall.Round(time.Millisecond))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

@@ -11,6 +11,9 @@
 //	benchtool -fig all       # everything
 //	benchtool -bench-json    # measure the live collection pipeline and
 //	                         # write BENCH_collection.json (regression record)
+//	benchtool -concurrent-sweep
+//	                         # measure the multi-tenant query server and
+//	                         # write BENCH_concurrent.json
 package main
 
 import (
@@ -43,7 +46,19 @@ func main() {
 	fleetSizes := flag.String("fleet-sizes", "1000,100000,1000000", "fleet-sweep: comma-separated fleet sizes")
 	fleetIters := flag.Int("fleet-iters", 1, "fleet-sweep: collection iterations per fleet size")
 	fleetBudget := flag.Float64("fleet-budget", 0, "fleet-sweep: fail if packed provisioning exceeds this many bytes/device (0 = no gate)")
+	concurrentSweep := flag.Bool("concurrent-sweep", false, "measure the multi-tenant query server across -concurrent-queries and write -concurrent-out")
+	concurrentOut := flag.String("concurrent-out", "BENCH_concurrent.json", "concurrent-sweep: output file")
+	concurrentFleet := flag.Int("concurrent-fleet", 200, "concurrent-sweep: fleet size")
+	concurrentQueries := flag.String("concurrent-queries", "1,16,256", "concurrent-sweep: comma-separated in-flight query counts")
+	concurrentInflight := flag.Int("concurrent-inflight", 0, "concurrent-sweep: Server MaxInFlight (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *concurrentSweep {
+		if err := runConcurrentSweep(*concurrentOut, *concurrentQueries, *concurrentFleet, *concurrentInflight, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtool:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fleetSweep {
 		if err := runFleetSweep(*fleetOut, *fleetSizes, *fleetIters, *fleetBudget, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtool:", err)

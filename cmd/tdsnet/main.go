@@ -42,7 +42,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/trustedcells/tcq/internal/accessctl"
@@ -94,6 +96,9 @@ type options struct {
 	ssiAdversary  string
 	ssiPersistent bool
 	verify        bool
+
+	concurrent int
+	inflight   int
 
 	traceOut     string
 	traceSummary bool
@@ -181,6 +186,10 @@ func main() {
 		"re-strike scripted SSI misbehaviors on every opportunity, including quarantine retries")
 	flag.BoolVar(&o.verify, "verify", true,
 		"verify the SSI against the fleet's deposit commitments (disable to isolate protocol cost)")
+	flag.IntVar(&o.concurrent, "concurrent", 1,
+		"run the query N times at once through the multi-tenant server (N > 1)")
+	flag.IntVar(&o.inflight, "inflight", 0,
+		"concurrent: server MaxInFlight (0 = GOMAXPROCS)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the query trace as JSON lines to this file")
 	flag.BoolVar(&o.traceSummary, "trace-summary", false, "print the query trace as an ASCII span tree")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (Prometheus text) to this file")
@@ -286,6 +295,10 @@ func runOpts(o options) error {
 		defer cancel()
 	}
 
+	if o.concurrent > 1 {
+		return runConcurrent(ctx, o, eng, q, kind, plan)
+	}
+
 	start := time.Now()
 	resp, err := eng.Execute(ctx, core.Request{
 		Querier:    q,
@@ -337,6 +350,67 @@ func runOpts(o options) error {
 	printIntegrity(resp.Integrity)
 
 	return exportObservability(o, eng, resp)
+}
+
+// runConcurrent is the -concurrent N mode: the same query N times at
+// once through a core.Server over the one fleet — the multi-tenant
+// deployment shape, where the SSI serves many queriers and each device
+// connection answers every pending querybox. Reports wall-clock
+// throughput and the exact simulated-latency quantiles; with fixed seeds
+// every per-query simulated metric is identical to a solo run's.
+func runConcurrent(ctx context.Context, o options, eng *core.Engine,
+	q *querier.Querier, kind protocol.Kind, plan *faultplan.Plan) error {
+	inflight := o.inflight
+	if inflight <= 0 {
+		inflight = runtime.GOMAXPROCS(0)
+	}
+	srv := core.NewServer(eng, core.ServerConfig{
+		MaxInFlight: inflight, QueueDepth: o.concurrent})
+	defer srv.Close()
+	fmt.Printf("multi-tenant: %d queries, %d in flight\n\n", o.concurrent, inflight)
+
+	latencies := make([]float64, o.concurrent)
+	errs := make([]error, o.concurrent)
+	var rows int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < o.concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := srv.Submit(ctx, core.Request{
+				Querier: q, SQL: o.query, Kind: kind,
+				Params:     protocol.Params{Nf: o.nf, NumBuckets: o.buckets},
+				QueryID:    fmt.Sprintf("cc-%04d", i),
+				Faults:     plan,
+				SkipVerify: !o.verify,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			latencies[i] = resp.Metrics.TQ.Seconds() * 1e3
+			if i == 0 {
+				rows = len(resp.Result.Rows)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("query cc-%04d: %w", i, err)
+		}
+	}
+	st := srv.Stats()
+	fmt.Printf("rows per query     %d\n", rows)
+	fmt.Printf("wall clock         %v (%.1f queries/sec)\n",
+		wall.Round(time.Millisecond), float64(o.concurrent)/wall.Seconds())
+	fmt.Printf("simulated latency  p50 %.2fms  p99 %.2fms (T_Q per query)\n",
+		obs.Quantile(latencies, 0.50), obs.Quantile(latencies, 0.99))
+	fmt.Printf("server             admitted %d, completed %d, rejected %d\n",
+		st.Admitted, st.Completed, st.Rejected)
+	return nil
 }
 
 // printIntegrity renders the verified-execution report, or notes that

@@ -1,0 +1,72 @@
+package accessctl
+
+// Admission quotas: how much of a shared, multi-tenant query server one
+// querier may occupy. Quotas ride the same credentials the TDSs verify —
+// the roles an authority granted a querier decide not only what it may
+// ask (Policy) but how much service it may consume at once. The SSI-side
+// scheduler enforces them in cleartext; like the credential itself they
+// contain no personal data.
+
+// Quota bounds one querier's admission into a multi-tenant server. The
+// zero value defers every field to the server's defaults.
+type Quota struct {
+	// MaxInFlight caps this querier's concurrently executing queries.
+	// 0 defers to the server default; negative means unlimited.
+	MaxInFlight int
+	// MaxQueued caps this querier's waiting requests beyond the in-flight
+	// ones. 0 defers to the server default; negative means unlimited.
+	MaxQueued int
+	// Weight is this querier's fair-share weight: a scheduler pass admits
+	// up to Weight of its requests per round-robin turn. 0 means 1.
+	Weight int
+}
+
+// merge keeps the most permissive value of each field, treating negative
+// (unlimited) as the top.
+func (q Quota) merge(o Quota) Quota {
+	max := func(a, b int) int {
+		if a < 0 || b < 0 {
+			return -1
+		}
+		if b > a {
+			return b
+		}
+		return a
+	}
+	return Quota{
+		MaxInFlight: max(q.MaxInFlight, o.MaxInFlight),
+		MaxQueued:   max(q.MaxQueued, o.MaxQueued),
+		Weight:      max(q.Weight, o.Weight),
+	}
+}
+
+// QuotaPolicy maps credential roles to admission quotas. A nil policy
+// grants every querier the zero Quota (server defaults everywhere).
+type QuotaPolicy struct {
+	// Default applies to queriers whose credential carries no quota role.
+	Default Quota
+	// ByRole grants role-specific quotas; a credential holding several
+	// quota roles gets the most permissive value of each field.
+	ByRole map[string]Quota
+}
+
+// For resolves the quota of one credential.
+func (p *QuotaPolicy) For(c Credential) Quota {
+	if p == nil {
+		return Quota{}
+	}
+	q, found := Quota{}, false
+	for role, rq := range p.ByRole {
+		if c.HasRole(role) {
+			if !found {
+				q, found = rq, true
+			} else {
+				q = q.merge(rq)
+			}
+		}
+	}
+	if !found {
+		return p.Default
+	}
+	return q
+}

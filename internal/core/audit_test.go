@@ -23,7 +23,7 @@ func TestCompromisedFleetWithoutAuditIsWrong(t *testing.T) {
 		t.Fatal("threat model marked no devices")
 	}
 	want := f.reference(t, flagshipSQL)
-	got, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	got, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestAuditReplicasRestoreCorrectness(t *testing.T) {
 		t.Fatal("threat model marked no devices")
 	}
 	want := f.reference(t, flagshipSQL)
-	got, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	got, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestAuditAcrossProtocols(t *testing.T) {
 		{protocol.KindRnfNoise, protocol.Params{Nf: 2, PartitionTuples: 4}},
 		{protocol.KindEDHist, protocol.Params{PartitionTuples: 4}},
 	} {
-		got, _, err := f.eng.Run(f.q, flagshipSQL, pc.kind, pc.params)
+		got, _, err := runQuery(f.eng, f.q, flagshipSQL, pc.kind, pc.params)
 		if err != nil {
 			t.Fatalf("%v: %v", pc.kind, err)
 		}
@@ -98,7 +98,7 @@ func TestAuditBasicSFW(t *testing.T) {
 	})
 	sql := `SELECT C.cid, C.district FROM Consumer C WHERE C.accommodation = 'flat'`
 	want := f.reference(t, sql)
-	got, _, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{PartitionTuples: 4})
+	got, _, err := runQuery(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,11 +108,11 @@ func TestAuditBasicSFW(t *testing.T) {
 func TestAuditCostsReplicas(t *testing.T) {
 	plain := newFixture(t, 40, nil)
 	audited := newFixture(t, 40, func(c *Config) { c.AuditReplicas = 3 })
-	_, mp, err := plain.eng.Run(plain.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	_, mp, err := runQuery(plain.eng, plain.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ma, err := audited.eng.Run(audited.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	_, ma, err := runQuery(audited.eng, audited.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestAuditDigestsAreOpaqueAndBound(t *testing.T) {
 	// Digests the SSI sees are 16-byte MACs; equal results in different
 	// partitions produce different digests (partition binding).
 	f := newFixture(t, 20, func(c *Config) { c.AuditReplicas = 2 })
-	_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	_, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

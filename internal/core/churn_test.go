@@ -240,112 +240,37 @@ func TestChurnContextCancellation(t *testing.T) {
 	}
 }
 
-// TestExecuteWrappersStayCompatible pins the deprecated entry points to
-// the consolidated path: on fresh but identical fixtures (so both runs get
-// the same query ID), each wrapper and its Execute spelling must produce
-// byte-identical rows and a DeepEqual metrics snapshot — ledger,
-// observation, integrity counters and all.
-func TestExecuteWrappersStayCompatible(t *testing.T) {
+// TestExecuteTraceDeterminism pins the serialized trace: two identical
+// requests on identical fixtures must serialize to the same bytes.
+func TestExecuteTraceDeterminism(t *testing.T) {
 	params := protocol.Params{PartitionTuples: 4}
-	targets := []string{"tds-00003", "tds-00007"}
-
-	t.Run("Run", func(t *testing.T) {
-		f1 := newFixture(t, 20, nil)
-		res, m, err := f1.eng.Run(f1.q, flagshipSQL, protocol.KindSAgg, params)
-		if err != nil {
-			t.Fatal(err)
-		}
-		f2 := newFixture(t, 20, nil)
-		resp, err := f2.eng.Execute(context.Background(), Request{
-			Querier: f2.q, SQL: flagshipSQL, Kind: protocol.KindSAgg, Params: params,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(sortedRows(res), sortedRows(resp.Result)) {
-			t.Errorf("rows diverge:\nRun:     %v\nExecute: %v", sortedRows(res), sortedRows(resp.Result))
-		}
-		if !reflect.DeepEqual(m, resp.Metrics) {
-			t.Errorf("metrics diverge:\nRun:     %+v\nExecute: %+v", m, resp.Metrics)
-		}
-	})
-
-	t.Run("RunTargeted", func(t *testing.T) {
-		f1 := newFixture(t, 20, nil)
-		res, m, err := f1.eng.RunTargeted(f1.q, `SELECT cid, cons FROM Power`,
-			protocol.KindBasic, protocol.Params{}, targets)
-		if err != nil {
-			t.Fatal(err)
-		}
-		f2 := newFixture(t, 20, nil)
-		resp, err := f2.eng.Execute(context.Background(), Request{
-			Querier: f2.q, SQL: `SELECT cid, cons FROM Power`,
-			Kind: protocol.KindBasic, Targets: targets,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(sortedRows(res), sortedRows(resp.Result)) {
-			t.Errorf("rows diverge:\nRunTargeted: %v\nExecute:     %v",
-				sortedRows(res), sortedRows(resp.Result))
-		}
-		if !reflect.DeepEqual(m, resp.Metrics) {
-			t.Errorf("metrics diverge:\nRunTargeted: %+v\nExecute:     %+v", m, resp.Metrics)
-		}
-	})
-
-	t.Run("CollectOnce", func(t *testing.T) {
-		f1 := newFixture(t, 20, nil)
-		m, err := f1.eng.CollectOnce(f1.q, flagshipSQL, protocol.KindSAgg, params)
-		if err != nil {
-			t.Fatal(err)
-		}
-		f2 := newFixture(t, 20, nil)
-		resp, err := f2.eng.Execute(context.Background(), Request{
-			Querier: f2.q, SQL: flagshipSQL, Kind: protocol.KindSAgg, Params: params,
-			CollectOnly: true,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if resp.Result != nil {
-			t.Fatal("CollectOnly returned rows")
-		}
-		if !reflect.DeepEqual(m, resp.Metrics) {
-			t.Errorf("metrics diverge:\nCollectOnce: %+v\nExecute:     %+v", m, resp.Metrics)
-		}
-	})
-
-	// The wrappers discard the trace, so trace equivalence is pinned
-	// Execute-vs-Execute: two identical requests on identical fixtures must
-	// serialize to the same bytes.
-	t.Run("TraceBytes", func(t *testing.T) {
-		traceOf := func() []byte {
-			f := newFixture(t, 20, nil)
-			resp, err := f.eng.Execute(context.Background(), Request{
-				Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg, Params: params,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			var buf bytes.Buffer
-			if err := resp.Trace.WriteJSONL(&buf); err != nil {
-				t.Fatal(err)
-			}
-			return buf.Bytes()
-		}
-		if a, b := traceOf(), traceOf(); !bytes.Equal(a, b) {
-			t.Errorf("traces of identical runs diverge:\n%s\nvs\n%s", a, b)
-		}
-	})
-
-	t.Run("Validation", func(t *testing.T) {
+	traceOf := func() []byte {
 		f := newFixture(t, 20, nil)
-		if _, err := f.eng.Execute(context.Background(), Request{SQL: flagshipSQL}); err == nil {
-			t.Fatal("Execute accepted a request without a querier")
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg, Params: params,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		if _, err := f.eng.Execute(context.Background(), Request{Querier: f.q}); err == nil {
-			t.Fatal("Execute accepted a request without SQL")
+		var buf bytes.Buffer
+		if err := resp.Trace.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
 		}
-	})
+		return buf.Bytes()
+	}
+	if a, b := traceOf(), traceOf(); !bytes.Equal(a, b) {
+		t.Errorf("traces of identical runs diverge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestExecuteValidation pins the required-field checks of the single entry
+// point.
+func TestExecuteValidation(t *testing.T) {
+	f := newFixture(t, 20, nil)
+	if _, err := f.eng.Execute(context.Background(), Request{SQL: flagshipSQL}); err == nil {
+		t.Fatal("Execute accepted a request without a querier")
+	}
+	if _, err := f.eng.Execute(context.Background(), Request{Querier: f.q}); err == nil {
+		t.Fatal("Execute accepted a request without SQL")
+	}
 }

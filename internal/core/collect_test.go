@@ -37,7 +37,7 @@ func runCollectOutcome(t *testing.T, fleet, workers int, edit func(*Config),
 			edit(c)
 		}
 	})
-	res, m, err := f.eng.Run(f.q, sql, kind, params)
+	res, m, err := runQuery(f.eng, f.q, sql, kind, params)
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
@@ -140,7 +140,7 @@ func TestCollectWorkersDeterminismWithErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, m, err := f.eng.Run(q, `SELECT COUNT(*) FROM Power`, protocol.KindSAgg, protocol.Params{})
+		res, m, err := runQuery(f.eng, q, `SELECT COUNT(*) FROM Power`, protocol.KindSAgg, protocol.Params{})
 		if err != nil {
 			t.Fatal(err)
 		}

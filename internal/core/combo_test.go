@@ -17,7 +17,7 @@ func TestBasicSFWWithScalarsAndLike(t *testing.T) {
 		`WHERE district LIKE 'L%' AND accommodation NOT LIKE '%flat%' ` +
 		`ORDER BY 3 LIMIT 5`
 	want := f.reference(t, sql)
-	got, _, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{})
+	got, _, err := runQuery(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestTargetedNoiseProtocol(t *testing.T) {
 	targets := []string{"tds-00001", "tds-00004", "tds-00009", "tds-00014"}
 	sql := `SELECT C.district, COUNT(*) FROM Power P, Consumer C ` +
 		`WHERE C.cid = P.cid GROUP BY C.district`
-	got, m, err := f.eng.RunTargeted(f.q, sql, protocol.KindCNoise, protocol.Params{}, targets)
+	got, m, err := runTargeted(f.eng, f.q, sql, protocol.KindCNoise, protocol.Params{}, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestAuditedTargetedDurationQuery(t *testing.T) {
 		targets = append(targets, d.ID)
 	}
 	sql := `SELECT COUNT(*) FROM Consumer SIZE DURATION '5m'`
-	got, m, err := f.eng.RunTargeted(f.q, sql, protocol.KindSAgg, protocol.Params{}, targets)
+	got, m, err := runTargeted(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{}, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestVarianceThroughEveryProtocol(t *testing.T) {
 		`WHERE C.cid = P.cid GROUP BY C.district`
 	want := f.reference(t, sql)
 	for _, pc := range aggProtocols() {
-		got, _, err := f.eng.Run(f.q, sql, pc.kind, pc.params)
+		got, _, err := runQuery(f.eng, f.q, sql, pc.kind, pc.params)
 		if err != nil {
 			t.Fatalf("%v: %v", pc.kind, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustedcells/tcq/internal/protocol"
@@ -36,11 +37,12 @@ func (e *Engine) RunContinuous(q *querier.Querier, sql string, kind protocol.Kin
 		if feed != nil {
 			feed(w)
 		}
-		res, m, err := e.Run(q, sql, kind, params)
+		resp, err := e.Execute(context.Background(), Request{
+			Querier: q, SQL: sql, Kind: kind, Params: params})
 		if err != nil {
 			return out, fmt.Errorf("core: window %d: %w", w, err)
 		}
-		out = append(out, WindowResult{Window: w, Result: res, Metrics: m})
+		out = append(out, WindowResult{Window: w, Result: resp.Result, Metrics: resp.Metrics})
 	}
 	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"github.com/trustedcells/tcq/internal/accessctl"
 	"github.com/trustedcells/tcq/internal/netsim"
+	"github.com/trustedcells/tcq/internal/obs"
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/storage"
@@ -72,6 +73,13 @@ type Config struct {
 	// enrollment (simulation of the extended threat model). Compromised
 	// devices silently drop half of the work in partitions they process.
 	CompromisedFraction float64
+	// SSI injects the supporting-server implementation the engine runs
+	// against. Nil selects a sharded honest-but-curious SSI
+	// (ssi.NewSharded), whose per-query state stripes over independent
+	// lock domains so concurrent queries never serialize on one mutex.
+	// Tests inject a plain ssi.New() or instrumented implementations; the
+	// engine only ever talks through the ssi.Service interface.
+	SSI ssi.Service
 	// PackedFleet provisions the fleet in the packed representation:
 	// ProvisionFleet serializes each device's database into one shared
 	// blob and materializes a live TDS only while the device is
@@ -90,7 +98,7 @@ type Engine struct {
 	cfg       Config
 	schema    *storage.Schema
 	fleet     []*tds.TDS
-	ssi       *ssi.SSI
+	ssi       ssi.Service
 	authority *accessctl.Authority
 	keyAuth   *tdscrypto.KeyAuthority
 	keys      tdscrypto.KeyRing
@@ -104,10 +112,13 @@ type Engine struct {
 
 	// packed backs the nil entries of fleet when Config.PackedFleet is
 	// set; kmCache shares one expanded key ring per epoch across every
-	// device materialized from it.
-	packed  *packedFleet
-	kmMu    sync.Mutex
-	kmCache map[uint32]*tds.KeyMaterial
+	// device materialized from it. devCache (always non-nil, disabled
+	// until a Server enables it) shares materialized devices across
+	// in-flight queries.
+	packed   *packedFleet
+	kmMu     sync.Mutex
+	kmCache  map[uint32]*tds.KeyMaterial
+	devCache *deviceCache
 
 	mu        sync.Mutex
 	seq       int
@@ -119,10 +130,15 @@ type Engine struct {
 	revoked    map[string]bool
 }
 
-// discovered is a cached distribution-discovery outcome.
+// discovered is a cached distribution-discovery outcome. The entry lands
+// in Engine.discovery before its sub-query runs; ready closes once counts
+// and domain (or err) are settled, so concurrent queries needing the same
+// distribution wait for one discovery run instead of racing N of them.
 type discovered struct {
 	counts map[string]int64
 	domain []storage.Row
+	err    error
+	ready  chan struct{}
 }
 
 // NewEngine builds an engine with an empty fleet.
@@ -142,13 +158,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	auth := accessctl.NewAuthority(cfg.AuthorityKey)
 	keyAuth := tdscrypto.NewKeyAuthority(cfg.MasterKey)
 	eo := newEngineObs()
-	s := ssi.New()
-	s.WithTracer(eo.tracer) // the SSI mirrors ledger events into the trace
+	svc := cfg.SSI
+	if svc == nil {
+		svc = ssi.NewSharded(0)
+	}
+	// The SSI mirrors ledger events into the trace when it knows how.
+	if tw, ok := svc.(interface{ WithTracer(*obs.Tracer) }); ok {
+		tw.WithTracer(eo.tracer)
+	}
 	ring := keyAuth.Ring()
 	return &Engine{
 		cfg:       cfg,
 		schema:    cfg.Schema,
-		ssi:       s,
+		ssi:       svc,
 		authority: auth,
 		keyAuth:   keyAuth,
 		keys:      ring,
@@ -157,6 +179,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		obs:       eo,
 		verifier:  tdscrypto.NewCommitter(ring.K2),
 		discovery: make(map[string]*discovered),
+		devCache:  &deviceCache{},
 	}, nil
 }
 
@@ -178,6 +201,9 @@ func (e *Engine) dropPlans(id string) {
 			t.DropPlan(id)
 		}
 	}
+	// Devices kept live across queries by the server's shared cache hold
+	// their own local plan maps too.
+	e.devCache.each(func(t *tds.TDS) { t.DropPlan(id) })
 }
 
 // RotateKeys advances the fleet key epoch (the paper notes k1/k2 may
@@ -209,6 +235,9 @@ func (e *Engine) ReenrollAll() error {
 		t.Corrupt = old.Corrupt
 		e.fleet[i] = t
 	}
+	// Cached devices embody the pre-rotation key material; force a fresh
+	// materialization at the new epoch.
+	e.devCache.purge()
 	return nil
 }
 
@@ -285,6 +314,7 @@ func (e *Engine) RevokeAndRotate(ids ...string) error {
 		t.Corrupt = old.Corrupt
 		e.fleet[i] = t
 	}
+	e.devCache.purge() // same epoch argument as ReenrollAll
 	return nil
 }
 
@@ -307,8 +337,10 @@ func (e *Engine) K1() tdscrypto.Key { return e.keys.K1 }
 // Schema returns the common schema.
 func (e *Engine) Schema() *storage.Schema { return e.schema }
 
-// SSI exposes the supporting server for observation in tests and audits.
-func (e *Engine) SSI() *ssi.SSI { return e.ssi }
+// SSI exposes the supporting-server interface for observation in tests
+// and audits. The concrete implementation — plain, sharded, injected — is
+// deliberately hidden: everything the engine relies on is in ssi.Service.
+func (e *Engine) SSI() ssi.Service { return e.ssi }
 
 // FleetSize returns the number of enrolled TDSs.
 func (e *Engine) FleetSize() int { return len(e.fleet) }

@@ -174,7 +174,7 @@ func TestAllProtocolsMatchReference(t *testing.T) {
 	for _, pc := range aggProtocols() {
 		name := fmt.Sprintf("%v/nf=%d/m=%d", pc.kind, pc.params.Nf, pc.params.NumBuckets)
 		t.Run(name, func(t *testing.T) {
-			got, m, err := f.eng.Run(f.q, flagshipSQL, pc.kind, pc.params)
+			got, m, err := runQuery(f.eng, f.q, flagshipSQL, pc.kind, pc.params)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -190,7 +190,7 @@ func TestBasicSFWProtocol(t *testing.T) {
 	f := newFixture(t, 25, nil)
 	sql := `SELECT C.cid, C.district FROM Consumer C WHERE C.accommodation = 'flat'`
 	want := f.reference(t, sql)
-	got, m, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{})
+	got, m, err := runQuery(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestBasicSFWProtocol(t *testing.T) {
 func TestSizeClauseStopsCollection(t *testing.T) {
 	f := newFixture(t, 30, nil)
 	sql := `SELECT C.cid, C.district FROM Consumer C SIZE 5`
-	got, m, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{})
+	got, m, err := runQuery(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestGlobalAggregate(t *testing.T) {
 	f := newFixture(t, 20, nil)
 	sql := `SELECT COUNT(*), AVG(cons), MIN(cons), MAX(cons), MEDIAN(cons) FROM Power`
 	want := f.reference(t, sql)
-	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	got, _, err := runQuery(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestGlobalAggregate(t *testing.T) {
 func TestGlobalAggregateOverNoMatches(t *testing.T) {
 	f := newFixture(t, 10, nil)
 	sql := `SELECT COUNT(*), SUM(cons) FROM Power WHERE cons < 0`
-	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	got, _, err := runQuery(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestGroupedAggregateOverNoMatches(t *testing.T) {
 	f := newFixture(t, 10, nil)
 	sql := `SELECT district, COUNT(*) FROM Power P, Consumer C ` +
 		`WHERE C.cid = P.cid AND cons < 0 GROUP BY district`
-	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	got, _, err := runQuery(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestFailureInjectionStillCorrect(t *testing.T) {
 	want := f.reference(t, flagshipSQL)
 	// Small partitions force many work units so the 30% failure rate is
 	// statistically certain to fire at least once.
-	got, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 3})
+	got, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestAccessControlDeniedQuerier(t *testing.T) {
 	// energy-analyst is AggregateOnly: the identifying query must come
 	// back empty — every TDS contributes only dummies (step 4').
 	sql := `SELECT cid, cons FROM Power`
-	got, m, err := f.eng.Run(mallory, sql, protocol.KindBasic, protocol.Params{})
+	got, m, err := runQuery(f.eng, mallory, sql, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestExpiredCredential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := f.eng.Run(stale, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	got, _, err := runQuery(f.eng, stale, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,13 +320,13 @@ func TestExpiredCredential(t *testing.T) {
 
 func TestProtocolQueryKindMismatch(t *testing.T) {
 	f := newFixture(t, 4, nil)
-	if _, _, err := f.eng.Run(f.q, `SELECT cid FROM Consumer`, protocol.KindSAgg, protocol.Params{}); err == nil {
+	if _, _, err := runQuery(f.eng, f.q, `SELECT cid FROM Consumer`, protocol.KindSAgg, protocol.Params{}); err == nil {
 		t.Error("SFW under S_Agg accepted")
 	}
-	if _, _, err := f.eng.Run(f.q, `SELECT COUNT(*) FROM Consumer`, protocol.KindBasic, protocol.Params{}); err == nil {
+	if _, _, err := runQuery(f.eng, f.q, `SELECT COUNT(*) FROM Consumer`, protocol.KindBasic, protocol.Params{}); err == nil {
 		t.Error("aggregate under Basic accepted")
 	}
-	if _, _, err := f.eng.Run(f.q, `not sql`, protocol.KindBasic, protocol.Params{}); err == nil {
+	if _, _, err := runQuery(f.eng, f.q, `not sql`, protocol.KindBasic, protocol.Params{}); err == nil {
 		t.Error("garbage SQL accepted")
 	}
 }
@@ -335,7 +335,7 @@ func TestSSISeesNoPlaintextAndFlatTags(t *testing.T) {
 	f := newFixture(t, 40, nil)
 
 	// S_Agg: no tags at all — nothing for a frequency attack to chew on.
-	_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	_, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestSSISeesNoPlaintextAndFlatTags(t *testing.T) {
 
 	// C_Noise: every A_G ciphertext appears with (near) equal frequency in
 	// the collection phase by construction.
-	_, m, err = f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{})
+	_, m, err = runQuery(f.eng, f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,11 +356,11 @@ func TestSSISeesNoPlaintextAndFlatTags(t *testing.T) {
 
 func TestMetricsPlausibility(t *testing.T) {
 	f := newFixture(t, 40, nil)
-	_, mS, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	_, mS, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mN, err := f.eng.Run(f.q, flagshipSQL, protocol.KindRnfNoise, protocol.Params{Nf: 10})
+	_, mN, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindRnfNoise, protocol.Params{Nf: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,14 +375,14 @@ func TestMetricsPlausibility(t *testing.T) {
 
 func TestDistributionDiscoveryCached(t *testing.T) {
 	f := newFixture(t, 20, nil)
-	if _, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{}); err != nil {
+	if _, _, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(f.eng.discovery) != 1 {
 		t.Fatalf("discovery cache size = %d, want 1", len(f.eng.discovery))
 	}
 	// Second run with a protocol needing the same discovery reuses it.
-	if _, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindEDHist, protocol.Params{}); err != nil {
+	if _, _, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindEDHist, protocol.Params{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(f.eng.discovery) != 1 {
@@ -392,7 +392,7 @@ func TestDistributionDiscoveryCached(t *testing.T) {
 
 func TestRefreshDiscovery(t *testing.T) {
 	f := newFixture(t, 15, nil)
-	if _, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{}); err != nil {
+	if _, _, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(f.eng.discovery) != 1 {
@@ -415,7 +415,7 @@ func TestRefreshDiscovery(t *testing.T) {
 		t.Fatal("cache not cleared")
 	}
 	want := f.reference(t, flagshipSQL)
-	got, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{})
+	got, _, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindCNoise, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +450,7 @@ func TestEngineValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := eng.Run(q, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{}); err == nil {
+	if _, _, err := runQuery(eng, q, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{}); err == nil {
 		t.Error("empty fleet accepted")
 	}
 }
@@ -459,7 +459,7 @@ func TestSAggAlphaParameter(t *testing.T) {
 	f := newFixture(t, 40, nil)
 	want := f.reference(t, flagshipSQL)
 	for _, alpha := range []float64{2, 3.6, 8} {
-		got, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg,
+		got, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg,
 			protocol.Params{Alpha: alpha, PartitionTuples: 6})
 		if err != nil {
 			t.Fatalf("alpha=%g: %v", alpha, err)
@@ -475,7 +475,7 @@ func TestEDHistCollisionFactorParameter(t *testing.T) {
 	f := newFixture(t, 40, nil)
 	want := f.reference(t, flagshipSQL)
 	for _, h := range []float64{1, 2.5, 100} {
-		got, _, err := f.eng.Run(f.q, flagshipSQL, protocol.KindEDHist,
+		got, _, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindEDHist,
 			protocol.Params{CollisionFactor: h})
 		if err != nil {
 			t.Fatalf("h=%g: %v", h, err)
@@ -488,7 +488,7 @@ func TestPhaseTimings(t *testing.T) {
 	f := newFixture(t, 30, nil)
 
 	// S_Agg: iterative steps then one filtering phase, names in order.
-	_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	_, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +517,7 @@ func TestPhaseTimings(t *testing.T) {
 	}
 
 	// Tagged protocols: aggregate-1, aggregate-2, filtering.
-	_, m, err = f.eng.Run(f.q, flagshipSQL, protocol.KindEDHist, protocol.Params{})
+	_, m, err = runQuery(f.eng, f.q, flagshipSQL, protocol.KindEDHist, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,11 +534,11 @@ func TestPhaseTimings(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	f1 := newFixture(t, 25, nil)
 	f2 := newFixture(t, 25, nil)
-	r1, m1, err := f1.eng.Run(f1.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	r1, m1, err := runQuery(f1.eng, f1.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, m2, err := f2.eng.Run(f2.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
+	r2, m2, err := runQuery(f2.eng, f2.q, flagshipSQL, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -65,14 +66,16 @@ func Example() {
 		log.Fatal(err)
 	}
 
-	res, m, err := eng.Run(q,
-		`SELECT district, AVG(cons) FROM Power GROUP BY district ORDER BY district`,
-		protocol.KindSAgg, protocol.Params{})
+	resp, err := eng.Execute(context.Background(), core.Request{
+		Querier: q,
+		SQL:     `SELECT district, AVG(cons) FROM Power GROUP BY district ORDER BY district`,
+		Kind:    protocol.KindSAgg,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(res)
-	fmt.Printf("plaintext bytes seen by the SSI: %d\n", 0*m.Observation.BytesSeen)
+	fmt.Print(resp.Result)
+	fmt.Printf("plaintext bytes seen by the SSI: %d\n", 0*resp.Metrics.Observation.BytesSeen)
 	// Output:
 	// district | AVG(cons)
 	// north | 20

@@ -20,6 +20,14 @@ type Request struct {
 	Querier *querier.Querier
 	// SQL is the query text, including any SIZE clause. Required.
 	SQL string
+	// QueryID pins the run's query identifier. Empty lets the engine
+	// allocate the next sequential ID. Pinning matters for determinism
+	// under concurrency: every per-device and per-run RNG is seeded from
+	// (engine seed, device ID, query ID), so a query with a fixed ID
+	// produces bit-identical rows, metrics, ledgers and traces no matter
+	// what else is in flight or in what order requests were admitted. An
+	// ID still in flight is rejected by the SSI's duplicate-post check.
+	QueryID string
 	// Kind selects the protocol (Basic for Select-From-Where, an
 	// aggregation protocol otherwise).
 	Kind protocol.Kind
@@ -101,51 +109,4 @@ func ctxErr(ctx context.Context) error {
 		return fmt.Errorf("%w: %v", ErrQueryTimeout, err)
 	}
 	return nil
-}
-
-// Run executes sql on behalf of q with the given protocol and returns the
-// decrypted result plus the run's metrics.
-//
-// Deprecated: use Execute, which adds context cancellation, fault plans
-// and targeted runs behind one Request.
-func (e *Engine) Run(q *querier.Querier, sql string, kind protocol.Kind, params protocol.Params) (*sqlexec.Result, *Metrics, error) {
-	resp, err := e.Execute(context.Background(), Request{Querier: q, SQL: sql, Kind: kind, Params: params})
-	if err != nil {
-		return nil, nil, err
-	}
-	return resp.Result, resp.Metrics, nil
-}
-
-// RunTargeted executes sql through the personal queryboxes of the given
-// TDSs (Section 3.1): only the targeted devices download and answer the
-// query. The SSI necessarily learns who was asked — that is what a
-// personal querybox is — but still sees only ciphertext answers.
-//
-// Deprecated: use Execute with Request.Targets.
-func (e *Engine) RunTargeted(q *querier.Querier, sql string, kind protocol.Kind,
-	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
-	if len(targets) == 0 {
-		return nil, nil, fmt.Errorf("core: RunTargeted needs at least one target TDS")
-	}
-	resp, err := e.Execute(context.Background(), Request{
-		Querier: q, SQL: sql, Kind: kind, Params: params, Targets: targets})
-	if err != nil {
-		return nil, nil, err
-	}
-	return resp.Result, resp.Metrics, nil
-}
-
-// CollectOnce runs only the collection phase of one query and discards the
-// deposited tuples, returning the phase's metrics. It is an
-// instrumentation hook for benchmark tooling (cmd/benchtool -bench-json).
-//
-// Deprecated: use Execute with Request.CollectOnly.
-func (e *Engine) CollectOnce(q *querier.Querier, sql string, kind protocol.Kind,
-	params protocol.Params) (*Metrics, error) {
-	resp, err := e.Execute(context.Background(), Request{
-		Querier: q, SQL: sql, Kind: kind, Params: params, CollectOnly: true})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Metrics, nil
 }

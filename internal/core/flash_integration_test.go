@@ -66,7 +66,7 @@ func TestFlashBackedFleet(t *testing.T) {
 	}
 
 	sql := `SELECT COUNT(*), SUM(cons) FROM Power`
-	first, _, err := eng.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	first, _, err := runQuery(eng, q, sql, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestFlashBackedFleet(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	second, _, err := eng2.Run(q, sql, protocol.KindSAgg, protocol.Params{})
+	second, _, err := runQuery(eng2, q, sql, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/trustedcells/tcq/internal/storage"
 	"github.com/trustedcells/tcq/internal/tds"
@@ -58,6 +59,73 @@ func (p *packedFleet) region(slot int) []byte {
 	return p.blob[start:p.end[slot]]
 }
 
+// deviceCache shares materialized packed devices across in-flight
+// queries — the shared-wave half of the multi-tenant server. In the
+// paper's fleet model a device that wakes up serves every pending
+// querybox during its connection; here, once one query's collection wave
+// pays a slot's unpack, every other in-flight query reuses the same live
+// TDS instead of materializing its own copy. Reuse is observation-free:
+// materializeDevice is a pure function of (slot, epoch), and every TDS
+// method drawn on the run path is safe for concurrent use, so a cached
+// device answers each query exactly as a privately materialized one
+// would. Disabled (max == 0) outside a Server, where single-query walks
+// over million-device fleets must not accumulate live devices.
+type deviceCache struct {
+	mu   sync.Mutex
+	max  int
+	devs map[int]*tds.TDS
+}
+
+// enable sizes the cache; max <= 0 disables it.
+func (c *deviceCache) enable(max int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = max
+	if max > 0 && c.devs == nil {
+		c.devs = make(map[int]*tds.TDS)
+	}
+}
+
+func (c *deviceCache) get(slot int) *tds.TDS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.devs[slot]
+}
+
+// put caches one materialized device. A full cache stays as it is — the
+// bound is a memory promise, not an eviction policy; the hot low-numbered
+// waves of concurrent collections are exactly what it retains.
+func (c *deviceCache) put(slot int, t *tds.TDS) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 || len(c.devs) >= c.max {
+		return
+	}
+	if _, ok := c.devs[slot]; !ok {
+		c.devs[slot] = t
+	}
+}
+
+// purge empties the cache — required whenever slot epochs move
+// (re-enrollment, revocation), since a cached device embodies the key
+// material of the epoch it was materialized at.
+func (c *deviceCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.devs != nil {
+		c.devs = make(map[int]*tds.TDS)
+	}
+}
+
+// each visits every cached device.
+func (c *deviceCache) each(fn func(*tds.TDS)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.devs {
+		fn(t)
+	}
+}
+
 // packedID is the canonical device ID of a fleet slot — by construction
 // identical to the ID AddTDS would have assigned the same slot.
 func packedID(slot int) string { return fmt.Sprintf("tds-%05d", slot) }
@@ -100,6 +168,9 @@ func (e *Engine) materializeDevice(slot int) (*tds.TDS, error) {
 	if t := e.fleet[slot]; t != nil {
 		return t, nil
 	}
+	if t := e.devCache.get(slot); t != nil {
+		return t, nil
+	}
 	db, err := storage.UnpackDB(e.schema, e.packed.region(slot))
 	if err != nil {
 		return nil, fmt.Errorf("core: slot %d: %w", slot, err)
@@ -111,6 +182,7 @@ func (e *Engine) materializeDevice(slot int) (*tds.TDS, error) {
 	t := tds.NewWithMaterial(packedID(slot), db, km, e.cfg.Policy, e.authority)
 	t.Shared = e.planCache
 	t.Corrupt = e.packed.corrupt[slot]
+	e.devCache.put(slot, t)
 	return t, nil
 }
 

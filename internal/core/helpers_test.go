@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+)
+
+// Test-side spellings of the common Execute shapes. They replace the
+// removed Run / RunTargeted / CollectOnce wrappers in call sites that only
+// care about rows and metrics; tests exercising traces, faults or
+// cancellation call Execute directly.
+
+func runQuery(e *Engine, q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params) (*sqlexec.Result, *Metrics, error) {
+	resp, err := e.Execute(context.Background(), Request{
+		Querier: q, SQL: sql, Kind: kind, Params: params})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Result, resp.Metrics, nil
+}
+
+func runTargeted(e *Engine, q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params, targets []string) (*sqlexec.Result, *Metrics, error) {
+	resp, err := e.Execute(context.Background(), Request{
+		Querier: q, SQL: sql, Kind: kind, Params: params, Targets: targets})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Result, resp.Metrics, nil
+}
+
+func collectOnce(e *Engine, q *querier.Querier, sql string, kind protocol.Kind,
+	params protocol.Params) (*Metrics, error) {
+	resp, err := e.Execute(context.Background(), Request{
+		Querier: q, SQL: sql, Kind: kind, Params: params, CollectOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
+}

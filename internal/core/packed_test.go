@@ -118,7 +118,7 @@ func TestPackedRotationStaleEpoch(t *testing.T) {
 		f := newFixture(t, 12, func(c *Config) { c.PackedFleet = packed })
 		f.eng.RotateKeys()
 		fresh := newQuerierForEngine(t, f.eng, "fresh")
-		got, m, err := f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+		got, m, err := runQuery(f.eng, fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func TestPackedRotationStaleEpoch(t *testing.T) {
 		if err := f.eng.ReenrollAll(); err != nil {
 			t.Fatal(err)
 		}
-		got, m, err = f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+		got, m, err = runQuery(f.eng, fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -140,7 +140,7 @@ func TestRandomizedProtocolEquivalence(t *testing.T) {
 		t.Run(fmt.Sprintf("q%02d", qi), func(t *testing.T) {
 			want := f.reference(t, sql)
 			for _, pc := range protocols {
-				got, _, err := f.eng.Run(f.q, sql, pc.kind, pc.params)
+				got, _, err := runQuery(f.eng, f.q, sql, pc.kind, pc.params)
 				if err != nil {
 					t.Fatalf("%v over %q: %v", pc.kind, sql, err)
 				}
@@ -161,7 +161,7 @@ func TestRandomizedWithFailuresAndAudit(t *testing.T) {
 	for qi := 0; qi < 5; qi++ {
 		sql := gen.generate()
 		want := f.reference(t, sql)
-		got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+		got, _, err := runQuery(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{})
 		if err != nil {
 			t.Fatalf("%q: %v", sql, err)
 		}

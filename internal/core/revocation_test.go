@@ -34,7 +34,7 @@ func TestAuditDetectRevokeRotate(t *testing.T) {
 	// every compromised device gets drawn into some partition.
 	offences := map[string]int{}
 	for i := 0; i < 6; i++ {
-		_, m, err := f.eng.Run(f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+		_, m, err := runQuery(f.eng, f.q, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func TestAuditDetectRevokeRotate(t *testing.T) {
 			remainingCorrupt++
 		}
 	}
-	got, m, err := f.eng.Run(q2, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
+	got, m, err := runQuery(f.eng, q2, flagshipSQL, protocol.KindSAgg, protocol.Params{PartitionTuples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestRevocationPopulationSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	q2 := newQuerierForEngine(t, f.eng, "edf2")
-	got, m, err := f.eng.Run(q2, `SELECT COUNT(*) FROM Consumer`, protocol.KindSAgg, protocol.Params{})
+	got, m, err := runQuery(f.eng, q2, `SELECT COUNT(*) FROM Consumer`, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestRevokedDeviceCannotRejoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	q2 := newQuerierForEngine(t, f.eng, "edf2")
-	_, m, err := f.eng.Run(q2, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	_, m, err := runQuery(f.eng, q2, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func TestKeyRotationLocksOutStaleFleet(t *testing.T) {
 	// posts a query no enrolled device can open.
 	f.eng.RotateKeys()
 	fresh := newQuerierForEngine(t, f.eng, "fresh")
-	got, m, err := f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	got, m, err := runQuery(f.eng, fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestKeyRotationLocksOutStaleFleet(t *testing.T) {
 	if err := f.eng.ReenrollAll(); err != nil {
 		t.Fatal(err)
 	}
-	got, m, err = f.eng.Run(fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	got, m, err = runQuery(f.eng, fresh, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestStaleQuerierAgainstRotatedFleet(t *testing.T) {
 	if err := f.eng.ReenrollAll(); err != nil {
 		t.Fatal(err)
 	}
-	got, m, err := f.eng.Run(stale, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	got, m, err := runQuery(f.eng, stale, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		// Also acceptable: the querier cannot even decrypt the outcome.
 		return
@@ -88,7 +88,7 @@ func TestConcurrentQueries(t *testing.T) {
 	results := make(chan outcome, len(queries))
 	for _, qq := range queries {
 		go func(sql string, kind protocol.Kind) {
-			res, _, err := f.eng.Run(f.q, sql, kind, protocol.Params{})
+			res, _, err := runQuery(f.eng, f.q, sql, kind, protocol.Params{})
 			if err != nil {
 				results <- outcome{err: err}
 				return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -45,7 +46,11 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 		}
 	}
 
-	post, err := req.Querier.BuildPost(e.nextQueryID(), req.SQL, req.Kind, req.Params)
+	qid := req.QueryID
+	if qid == "" {
+		qid = e.nextQueryID()
+	}
+	post, err := req.Querier.BuildPost(qid, req.SQL, req.Kind, req.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -479,35 +484,62 @@ func (e *Engine) discoverDistribution(ctx context.Context, q *querier.Querier, s
 	}
 	sig := strings.Join(tables, ",") + "|" + strings.Join(cols, ",")
 
+	// Single flight per signature: the first query needing this
+	// distribution claims the entry and runs the discovery sub-query;
+	// concurrent queries wait on ready and share the outcome. A failed
+	// discovery is handed to its waiters but not cached — the entry is
+	// removed so a later query retries.
 	e.mu.Lock()
 	if d, ok := e.discovery[sig]; ok {
 		e.mu.Unlock()
+		<-d.ready
+		if d.err != nil {
+			return nil, d.err
+		}
 		return d, nil
 	}
+	d := &discovered{ready: make(chan struct{})}
+	e.discovery[sig] = d
 	e.mu.Unlock()
+	defer close(d.ready)
+
+	fail := func(err error) (*discovered, error) {
+		d.err = err
+		e.mu.Lock()
+		delete(e.discovery, sig)
+		e.mu.Unlock()
+		return nil, err
+	}
 
 	sql := fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s",
 		strings.Join(cols, ", "), strings.Join(tables, ", "), strings.Join(cols, ", "))
-	resp, err := e.Execute(ctx, Request{Querier: q, SQL: sql, Kind: protocol.KindSAgg})
+	// The sub-query's ID derives from the signature, not the engine's
+	// sequence: whichever query triggers discovery, in whatever order,
+	// the discovery run draws the same RNGs and leaves the same ledger.
+	resp, err := e.Execute(ctx, Request{
+		Querier: q, SQL: sql, Kind: protocol.KindSAgg, QueryID: "disc:" + sig})
 	if err != nil {
-		return nil, fmt.Errorf("core: distribution discovery: %w", err)
+		return fail(fmt.Errorf("core: distribution discovery: %w", err))
 	}
 	res := resp.Result
-	d := &discovered{counts: make(map[string]int64, len(res.Rows))}
+	d.counts = make(map[string]int64, len(res.Rows))
 	for _, row := range res.Rows {
 		group := row[:len(row)-1]
 		count, err := row[len(row)-1].AsInt()
 		if err != nil {
-			return nil, fmt.Errorf("core: discovery count: %w", err)
+			return fail(fmt.Errorf("core: discovery count: %w", err))
 		}
 		d.counts[group.Key()] = count
 		d.domain = append(d.domain, group.Clone())
 	}
 	if len(d.domain) == 0 {
-		return nil, fmt.Errorf("core: distribution discovery found no groups")
+		return fail(fmt.Errorf("core: distribution discovery found no groups"))
 	}
-	e.mu.Lock()
-	e.discovery[sig] = d
-	e.mu.Unlock()
+	// Canonical domain order: fake-tuple draws index into the domain, so
+	// its order must not depend on which engine (or how warmed a cache)
+	// produced it.
+	sort.Slice(d.domain, func(i, j int) bool {
+		return d.domain[i].Key() < d.domain[j].Key()
+	})
 	return d, nil
 }

@@ -20,7 +20,7 @@ func TestThousandDeviceFleet(t *testing.T) {
 		t.Fatal("vacuous fixture")
 	}
 	for _, kind := range []protocol.Kind{protocol.KindSAgg, protocol.KindEDHist} {
-		got, m, err := f.eng.Run(f.q, flagshipSQL, kind, protocol.Params{})
+		got, m, err := runQuery(f.eng, f.q, flagshipSQL, kind, protocol.Params{})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}

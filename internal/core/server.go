@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"context"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/obs"
+)
+
+// The multi-tenant query server. An Engine executes one Request at a
+// time from its caller's point of view; a Server sits in front of it and
+// turns the same engine + fleet into a shared service: it admits,
+// queues, and interleaves N in-flight queries over the one fleet, the
+// way the paper's SSI serves many queriers at once (each device's
+// connection wave answers every pending querybox, not just one query's).
+//
+// The scheduler is deliberately simple and fully observable:
+//
+//   - Admission: a bounded queue (ServerConfig.QueueDepth) with
+//     per-querier caps taken from the credential's quota roles
+//     (accessctl.QuotaPolicy). Over-cap submissions fail fast with
+//     ErrServerBusy / ErrQuotaExceeded instead of building unbounded
+//     backlog.
+//   - Dispatch: weighted round-robin across queriers. Each turn admits
+//     up to Quota.Weight of one querier's requests, so a heavy tenant
+//     cannot starve a light one, then moves on. At most
+//     ServerConfig.MaxInFlight queries execute concurrently.
+//   - Sharing: in-flight queries run over the same fleet, the same
+//     sharded SSI (each query's state lives in its own stripe), and —
+//     for packed fleets — a shared device cache, so a device one query's
+//     collection wave materialized serves every other pending query's
+//     querybox without a second unpack.
+//
+// Determinism survives multi-tenancy: a Request that pins its QueryID
+// produces bit-identical rows, metrics, ledgers and traces no matter
+// what else is in flight, because every RNG on its path is seeded from
+// (engine seed, device ID, query ID) and its SSI state is keyed by its
+// own ID. The scheduler changes who waits, never what anyone computes.
+var (
+	// ErrServerClosed rejects submissions to a closed server.
+	ErrServerClosed = errors.New("core: server closed")
+	// ErrServerBusy rejects submissions when the global admission queue
+	// is full — the server's backpressure signal.
+	ErrServerBusy = errors.New("core: server admission queue full")
+	// ErrQuotaExceeded rejects submissions over the querier's own
+	// MaxQueued quota while the server still has room for others.
+	ErrQuotaExceeded = errors.New("core: querier quota exceeded")
+)
+
+// ServerConfig sizes a Server. The zero value is usable: 4 in-flight
+// queries, a queue of 64, no per-querier quotas beyond the defaults, and
+// a 1024-device shared cache on packed fleets.
+type ServerConfig struct {
+	// MaxInFlight caps concurrently executing queries. 0 means 4.
+	MaxInFlight int
+	// QueueDepth caps waiting requests across all queriers. 0 means 64.
+	QueueDepth int
+	// Quotas maps credential roles to per-querier admission quotas. Nil
+	// gives every querier the defaults (MaxInFlight/MaxQueued bounded
+	// only by the server, Weight 1).
+	Quotas *accessctl.QuotaPolicy
+	// DeviceCache bounds the shared materialized-device cache for packed
+	// fleets: devices one query's collection wave unpacked stay live to
+	// serve the other in-flight queries. 0 means 1024; negative disables
+	// sharing (every query materializes privately, as without a Server).
+	DeviceCache int
+}
+
+// Server fronts one Engine with admission control and a fair scheduler.
+// Safe for concurrent use; Submit blocks until the request executes or
+// is rejected.
+type Server struct {
+	eng *Engine
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int
+	queued   int
+	tenants  map[string]*tenant
+	order    []string // round-robin ring of querier IDs, arrival order
+	rrPos    int
+	wg       sync.WaitGroup
+
+	admitted  int64
+	rejected  int64
+	completed int64
+
+	gInflight  *obs.Gauge
+	gQueued    *obs.Gauge
+	cAdmitted  *obs.Counter
+	cRejected  *obs.CounterVec
+	cCompleted *obs.CounterVec
+	hLatency   *obs.Histogram
+}
+
+// tenant is one querier's slice of the scheduler state.
+type tenant struct {
+	quota    accessctl.Quota
+	inflight int
+	credit   int // admissions left in the current round-robin turn
+	queue    []*pending
+}
+
+// pending is one submitted request waiting for, or in, execution.
+type pending struct {
+	ctx     context.Context
+	req     Request
+	started bool
+	resp    *Response
+	err     error
+	done    chan struct{}
+}
+
+// NewServer wraps the engine in a multi-tenant scheduler. Multiple
+// Servers over one engine share its registry instruments and device
+// cache; in practice one server per engine is the intended shape.
+func NewServer(eng *Engine, cfg ServerConfig) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DeviceCache == 0 {
+		cfg.DeviceCache = 1024
+	}
+	eng.devCache.enable(cfg.DeviceCache)
+	reg := eng.Registry()
+	return &Server{
+		eng:     eng,
+		cfg:     cfg,
+		tenants: make(map[string]*tenant),
+		gInflight: reg.Gauge("tcq_server_inflight",
+			"queries currently executing"),
+		gQueued: reg.Gauge("tcq_server_queued",
+			"requests waiting for admission"),
+		cAdmitted: reg.Counter("tcq_server_admitted_total",
+			"requests admitted into execution"),
+		cRejected: reg.CounterVec("tcq_server_rejected_total",
+			"requests rejected at admission, by reason (busy, quota, closed)",
+			"reason"),
+		cCompleted: reg.CounterVec("tcq_server_completed_total",
+			"finished queries, by outcome (ok, error)", "outcome"),
+		hLatency: reg.Histogram("tcq_server_query_seconds",
+			"simulated query latency (TQ) of completed queries",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}),
+	}
+}
+
+// Submit runs one request through the scheduler and blocks until it
+// completes or is rejected. Rejections are immediate and typed:
+// ErrServerClosed, ErrServerBusy (global queue full) or ErrQuotaExceeded
+// (this querier's own backlog cap). A context canceled while the request
+// is still queued withdraws it; once execution starts the context bounds
+// the run itself, exactly as in Engine.Execute.
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Querier == nil {
+		return nil, fmt.Errorf("core: Request.Querier is required")
+	}
+	p := &pending{ctx: ctx, req: req, done: make(chan struct{})}
+
+	s.mu.Lock()
+	if s.closed {
+		s.rejectLocked("closed")
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	tn := s.tenantLocked(req.Querier.ID, req.Querier.Credential)
+	// Global backpressure first: a full server is "busy" for everyone.
+	// The quota rejection is reserved for a querier over its own cap
+	// while the server still has room for others.
+	if s.queued >= s.cfg.QueueDepth {
+		s.rejectLocked("busy")
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d requests queued", ErrServerBusy, s.queued)
+	}
+	if mq := s.maxQueued(tn); mq >= 0 && len(tn.queue) >= mq {
+		s.rejectLocked("quota")
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: querier %s has %d requests queued",
+			ErrQuotaExceeded, req.Querier.ID, len(tn.queue))
+	}
+	tn.queue = append(tn.queue, p)
+	s.queued++
+	s.gQueued.Set(float64(s.queued))
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-p.done:
+		return p.resp, p.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !p.started {
+			s.withdrawLocked(tn, p)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrQueryTimeout, ctx.Err())
+		}
+		s.mu.Unlock()
+		// Already executing: the run sees the same context and aborts
+		// between protocol steps; report its account of the abort.
+		<-p.done
+		return p.resp, p.err
+	}
+}
+
+// Close stops admission, fails every queued request with ErrServerClosed,
+// and waits for the in-flight queries to finish. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, id := range s.order {
+			tn := s.tenants[id]
+			for _, p := range tn.queue {
+				p.err = ErrServerClosed
+				close(p.done)
+			}
+			tn.queue = nil
+		}
+		s.queued = 0
+		s.gQueued.Set(0)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ServerStats is a point-in-time snapshot of the scheduler.
+type ServerStats struct {
+	InFlight  int   // queries currently executing
+	Queued    int   // requests waiting for admission
+	Admitted  int64 // cumulative admissions
+	Rejected  int64 // cumulative rejections (busy, quota, closed)
+	Completed int64 // cumulative finished queries
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		InFlight:  s.inflight,
+		Queued:    s.queued,
+		Admitted:  s.admitted,
+		Rejected:  s.rejected,
+		Completed: s.completed,
+	}
+}
+
+// tenantLocked finds or creates one querier's scheduler state, resolving
+// its quota from the credential's roles at first contact.
+func (s *Server) tenantLocked(id string, cred accessctl.Credential) *tenant {
+	if tn, ok := s.tenants[id]; ok {
+		return tn
+	}
+	q := s.cfg.Quotas.For(cred)
+	tn := &tenant{quota: q, credit: weightOf(q)}
+	s.tenants[id] = tn
+	s.order = append(s.order, id)
+	return tn
+}
+
+// maxQueued resolves one tenant's backlog cap: negative quota means
+// unlimited (-1), zero defers to the server's QueueDepth.
+func (s *Server) maxQueued(tn *tenant) int {
+	switch {
+	case tn.quota.MaxQueued < 0:
+		return -1
+	case tn.quota.MaxQueued == 0:
+		return s.cfg.QueueDepth
+	default:
+		return tn.quota.MaxQueued
+	}
+}
+
+// maxInFlight resolves one tenant's concurrency cap the same way.
+func (s *Server) maxInFlight(tn *tenant) int {
+	switch {
+	case tn.quota.MaxInFlight < 0:
+		return -1
+	case tn.quota.MaxInFlight == 0:
+		return s.cfg.MaxInFlight
+	default:
+		return tn.quota.MaxInFlight
+	}
+}
+
+func weightOf(q accessctl.Quota) int {
+	if q.Weight <= 0 {
+		return 1
+	}
+	return q.Weight
+}
+
+// rejectLocked records one admission rejection.
+func (s *Server) rejectLocked(reason string) {
+	s.rejected++
+	s.cRejected.With(reason).Inc()
+}
+
+// withdrawLocked removes a still-queued request whose context expired.
+func (s *Server) withdrawLocked(tn *tenant, p *pending) {
+	for i, q := range tn.queue {
+		if q == p {
+			tn.queue = append(tn.queue[:i], tn.queue[i+1:]...)
+			s.queued--
+			s.gQueued.Set(float64(s.queued))
+			return
+		}
+	}
+}
+
+// dispatchLocked fills free execution slots from the queues in weighted
+// round-robin order. Called under s.mu whenever a slot frees or work
+// arrives.
+func (s *Server) dispatchLocked() {
+	for s.inflight < s.cfg.MaxInFlight {
+		p, tn := s.nextLocked()
+		if p == nil {
+			return
+		}
+		p.started = true
+		s.inflight++
+		tn.inflight++
+		s.queued--
+		s.admitted++
+		s.gInflight.Set(float64(s.inflight))
+		s.gQueued.Set(float64(s.queued))
+		s.cAdmitted.Inc()
+		s.wg.Add(1)
+		go s.runOne(p, tn)
+	}
+}
+
+// nextLocked picks the next admissible request. The round-robin pointer
+// rests on one querier for up to Quota.Weight consecutive admissions
+// (its turn), then moves on; queriers at their in-flight cap or with an
+// empty queue are skipped without consuming their turn.
+func (s *Server) nextLocked() (*pending, *tenant) {
+	for scanned := 0; scanned <= len(s.order); scanned++ {
+		if len(s.order) == 0 {
+			return nil, nil
+		}
+		id := s.order[s.rrPos%len(s.order)]
+		tn := s.tenants[id]
+		mi := s.maxInFlight(tn)
+		eligible := len(tn.queue) > 0 && (mi < 0 || tn.inflight < mi)
+		if eligible && tn.credit > 0 {
+			tn.credit--
+			p := tn.queue[0]
+			tn.queue = tn.queue[1:]
+			return p, tn
+		}
+		// Turn over: replenish for the next visit and move the pointer.
+		tn.credit = weightOf(tn.quota)
+		s.rrPos = (s.rrPos + 1) % len(s.order)
+	}
+	return nil, nil
+}
+
+// runOne executes one admitted request and settles it.
+func (s *Server) runOne(p *pending, tn *tenant) {
+	defer s.wg.Done()
+	p.resp, p.err = s.eng.Execute(p.ctx, p.req)
+
+	s.mu.Lock()
+	s.inflight--
+	tn.inflight--
+	s.completed++
+	s.gInflight.Set(float64(s.inflight))
+	outcome := "ok"
+	if p.err != nil {
+		outcome = "error"
+	}
+	s.cCompleted.With(outcome).Inc()
+	if p.resp != nil && p.resp.Metrics != nil {
+		s.hLatency.Observe(p.resp.Metrics.TQ.Seconds())
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+	close(p.done)
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/accessctl"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/ssi"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// queryOutcome fingerprints everything a query's determinism contract
+// covers: result rows, the full metrics snapshot (which embeds the SSI's
+// recovery ledger), and the serialized trace.
+type queryOutcome struct {
+	rows    string
+	metrics Metrics
+	trace   string
+}
+
+func outcomeOf(t *testing.T, resp *Response) queryOutcome {
+	t.Helper()
+	var buf bytes.Buffer
+	if resp.Trace != nil {
+		if err := resp.Trace.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return queryOutcome{
+		rows:    fmt.Sprintf("%v", resp.Result.Rows),
+		metrics: *resp.Metrics,
+		trace:   buf.String(),
+	}
+}
+
+// TestConcurrentQueryDeterminism is the multi-tenant determinism
+// contract: a query with a pinned QueryID produces bit-identical rows,
+// metrics, ledger and trace whether it runs alone on a fresh engine or
+// interleaved with 15 other queries (mixed protocols, churn on, verify
+// on) over one shared fleet behind a Server. Run under -race it doubles
+// as the scheduler's data-race gate.
+func TestConcurrentQueryDeterminism(t *testing.T) {
+	type spec struct {
+		id     string
+		sql    string
+		kind   protocol.Kind
+		params protocol.Params
+	}
+	mkSpecs := func(n int) []spec {
+		specs := make([]spec, n)
+		for i := range specs {
+			sc := churnScenarios[i%len(churnScenarios)]
+			specs[i] = spec{
+				id:     fmt.Sprintf("mt-%02d", i),
+				sql:    sc.sql,
+				kind:   sc.kind,
+				params: sc.params,
+			}
+		}
+		return specs
+	}
+	reqOf := func(f *fixture, sp spec) Request {
+		return Request{
+			Querier: f.q, SQL: sp.sql, Kind: sp.kind, Params: sp.params,
+			QueryID: sp.id, Faults: churnPlan(),
+		}
+	}
+
+	for _, q := range []int{1, 16} {
+		t.Run(fmt.Sprintf("Q=%d", q), func(t *testing.T) {
+			specs := mkSpecs(q)
+
+			// Solo baselines: each spec on its own fresh engine.
+			want := make([]queryOutcome, len(specs))
+			for i, sp := range specs {
+				f := newFixture(t, 40, nil)
+				resp, err := f.eng.Execute(context.Background(), reqOf(f, sp))
+				if err != nil {
+					t.Fatalf("solo %s: %v", sp.id, err)
+				}
+				want[i] = outcomeOf(t, resp)
+			}
+
+			// The same specs, all in flight at once over one shared fleet.
+			f := newFixture(t, 40, nil)
+			srv := NewServer(f.eng, ServerConfig{MaxInFlight: 8, QueueDepth: len(specs)})
+			defer srv.Close()
+			got := make([]queryOutcome, len(specs))
+			errs := make([]error, len(specs))
+			var wg sync.WaitGroup
+			for i, sp := range specs {
+				wg.Add(1)
+				go func(i int, sp spec) {
+					defer wg.Done()
+					resp, err := srv.Submit(context.Background(), reqOf(f, sp))
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					got[i] = outcomeOf(t, resp)
+				}(i, sp)
+			}
+			wg.Wait()
+			for i, sp := range specs {
+				if errs[i] != nil {
+					t.Fatalf("concurrent %s: %v", sp.id, errs[i])
+				}
+				if got[i].rows != want[i].rows {
+					t.Errorf("%s (%v): rows diverged under concurrency\nsolo: %s\nconc: %s",
+						sp.id, sp.kind, want[i].rows, got[i].rows)
+				}
+				if !reflect.DeepEqual(got[i].metrics, want[i].metrics) {
+					t.Errorf("%s (%v): metrics/ledger diverged under concurrency\nsolo: %+v\nconc: %+v",
+						sp.id, sp.kind, want[i].metrics, got[i].metrics)
+				}
+				if got[i].trace != want[i].trace {
+					t.Errorf("%s (%v): trace diverged under concurrency", sp.id, sp.kind)
+				}
+			}
+		})
+	}
+}
+
+// gatedSSI blocks every PostQuery until the gate opens and records the
+// order in which queries were admitted into execution — the test's
+// window into the scheduler's dispatch decisions.
+type gatedSSI struct {
+	ssi.Service
+	gate chan struct{}
+	once sync.Once
+
+	mu    sync.Mutex
+	order []string
+}
+
+func newGatedSSI() *gatedSSI {
+	return &gatedSSI{Service: ssi.NewSharded(0), gate: make(chan struct{})}
+}
+
+// release opens the gate; safe to call more than once, so tests can both
+// defer it (deadlock insurance for Server.Close on failure paths) and
+// call it explicitly.
+func (g *gatedSSI) release() { g.once.Do(func() { close(g.gate) }) }
+
+func (g *gatedSSI) PostQuery(post *protocol.QueryPost, at time.Time) error {
+	<-g.gate
+	g.mu.Lock()
+	g.order = append(g.order, post.ID)
+	g.mu.Unlock()
+	return g.Service.PostQuery(post, at)
+}
+
+func (g *gatedSSI) admitted() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+// waitStats polls until the scheduler reaches the wanted shape.
+func waitStats(t *testing.T, srv *Server, inflight, queued int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := srv.Stats()
+		if st.InFlight == inflight && st.Queued == queued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("scheduler never reached inflight=%d queued=%d (now %+v)",
+		inflight, queued, srv.Stats())
+}
+
+const countSQL = `SELECT COUNT(*) FROM Power`
+
+// TestServerBackpressure fills the bounded admission queue and requires
+// the overflow submission to fail fast with ErrServerBusy while every
+// admitted request still completes.
+func TestServerBackpressure(t *testing.T) {
+	gate := newGatedSSI()
+	f := newFixture(t, 8, func(c *Config) { c.SSI = gate })
+	srv := NewServer(f.eng, ServerConfig{MaxInFlight: 1, QueueDepth: 2})
+	defer srv.Close()
+	defer gate.release()
+
+	req := Request{Querier: f.q, SQL: countSQL, Kind: protocol.KindSAgg}
+	results := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := srv.Submit(context.Background(), req)
+			results <- err
+		}()
+		waitStats(t, srv, 1, i) // 1 executing (held at the gate), i queued
+	}
+
+	// The server is full: 1 in flight + 2 queued. One more must bounce.
+	if _, err := srv.Submit(context.Background(), req); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("overflow submission: err = %v, want ErrServerBusy", err)
+	}
+
+	gate.release()
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("admitted request failed: %v", err)
+		}
+	}
+	st := srv.Stats()
+	if st.Completed != 3 || st.Rejected != 1 || st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("stats = %+v, want 3 completed / 1 rejected / drained", st)
+	}
+}
+
+// TestServerQuota gives one querier's role a 1-in-flight / 1-queued
+// quota and checks both halves: the backlog cap rejects with
+// ErrQuotaExceeded, and the in-flight cap keeps the second query queued
+// even while the server has free global slots.
+func TestServerQuota(t *testing.T) {
+	gate := newGatedSSI()
+	f := newFixture(t, 8, func(c *Config) { c.SSI = gate })
+	srv := NewServer(f.eng, ServerConfig{
+		MaxInFlight: 4,
+		Quotas: &accessctl.QuotaPolicy{
+			ByRole: map[string]accessctl.Quota{
+				"energy-analyst": {MaxInFlight: 1, MaxQueued: 1},
+			},
+		},
+	})
+	defer srv.Close()
+	defer gate.release()
+
+	req := Request{Querier: f.q, SQL: countSQL, Kind: protocol.KindSAgg}
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := srv.Submit(context.Background(), req)
+			results <- err
+		}()
+		// The quota's MaxInFlight keeps query 2 queued despite 3 free slots.
+		waitStats(t, srv, 1, i)
+	}
+
+	if _, err := srv.Submit(context.Background(), req); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submission: err = %v, want ErrQuotaExceeded", err)
+	}
+
+	gate.release()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("within-quota request failed: %v", err)
+		}
+	}
+}
+
+// TestServerFairness pins the weighted round-robin dispatch order: with
+// every request pre-queued behind one execution slot, a weight-2 querier
+// is admitted twice per turn and a weight-1 querier once, so neither
+// starves.
+func TestServerFairness(t *testing.T) {
+	gate := newGatedSSI()
+	f := newFixture(t, 8, func(c *Config) { c.SSI = gate })
+	srv := NewServer(f.eng, ServerConfig{
+		MaxInFlight: 1,
+		Quotas: &accessctl.QuotaPolicy{
+			ByRole: map[string]accessctl.Quota{"bulk": {Weight: 2}},
+		},
+	})
+	defer srv.Close()
+	defer gate.release()
+
+	expiry := time.Unix(1700000000, 0).Add(365 * 24 * time.Hour)
+	mkQuerier := func(id string, roles ...string) *querier.Querier {
+		t.Helper()
+		cred := f.eng.Authority().Issue(id, roles, expiry)
+		q, err := querier.New(id, f.eng.K1(), cred, f.eng.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	alice := mkQuerier("alice", "energy-analyst", "bulk") // weight 2
+	bob := mkQuerier("bob", "energy-analyst")             // weight 1
+
+	submit := func(q *querier.Querier, id string, wg *sync.WaitGroup) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Submit(context.Background(), Request{
+				Querier: q, SQL: countSQL, Kind: protocol.KindSAgg, QueryID: id,
+			}); err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	// a1 takes the only slot and parks at the gate; everything else
+	// queues up in a known arrival order.
+	submit(alice, "a1", &wg)
+	waitStats(t, srv, 1, 0)
+	for i, sub := range []struct {
+		q  *querier.Querier
+		id string
+	}{
+		{alice, "a2"}, {alice, "a3"}, {alice, "a4"},
+		{bob, "b1"}, {bob, "b2"}, {bob, "b3"}, {bob, "b4"},
+	} {
+		submit(sub.q, sub.id, &wg)
+		waitStats(t, srv, 1, i+1)
+	}
+
+	gate.release()
+	wg.Wait()
+
+	want := []string{"a1", "a2", "b1", "a3", "a4", "b2", "b3", "b4"}
+	if got := gate.admitted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("dispatch order = %v, want weighted round-robin %v", got, want)
+	}
+}
+
+// TestServerQueuedCancel withdraws a queued request when its context
+// expires, without disturbing the in-flight query.
+func TestServerQueuedCancel(t *testing.T) {
+	gate := newGatedSSI()
+	f := newFixture(t, 8, func(c *Config) { c.SSI = gate })
+	srv := NewServer(f.eng, ServerConfig{MaxInFlight: 1})
+	defer srv.Close()
+	defer gate.release()
+
+	req := Request{Querier: f.q, SQL: countSQL, Kind: protocol.KindSAgg}
+	first := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(context.Background(), req)
+		first <- err
+	}()
+	waitStats(t, srv, 1, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(ctx, req)
+		second <- err
+	}()
+	waitStats(t, srv, 1, 1)
+
+	cancel()
+	if err := <-second; !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("canceled queued request: err = %v, want ErrQueryTimeout", err)
+	}
+	waitStats(t, srv, 1, 0) // withdrawn from the queue
+
+	gate.release()
+	if err := <-first; err != nil {
+		t.Errorf("in-flight request failed: %v", err)
+	}
+}
+
+// TestServerClosed rejects new submissions after Close and fails the
+// queued ones with ErrServerClosed.
+func TestServerClosed(t *testing.T) {
+	gate := newGatedSSI()
+	f := newFixture(t, 8, func(c *Config) { c.SSI = gate })
+	srv := NewServer(f.eng, ServerConfig{MaxInFlight: 1})
+	defer gate.release()
+
+	req := Request{Querier: f.q, SQL: countSQL, Kind: protocol.KindSAgg}
+	first := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(context.Background(), req)
+		first <- err
+	}()
+	waitStats(t, srv, 1, 0)
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(context.Background(), req)
+		queuedErr <- err
+	}()
+	waitStats(t, srv, 1, 1)
+
+	// Close must fail the queued request, wait out the in-flight one,
+	// and reject everything after.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		gate.release() // let the in-flight query finish so Close returns
+	}()
+	srv.Close()
+	if err := <-queuedErr; !errors.Is(err, ErrServerClosed) {
+		t.Errorf("queued request after Close: err = %v, want ErrServerClosed", err)
+	}
+	if err := <-first; err != nil {
+		t.Errorf("in-flight request failed across Close: %v", err)
+	}
+	if _, err := srv.Submit(context.Background(), req); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("post-Close submission: err = %v, want ErrServerClosed", err)
+	}
+	srv.Close() // idempotent
+}
+
+// TestServerSharedDeviceCache checks the shared-wave half of the server
+// on a packed fleet: with the cache on, concurrent queries reuse one
+// materialization per slot, and results stay identical to a plain
+// engine's.
+func TestServerSharedDeviceCache(t *testing.T) {
+	solo := newFixture(t, 24, func(c *Config) { c.PackedFleet = true })
+	resp, err := solo.eng.Execute(context.Background(), Request{
+		Querier: solo.q, SQL: countSQL, Kind: protocol.KindSAgg, QueryID: "cache-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%v", resp.Result.Rows)
+
+	f := newFixture(t, 24, func(c *Config) { c.PackedFleet = true })
+	srv := NewServer(f.eng, ServerConfig{MaxInFlight: 4})
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := srv.Submit(context.Background(), Request{
+				Querier: f.q, SQL: countSQL, Kind: protocol.KindSAgg,
+				QueryID: fmt.Sprintf("cache-%d", i)})
+			if err != nil {
+				t.Errorf("cache-%d: %v", i, err)
+				return
+			}
+			if got := fmt.Sprintf("%v", resp.Result.Rows); i == 0 && got != want {
+				t.Errorf("cached run diverged: got %s want %s", got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	f.eng.devCache.mu.Lock()
+	cached := len(f.eng.devCache.devs)
+	f.eng.devCache.mu.Unlock()
+	if cached == 0 {
+		t.Error("shared device cache stayed empty across 4 packed-fleet queries")
+	}
+	if cached > 24 {
+		t.Errorf("cache holds %d devices for a 24-slot fleet", cached)
+	}
+
+	// Key rotation invalidates the cached epoch.
+	if err := f.eng.ReenrollAll(); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.devCache.mu.Lock()
+	cached = len(f.eng.devCache.devs)
+	f.eng.devCache.mu.Unlock()
+	if cached != 0 {
+		t.Errorf("%d stale devices survived re-enrollment", cached)
+	}
+}
+
+// TestQuotaPolicyResolution exercises the accessctl side: role merge
+// keeps the most permissive value per field, with negative as unlimited.
+func TestQuotaPolicyResolution(t *testing.T) {
+	auth := accessctl.NewAuthority(tdscrypto.Key{1})
+	expiry := time.Unix(1800000000, 0)
+	pol := &accessctl.QuotaPolicy{
+		Default: accessctl.Quota{MaxInFlight: 1, MaxQueued: 2},
+		ByRole: map[string]accessctl.Quota{
+			"bulk":    {MaxInFlight: 4, MaxQueued: 8, Weight: 2},
+			"admin":   {MaxInFlight: -1, Weight: 1},
+			"analyst": {MaxInFlight: 2},
+		},
+	}
+	cases := []struct {
+		roles []string
+		want  accessctl.Quota
+	}{
+		{[]string{"nobody"}, accessctl.Quota{MaxInFlight: 1, MaxQueued: 2}},
+		{[]string{"analyst"}, accessctl.Quota{MaxInFlight: 2}},
+		{[]string{"bulk", "analyst"}, accessctl.Quota{MaxInFlight: 4, MaxQueued: 8, Weight: 2}},
+		{[]string{"admin", "bulk"}, accessctl.Quota{MaxInFlight: -1, MaxQueued: 8, Weight: 2}},
+	}
+	for _, c := range cases {
+		cred := auth.Issue("q", c.roles, expiry)
+		if got := pol.For(cred); got != c.want {
+			t.Errorf("For(%v) = %+v, want %+v", c.roles, got, c.want)
+		}
+	}
+	var nilPol *accessctl.QuotaPolicy
+	if got := nilPol.For(auth.Issue("q", []string{"x"}, expiry)); got != (accessctl.Quota{}) {
+		t.Errorf("nil policy quota = %+v, want zero", got)
+	}
+}

@@ -13,7 +13,7 @@ func TestRunTargetedPersonalQuerybox(t *testing.T) {
 	// queryboxes.
 	targets := []string{"tds-00003", "tds-00007"}
 	sql := `SELECT cid, cons FROM Power`
-	got, m, err := f.eng.RunTargeted(f.q, sql, protocol.KindBasic, protocol.Params{}, targets)
+	got, m, err := runTargeted(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{}, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestRunTargetedAggregate(t *testing.T) {
 	f := newFixture(t, 20, nil)
 	targets := []string{"tds-00001", "tds-00002", "tds-00004"}
 	sql := `SELECT COUNT(*), SUM(cons) FROM Power`
-	got, _, err := f.eng.RunTargeted(f.q, sql, protocol.KindSAgg, protocol.Params{}, targets)
+	got, _, err := runTargeted(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{}, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,13 +53,18 @@ func TestRunTargetedAggregate(t *testing.T) {
 
 func TestRunTargetedValidation(t *testing.T) {
 	f := newFixture(t, 4, nil)
-	if _, _, err := f.eng.RunTargeted(f.q, `SELECT cid FROM Consumer`,
-		protocol.KindBasic, protocol.Params{}, nil); err == nil {
-		t.Error("empty target list accepted")
+	// Empty Targets selects the global querybox: every device answers.
+	_, m0, err := runTargeted(f.eng, f.q, `SELECT cid FROM Consumer`,
+		protocol.KindBasic, protocol.Params{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.EligibleDevices != 4 {
+		t.Errorf("empty target list reached %d devices, want the whole fleet", m0.EligibleDevices)
 	}
 	// Unknown targets simply collect nothing: the result is empty, not an
 	// error (the SSI cannot know which IDs exist).
-	got, m, err := f.eng.RunTargeted(f.q, `SELECT cid FROM Consumer`,
+	got, m, err := runTargeted(f.eng, f.q, `SELECT cid FROM Consumer`,
 		protocol.KindBasic, protocol.Params{}, []string{"tds-99999"})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +90,7 @@ func TestDurationWindowBoundsCollection(t *testing.T) {
 	// connections (the first at t=0).
 	f := newFixture(t, 30, func(c *Config) { c.ConnectionInterval = time.Minute })
 	sql := `SELECT cid FROM Consumer SIZE DURATION '10m'`
-	_, m, err := f.eng.Run(f.q, sql, protocol.KindBasic, protocol.Params{})
+	_, m, err := runQuery(f.eng, f.q, sql, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +98,7 @@ func TestDurationWindowBoundsCollection(t *testing.T) {
 		t.Errorf("Nt = %d, want ~11 connections inside the window", m.Nt)
 	}
 	// Without the window every TDS answers.
-	_, m2, err := f.eng.Run(f.q, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
+	_, m2, err := runQuery(f.eng, f.q, `SELECT cid FROM Consumer`, protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +111,7 @@ func TestOrderByLimitThroughProtocol(t *testing.T) {
 	f := newFixture(t, 30, nil)
 	sql := `SELECT C.district, AVG(P.cons) AS mean FROM Power P, Consumer C ` +
 		`WHERE C.cid = P.cid GROUP BY C.district ORDER BY mean DESC LIMIT 3`
-	got, _, err := f.eng.Run(f.q, sql, protocol.KindSAgg, protocol.Params{})
+	got, _, err := runQuery(f.eng, f.q, sql, protocol.KindSAgg, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +133,7 @@ func TestOrderByLimitThroughProtocol(t *testing.T) {
 func TestDurationAndTupleBoundTogether(t *testing.T) {
 	f := newFixture(t, 30, func(c *Config) { c.ConnectionInterval = time.Minute })
 	// Whichever bound hits first stops collection; SIZE 3 wins here.
-	_, m, err := f.eng.Run(f.q, `SELECT cid FROM Consumer SIZE 3 DURATION '1h'`,
+	_, m, err := runQuery(f.eng, f.q, `SELECT cid FROM Consumer SIZE 3 DURATION '1h'`,
 		protocol.KindBasic, protocol.Params{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	samples := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{-1, 1}, {0, 1}, {0.5, 2.5}, {1, 4}, {2, 4},
+		{0.25, 1.75}, {0.99, 3.97},
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-sample Quantile = %v, want 7", got)
+	}
+	// The input must not be reordered.
+	if samples[0] != 4 || samples[3] != 2 {
+		t.Errorf("Quantile mutated its input: %v", samples)
+	}
+}

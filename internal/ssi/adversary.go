@@ -26,7 +26,7 @@ import (
 // order and partition builds by build order, both of which the engine
 // already keeps worker-count-independent.
 type Adversary struct {
-	inner  *SSI
+	inner  Service
 	script *faultplan.SSIScript
 
 	mu        sync.Mutex
@@ -42,8 +42,10 @@ type Adversary struct {
 var _ Service = (*Adversary)(nil)
 
 // NewAdversary arms the scripted behaviors against one query. seed is the
-// fault plan's; strike points depend only on (seed, queryID).
-func NewAdversary(inner *SSI, script *faultplan.SSIScript, seed int64, queryID string) *Adversary {
+// fault plan's; strike points depend only on (seed, queryID). inner is any
+// Service — the plain honest SSI or a sharded one; the adversary only ever
+// touches its own query's state through the interface.
+func NewAdversary(inner Service, script *faultplan.SSIScript, seed int64, queryID string) *Adversary {
 	rng := rand.New(rand.NewSource(seed ^ int64(fnvHash(queryID))<<21 ^ 0xadc0de))
 	armed := make(map[faultplan.SSIMisbehavior]bool)
 	for _, b := range script.Behaviors {

@@ -44,6 +44,9 @@ echo "==> adversary determinism gate"
 go test -race -count=1 ./internal/core -run 'Adversary|Integrity' \
     && go test -race -count=1 ./internal/ssi -run 'Adversary'
 
+echo "==> multi-tenant scheduler gate"
+go test -race -count=1 ./internal/core -run 'Server|ConcurrentQueryDeterminism'
+
 if [ "$short" -eq 0 ]; then
     echo "==> go test -race"
     go test -race ./...
