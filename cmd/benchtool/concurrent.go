@@ -38,6 +38,21 @@ type concurrentPoint struct {
 	QueriesPerSec float64 `json:"queries_per_sec"`
 	SimP50Ms      float64 `json:"sim_p50_ms"`
 	SimP99Ms      float64 `json:"sim_p99_ms"`
+	// Tenants breaks the point down per querier: the sweep splits its
+	// queries across two tenants, and the server's per-tenant accounting
+	// (simulated latency, wall-clock queue wait) lands here.
+	Tenants []tenantPoint `json:"tenants,omitempty"`
+}
+
+// tenantPoint is one tenant's share of a sweep point. Simulated latency
+// is host-independent; queue wait is wall-clock, like wall_ms.
+type tenantPoint struct {
+	Querier        string  `json:"querier"`
+	Completed      int64   `json:"completed"`
+	SimP50Ms       float64 `json:"sim_p50_ms"`
+	SimP99Ms       float64 `json:"sim_p99_ms"`
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
 }
 
 // concurrentReport is the file layout of BENCH_concurrent.json.
@@ -85,11 +100,17 @@ func runConcurrentSweep(path, sizes string, fleet, inflight int, out io.Writer) 
 	if err := eng.ProvisionFleet(fleet, w.HouseholdDB); err != nil {
 		return err
 	}
-	cred := eng.Authority().Issue("edf", []string{"energy-analyst"},
-		time.Unix(1700000000, 0).Add(24*time.Hour))
-	q, err := querier.New("edf", eng.K1(), cred, eng.Schema())
-	if err != nil {
-		return err
+	// Two tenants share the fleet, as in the multi-querier deployment the
+	// server exists for; the sweep alternates queries between them.
+	expiry := time.Unix(1700000000, 0).Add(24 * time.Hour)
+	tenants := make([]*querier.Querier, 0, 2)
+	for _, id := range []string{"edf", "engie"} {
+		cred := eng.Authority().Issue(id, []string{"energy-analyst"}, expiry)
+		q, err := querier.New(id, eng.K1(), cred, eng.Schema())
+		if err != nil {
+			return err
+		}
+		tenants = append(tenants, q)
 	}
 
 	report := concurrentReport{
@@ -109,7 +130,8 @@ func runConcurrentSweep(path, sizes string, fleet, inflight int, out io.Writer) 
 			go func(i int) {
 				defer wg.Done()
 				resp, err := srv.Submit(ctx, core.Request{
-					Querier: q, SQL: benchJSONSQL, Kind: protocol.KindSAgg,
+					Querier: tenants[i%len(tenants)], SQL: benchJSONSQL,
+					Kind:    protocol.KindSAgg,
 					QueryID: fmt.Sprintf("sweep-%d-%03d", n, i),
 				})
 				if err != nil {
@@ -121,6 +143,7 @@ func runConcurrentSweep(path, sizes string, fleet, inflight int, out io.Writer) 
 		}
 		wg.Wait()
 		wall := time.Since(start)
+		stats := srv.TenantStats()
 		srv.Close()
 		for _, err := range errs {
 			if err != nil {
@@ -135,11 +158,28 @@ func runConcurrentSweep(path, sizes string, fleet, inflight int, out io.Writer) 
 			SimP50Ms:      obs.Quantile(latencies, 0.50),
 			SimP99Ms:      obs.Quantile(latencies, 0.99),
 		}
+		for _, ts := range stats {
+			pt.Tenants = append(pt.Tenants, tenantPoint{
+				Querier:        ts.Querier,
+				Completed:      ts.Completed,
+				SimP50Ms:       float64(ts.SimTQP50.Nanoseconds()) / 1e6,
+				SimP99Ms:       float64(ts.SimTQP99.Nanoseconds()) / 1e6,
+				QueueWaitP50Ms: float64(ts.QueueWaitP50.Nanoseconds()) / 1e6,
+				QueueWaitP99Ms: float64(ts.QueueWaitP99.Nanoseconds()) / 1e6,
+			})
+		}
 		report.Sweep = append(report.Sweep, pt)
 		fmt.Fprintf(out, "Q=%-4d inflight=%-3d %8.1f q/s   sim p50 %7.2fms  p99 %7.2fms   wall %v\n",
 			pt.Queries, pt.MaxInFlight, pt.QueriesPerSec, pt.SimP50Ms, pt.SimP99Ms,
 			wall.Round(time.Millisecond))
+		for _, tp := range pt.Tenants {
+			fmt.Fprintf(out, "  tenant %-8s %4d done   sim p50 %7.2fms  p99 %7.2fms   queue wait p50 %7.2fms  p99 %7.2fms\n",
+				tp.Querier, tp.Completed, tp.SimP50Ms, tp.SimP99Ms,
+				tp.QueueWaitP50Ms, tp.QueueWaitP99Ms)
+		}
 	}
+
+	printConcurrentDeltas(path, report, out)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -150,4 +190,47 @@ func runConcurrentSweep(path, sizes string, fleet, inflight int, out io.Writer) 
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
+}
+
+// printConcurrentDeltas renders new-vs-old per sweep point (and per
+// tenant within it) when a previous report exists at path. Deltas fall
+// back to "n/a" when the previous value is zero or the point is new —
+// the first run after adding a column has no baseline.
+func printConcurrentDeltas(path string, report concurrentReport, out io.Writer) {
+	old, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var prev concurrentReport
+	if json.Unmarshal(old, &prev) != nil {
+		return
+	}
+	prevBy := make(map[int]concurrentPoint, len(prev.Sweep))
+	for _, p := range prev.Sweep {
+		prevBy[p.Queries] = p
+	}
+	for _, pt := range report.Sweep {
+		p, ok := prevBy[pt.Queries]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(out, "Q=%-4d sim p50 %7.2fms -> %7.2fms (%s)   q/s %8.1f -> %8.1f (%s)\n",
+			pt.Queries, p.SimP50Ms, pt.SimP50Ms, pctDelta(p.SimP50Ms, pt.SimP50Ms),
+			p.QueriesPerSec, pt.QueriesPerSec, pctDelta(p.QueriesPerSec, pt.QueriesPerSec))
+		prevTenant := make(map[string]tenantPoint, len(p.Tenants))
+		for _, tp := range p.Tenants {
+			prevTenant[tp.Querier] = tp
+		}
+		for _, tp := range pt.Tenants {
+			pp, ok := prevTenant[tp.Querier]
+			if !ok {
+				fmt.Fprintf(out, "  tenant %-8s sim p50 %7.2fms (n/a)   queue wait p50 %7.2fms (n/a)\n",
+					tp.Querier, tp.SimP50Ms, tp.QueueWaitP50Ms)
+				continue
+			}
+			fmt.Fprintf(out, "  tenant %-8s sim p50 %7.2fms -> %7.2fms (%s)   queue wait p50 %7.2fms -> %7.2fms (%s)\n",
+				tp.Querier, pp.SimP50Ms, tp.SimP50Ms, pctDelta(pp.SimP50Ms, tp.SimP50Ms),
+				pp.QueueWaitP50Ms, tp.QueueWaitP50Ms, pctDelta(pp.QueueWaitP50Ms, tp.QueueWaitP50Ms))
+		}
+	}
 }

@@ -30,8 +30,12 @@
 //	-trace-out q.jsonl    write the query's span tree (simulated-clock
 //	                      timestamps, per-device events) as JSON lines
 //	-trace-summary        render the span tree as an ASCII summary
+//	-trace-sample 0.01    deterministic per-device trace sampling with
+//	                      per-wave rollup spans (fleet-scale traces)
 //	-metrics-out m.prom   write the engine's metrics registry in
 //	                      Prometheus text format
+//	-journal-out q.jsonl  write the structured query journal as JSON lines
+//	-ops-addr :8080       serve /metrics, /healthz, /traces/<id>, /journal
 //	-pprof localhost:6060 serve net/http/pprof for CPU/heap profiling
 package main
 
@@ -103,6 +107,9 @@ type options struct {
 	traceOut     string
 	traceSummary bool
 	metricsOut   string
+	journalOut   string
+	traceSample  float64
+	opsAddr      string
 	pprofAddr    string
 }
 
@@ -193,6 +200,11 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the query trace as JSON lines to this file")
 	flag.BoolVar(&o.traceSummary, "trace-summary", false, "print the query trace as an ASCII span tree")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the metrics registry (Prometheus text) to this file")
+	flag.StringVar(&o.journalOut, "journal-out", "", "write the structured query journal (JSON lines) to this file")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0,
+		"deterministic per-device trace sampling rate in (0,1); 0 or >=1 traces every device")
+	flag.StringVar(&o.opsAddr, "ops-addr", "",
+		"serve the ops endpoint (/metrics, /healthz, /traces/<id>, /journal) on this address")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if err := runOpts(o); err != nil {
@@ -258,6 +270,7 @@ func runOpts(o options) error {
 		AuditReplicas:       o.audit,
 		CompromisedFraction: o.compromised,
 		Seed:                o.seed,
+		TraceSampleRate:     o.traceSample,
 	})
 	if err != nil {
 		return err
@@ -297,6 +310,11 @@ func runOpts(o options) error {
 
 	if o.concurrent > 1 {
 		return runConcurrent(ctx, o, eng, q, kind, plan)
+	}
+	if o.opsAddr != "" {
+		// A single-shot run has no server retention; the endpoint serves
+		// the registry for the remainder of the process.
+		startOps(o.opsAddr, obs.OpsSource{Registry: eng.Registry()})
 	}
 
 	start := time.Now()
@@ -348,6 +366,9 @@ func runOpts(o options) error {
 	fmt.Printf("  distinct tags %d\n", len(m.Observation.TagCounts))
 	fmt.Printf("  bytes seen    %.1f KB (all ciphertext)\n", float64(m.Observation.BytesSeen)/1e3)
 	printIntegrity(resp.Integrity)
+	if resp.Conformance != nil {
+		fmt.Printf("\n%s", resp.Conformance)
+	}
 
 	return exportObservability(o, eng, resp)
 }
@@ -367,6 +388,19 @@ func runConcurrent(ctx context.Context, o options, eng *core.Engine,
 	srv := core.NewServer(eng, core.ServerConfig{
 		MaxInFlight: inflight, QueueDepth: o.concurrent})
 	defer srv.Close()
+	if o.opsAddr != "" {
+		startOps(o.opsAddr, obs.OpsSource{
+			Registry: eng.Registry(),
+			Health: func() any {
+				return struct {
+					Server  core.ServerStats   `json:"server"`
+					Tenants []core.TenantStats `json:"tenants"`
+				}{srv.Stats(), srv.TenantStats()}
+			},
+			Trace:    srv.TraceFor,
+			Journals: srv.RecentJournals,
+		})
+	}
 	fmt.Printf("multi-tenant: %d queries, %d in flight\n\n", o.concurrent, inflight)
 
 	latencies := make([]float64, o.concurrent)
@@ -410,7 +444,23 @@ func runConcurrent(ctx context.Context, o options, eng *core.Engine,
 		obs.Quantile(latencies, 0.50), obs.Quantile(latencies, 0.99))
 	fmt.Printf("server             admitted %d, completed %d, rejected %d\n",
 		st.Admitted, st.Completed, st.Rejected)
+	for _, ts := range srv.TenantStats() {
+		fmt.Printf("tenant %-14s completed %d  sim T_Q p50 %v p99 %v  queue wait p50 %v p99 %v\n",
+			ts.Querier, ts.Completed, ts.SimTQP50, ts.SimTQP99, ts.QueueWaitP50, ts.QueueWaitP99)
+	}
 	return nil
+}
+
+// startOps serves the read-only ops endpoint for the remainder of the
+// process, pprof-style.
+func startOps(addr string, src obs.OpsSource) {
+	h := obs.ServeOps(src)
+	go func() {
+		if err := http.ListenAndServe(addr, h); err != nil {
+			fmt.Fprintln(os.Stderr, "tdsnet: ops:", err)
+		}
+	}()
+	fmt.Printf("ops: http://%s/metrics\n", addr)
 }
 
 // printIntegrity renders the verified-execution report, or notes that
@@ -502,6 +552,23 @@ func exportObservability(o options, eng *core.Engine, resp *core.Response) error
 			return err
 		}
 		fmt.Printf("metrics: wrote %s\n", o.metricsOut)
+	}
+	if o.journalOut != "" {
+		if resp.Journal == nil {
+			return fmt.Errorf("no journal to write to %s", o.journalOut)
+		}
+		f, err := os.Create(o.journalOut)
+		if err != nil {
+			return err
+		}
+		if err := resp.Journal.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal: wrote %s\n", o.journalOut)
 	}
 	return nil
 }

@@ -75,11 +75,13 @@ func TestObservabilityExports(t *testing.T) {
 	dir := t.TempDir()
 	traceFile := filepath.Join(dir, "trace.jsonl")
 	metricsFile := filepath.Join(dir, "metrics.prom")
+	journalFile := filepath.Join(dir, "journal.jsonl")
 	o := options{
 		fleet: 40, protoName: "s_agg", query: defaultQuery,
 		available: 0.5, audit: 1, seed: 7,
 		churnOffline: 0.1, churnDrop: 0.1, churnCrash: 0.2, faultSeed: 21,
 		traceOut: traceFile, metricsOut: metricsFile, traceSummary: true,
+		journalOut: journalFile,
 	}
 	if err := runOpts(o); err != nil {
 		t.Fatal(err)
@@ -122,6 +124,45 @@ func TestObservabilityExports(t *testing.T) {
 	mraw, _ := os.ReadFile(metricsFile)
 	if !strings.Contains(string(mraw), "tcq_queries_total") {
 		t.Error("metrics file missing tcq_queries_total")
+	}
+
+	jf, err := os.Open(journalFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if err := obs.CheckJournal(jf); err != nil {
+		t.Fatalf("journal file fails the schema checker: %v", err)
+	}
+	jraw, _ := os.ReadFile(journalFile)
+	for _, want := range []string{`"kind":"query-start"`, `"kind":"phase-end"`, `"kind":"query-end"`} {
+		if !strings.Contains(string(jraw), want) {
+			t.Errorf("journal file missing %s events", want)
+		}
+	}
+}
+
+// TestJournalExportSampledFleet: a 0<rate<1 trace sample still exports a
+// complete, schema-valid journal (sampling bounds traces, never the
+// journal), and the conformance report reaches the run summary.
+func TestJournalExportSampledFleet(t *testing.T) {
+	dir := t.TempDir()
+	journalFile := filepath.Join(dir, "journal.jsonl")
+	o := options{
+		fleet: 60, protoName: "s_agg", query: defaultQuery,
+		available: 0.5, audit: 1, seed: 7, traceSample: 0.1,
+		journalOut: journalFile,
+	}
+	if err := runOpts(o); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.Open(journalFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if err := obs.CheckJournal(jf); err != nil {
+		t.Fatalf("sampled run's journal fails the schema checker: %v", err)
 	}
 }
 

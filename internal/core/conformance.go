@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/costmodel"
+	"github.com/trustedcells/tcq/internal/protocol"
+)
+
+// The conformance report closes the loop between the paper's two
+// methodologies: the functional simulator (what a run actually cost in
+// simulated time) and the Section 6.1 analytical cost model (what it
+// should have cost). Every successful run is checked against the model
+// at its own operating point — N_t, G, s_t and T_t all measured from the
+// run itself — and the measured/predicted T_Q ratio lands on the root
+// span and in check.sh's regression gate. A drift in either the engine's
+// accounting or the model's closed forms moves the ratio out of its band.
+
+// PhaseConformance compares one phase family's simulated duration with
+// the model's prediction.
+type PhaseConformance struct {
+	Name      string        // collection, aggregation, filtering
+	Measured  time.Duration // simulated duration of the run's matching phases
+	Predicted time.Duration // the cost model's phase duration
+}
+
+// ConformanceReport is the run-vs-model comparison for one query.
+type ConformanceReport struct {
+	// Protocol is the cost model's name for the configuration
+	// (S_Agg, R2_Noise, R1000_Noise, C_Noise, ED_Hist, Basic).
+	Protocol string
+	// MeasuredTQ is Metrics.TQ: the simulated aggregation + filtering
+	// duration (collection excluded, as in the paper's T_Q).
+	MeasuredTQ time.Duration
+	// PredictedTQ is the model's aggregation + filtering duration at the
+	// run's own operating point.
+	PredictedTQ time.Duration
+	// Ratio is MeasuredTQ / PredictedTQ. The model is a closed-form
+	// approximation, so the ratio is not 1.0 — but it is deterministic
+	// per configuration, which is what the regression gate pins.
+	Ratio float64
+	// Phases is the per-phase-family breakdown, in model order.
+	Phases []PhaseConformance
+}
+
+// String renders the report for trace summaries.
+func (r *ConformanceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost-model conformance: %s measured T_Q=%v predicted=%v ratio=%.3f\n",
+		r.Protocol, r.MeasuredTQ, r.PredictedTQ, r.Ratio)
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-12s measured=%-14v predicted=%v\n", p.Name, p.Measured, p.Predicted)
+	}
+	return b.String()
+}
+
+// modelName maps a protocol configuration onto the cost model's named
+// operating points. Configurations the model has no closed form for
+// (Rnf_Noise with an unusual fake count) return "".
+func modelName(kind protocol.Kind, params protocol.Params) string {
+	switch kind {
+	case protocol.KindBasic:
+		return costmodel.NameBasic
+	case protocol.KindSAgg:
+		return costmodel.NameSAgg
+	case protocol.KindRnfNoise:
+		switch params.Nf {
+		case 2:
+			return costmodel.NameR2Noise
+		case 1000:
+			return costmodel.NameR1000Noise
+		}
+		return ""
+	case protocol.KindCNoise:
+		return costmodel.NameCNoise
+	case protocol.KindEDHist:
+		return costmodel.NameEDHist
+	}
+	return ""
+}
+
+// phaseFamily folds the engine's concrete phase names into the model's
+// three families. The collect phase never appears in Metrics.Phases (its
+// timing is excluded from T_Q), so only aggregation and filtering occur.
+func phaseFamily(name string) string {
+	switch {
+	case strings.HasPrefix(name, "s_agg-step-"), strings.HasPrefix(name, "aggregate-"):
+		return "aggregation"
+	default: // filtering, filter-sfw
+		return "filtering"
+	}
+}
+
+// conformance builds the report for a finished run; nil when the model
+// does not cover the configuration or the run collected nothing.
+func (e *Engine) conformance(rs *runState, req Request) *ConformanceReport {
+	m := rs.metrics
+	name := modelName(req.Kind, rs.post.Params)
+	if name == "" || m.Nt == 0 {
+		return nil
+	}
+
+	// The model's operating point, measured from the run itself. s_t is
+	// the mean accepted-deposit ciphertext per tuple; T_t re-derives the
+	// per-tuple cost from the calibration at that tuple size, billing the
+	// round trip the way meterUnit does (down + decrypt + compute in,
+	// encrypt + up out — symmetric at equal sizes).
+	st := float64(m.CollectBytes) / float64(m.Nt)
+	if st <= 0 {
+		st = float64(e.cal.TupleSize)
+	}
+	stBytes := int(st + 0.5)
+	tt := e.cal.TransferTime(stBytes) + e.cal.CryptoTime(stBytes) + e.cal.CPUTime(stBytes)
+	g := float64(m.Groups)
+	if g < 1 {
+		g = 1
+	}
+	if name == costmodel.NameBasic {
+		g = float64(m.Nt) // the filtering pass walks the covering result
+	}
+	p := costmodel.Params{
+		Nt:        float64(m.Nt),
+		G:         g,
+		St:        st,
+		Tt:        tt,
+		Available: float64(rs.workers),
+		Alpha:     rs.post.Params.Alpha,
+		H:         rs.post.Params.CollisionFactor,
+	}
+	fc, err := costmodel.Full(name, p, e.cfg.AuditReplicas)
+	if err != nil {
+		return nil
+	}
+
+	rep := &ConformanceReport{Protocol: name, MeasuredTQ: m.TQ}
+	measured := map[string]time.Duration{}
+	for _, ph := range m.Phases {
+		measured[phaseFamily(ph.Name)] += ph.Duration
+	}
+	for _, ph := range fc.Phases {
+		if ph.Name == "collection" {
+			continue // excluded from T_Q, as in the paper
+		}
+		rep.PredictedTQ += ph.TQ
+		rep.Phases = append(rep.Phases, PhaseConformance{
+			Name: ph.Name, Measured: measured[ph.Name], Predicted: ph.TQ,
+		})
+	}
+	if rep.PredictedTQ > 0 {
+		rep.Ratio = rep.MeasuredTQ.Seconds() / rep.PredictedTQ.Seconds()
+	}
+	return rep
+}

@@ -80,6 +80,15 @@ type Config struct {
 	// Tests inject a plain ssi.New() or instrumented implementations; the
 	// engine only ever talks through the ssi.Service interface.
 	SSI ssi.Service
+	// TraceSampleRate bounds per-device trace volume at fleet scale: each
+	// device's collection events (deposit, offline fault, collect error)
+	// are traced only when a stable hash of its ID falls under the rate.
+	// Sampled-out activity is still folded into per-wave rollup spans
+	// carrying counts and exact quantiles, and the recovery-ledger mirror
+	// is never sampled, so the trace stays deterministic and auditable at
+	// any rate. 0 (and anything >= 1) traces every device — the golden
+	// traces pin that default.
+	TraceSampleRate float64
 	// PackedFleet provisions the fleet in the packed representation:
 	// ProvisionFleet serializes each device's database into one shared
 	// blob and materializes a live TDS only while the device is
@@ -162,9 +171,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if svc == nil {
 		svc = ssi.NewSharded(0)
 	}
-	// The SSI mirrors ledger events into the trace when it knows how.
+	// The SSI mirrors ledger events into the trace and the structured
+	// journal when it knows how.
 	if tw, ok := svc.(interface{ WithTracer(*obs.Tracer) }); ok {
 		tw.WithTracer(eo.tracer)
+	}
+	if jw, ok := svc.(interface{ WithJournal(*obs.Journal) }); ok {
+		jw.WithJournal(eo.journal)
 	}
 	ring := keyAuth.Ring()
 	return &Engine{
@@ -424,6 +437,10 @@ type Metrics struct {
 	// LoadBytes is Load_Q: total bytes moved through TDSs and stored at
 	// the SSI across all phases.
 	LoadBytes int64
+	// CollectBytes is the ciphertext volume of the accepted deposits —
+	// what the SSI watched arrive during collection. It calibrates the
+	// cost model's s_t (CollectBytes / Nt) for the conformance report.
+	CollectBytes int64
 	// TQ is the simulated duration of the aggregation + filtering phases
 	// (collection is application-dependent and excluded, as in the
 	// paper).

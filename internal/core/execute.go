@@ -72,6 +72,17 @@ type Response struct {
 	// and the folded k2 digest over everything that entered aggregation.
 	// Nil when the request set SkipVerify.
 	Integrity *IntegrityReport
+	// Journal is the run's structured event stream: admission, dispatch,
+	// phase boundaries, recovery-ledger entries and the terminal outcome,
+	// in canonical order. Byte-identical across CollectWorkers settings
+	// and concurrency for a pinned QueryID; serialize with
+	// Journal.WriteJSONL, validate with obs.CheckJournal.
+	Journal *obs.QueryJournal
+	// Conformance compares the run's measured simulated durations against
+	// the Section 6.1 cost model's predictions. Nil for CollectOnly runs,
+	// aborted runs, and protocol configurations the model does not cover
+	// (e.g. Rnf_Noise with a non-standard fake count).
+	Conformance *ConformanceReport
 }
 
 // Execute runs one query end-to-end: collection, aggregation (for the

@@ -18,8 +18,9 @@ import (
 // that accumulate across queries. core.Metrics stays the per-run
 // compatibility snapshot; the registry is the cumulative view.
 type engineObs struct {
-	tracer *obs.Tracer
-	reg    *obs.Registry
+	tracer  *obs.Tracer
+	journal *obs.Journal
+	reg     *obs.Registry
 
 	queries       *obs.CounterVec // by protocol
 	devices       *obs.CounterVec // collection outcomes per device
@@ -39,9 +40,13 @@ type engineObs struct {
 
 func newEngineObs() *engineObs {
 	reg := obs.NewRegistry()
+	journal := obs.NewJournal()
+	journal.SetOpenGauge(reg.Gauge("tcq_journal_open_streams",
+		"journal streams begun but not yet taken or discarded"))
 	return &engineObs{
-		tracer: obs.NewTracer(),
-		reg:    reg,
+		tracer:  obs.NewTracer(),
+		journal: journal,
+		reg:     reg,
 		queries: reg.CounterVec("tcq_queries_total",
 			"queries executed, by protocol", "protocol"),
 		devices: reg.CounterVec("tcq_collect_devices_total",
@@ -110,6 +115,9 @@ type runState struct {
 	// slab recycles deposit envelopes across collection waves instead of
 	// allocating one per device.
 	slab protocol.DepositSlab
+	// roll accumulates the per-wave trace rollups when TraceSampleRate is
+	// fractional; nil at the full-tracing default.
+	roll *collectRollup
 }
 
 // startPhase opens the span of one aggregation/filtering phase and
@@ -124,6 +132,10 @@ func (e *Engine) startPhase(rs *runState, name string, parts [][]protocol.WireTu
 	}
 	e.obs.tracer.SSIEvent(rs.post.ID, "partition", "", rs.clock.Now(),
 		obs.CipherFacts{Count: len(parts), Tuples: n, Bytes: int64(b)})
+	e.obs.journal.Emit(rs.post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseStart, Phase: name, Party: obs.PartyEngine,
+		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(parts), Tuples: n, Bytes: int64(b)},
+	})
 	return sp
 }
 
@@ -139,6 +151,10 @@ func (e *Engine) notePhase(rs *runState, name string, units []workUnit, ps phase
 	dur := rs.metrics.Phases[len(rs.metrics.Phases)-1].Duration
 	rs.clock.Advance(dur)
 	e.obs.tracer.EndSpan(rs.post.ID, rs.clock.Now())
+	e.obs.journal.Emit(rs.post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseEnd, Phase: name, Party: obs.PartyEngine,
+		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(units), Bytes: down + up},
+	})
 	e.obs.phaseSeconds.With(phaseLabel(name)).Observe(dur.Seconds())
 	e.obs.bytes.With("phase_down").Add(float64(down))
 	e.obs.bytes.With("phase_up").Add(float64(up))
@@ -186,10 +202,15 @@ func (e *Engine) abortRun(rs *runState, err error) (*Response, error) {
 	rs.metrics.LoadBytes += rs.ssi.BytesStored(id)
 	rs.metrics.Ledger = rs.ssi.LedgerFor(id)
 	e.obs.tracer.CloseAll(id, rs.clock.Now())
+	e.obs.journal.Emit(id, obs.JournalEvent{
+		Kind: obs.JournalAbort, Party: obs.PartyEngine, Detail: reason,
+		At: rs.clock.Now(),
+	})
 	return &Response{
 		Metrics:   rs.metrics,
 		Trace:     e.obs.tracer.Take(id),
 		Integrity: rs.integrityReport(),
+		Journal:   e.obs.journal.Take(id),
 	}, err
 }
 
@@ -212,6 +233,16 @@ func abortReason(err error) string {
 // event is engine-side only.
 func (e *Engine) recordCollectError(rs *runState, d collectDevice, now time.Time) {
 	rs.metrics.CollectErrors++
-	e.obs.tracer.EngineEvent(rs.post.ID, "collect-error", d.id, now, obs.CipherFacts{Attempt: 1})
+	if e.sampled(d.id) {
+		e.obs.tracer.EngineEvent(rs.post.ID, "collect-error", d.id, now, obs.CipherFacts{Attempt: 1})
+	}
+	e.noteRollup(rs, false, 0, 0, now)
 	e.obs.devices.With("error").Inc()
+}
+
+// sampled decides whether one device's collection events enter the trace:
+// a pure function of (device ID, Config.TraceSampleRate), so the sampled
+// trace is as deterministic as the full one. Rate 0 keeps everything.
+func (e *Engine) sampled(device string) bool {
+	return obs.SampleDevice(device, e.cfg.TraceSampleRate)
 }

@@ -91,16 +91,34 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	tr := e.obs.tracer
+	jr := e.obs.journal
 	root := tr.StartQuery(post.ID, "execute", rs.clock.Now())
 	root.SetAttr("protocol", req.Kind.String())
 	defer tr.Discard(post.ID) // no-op when the trace was taken
+	// The journal stream may predate this run: a Server begins it at
+	// admission so the scheduler's events lead the stream. Begin is
+	// idempotent-keep, so both entry paths share one canonical stream.
+	jr.Begin(post.ID)
+	jr.Emit(post.ID, obs.JournalEvent{
+		Kind: obs.JournalQueryStart, Party: obs.PartyEngine,
+		Detail: req.Kind.String(), At: rs.clock.Now(),
+	})
+	defer jr.Discard(post.ID) // no-op when the journal was taken
 	e.obs.queries.With(req.Kind.String()).Inc()
 
 	tr.StartChild(post.ID, "collect", obs.PartyEngine, rs.clock.Now())
+	jr.Emit(post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseStart, Phase: "collect", Party: obs.PartyEngine,
+		At: rs.clock.Now(),
+	})
 	if err := e.collectionPhase(ctx, rs, cfgTpl); err != nil {
 		return e.abortRun(rs, err)
 	}
 	tr.EndSpan(post.ID, rs.clock.Now())
+	jr.Emit(post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseEnd, Phase: "collect", Party: obs.PartyEngine,
+		At: rs.clock.Now(), Facts: obs.CipherFacts{Tuples: int(metrics.Nt), Bytes: metrics.CollectBytes},
+	})
 	e.obs.coverage.Set(metrics.CoverageRatio)
 	if metrics.Nt > 0 {
 		e.obs.dummyRatio.Set(float64(metrics.Nt-metrics.TrueTuples) / float64(metrics.Nt))
@@ -121,7 +139,12 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	if req.CollectOnly {
 		snapshot()
 		tr.EndSpan(post.ID, rs.clock.Now()) // root
-		return &Response{Metrics: metrics, Trace: tr.Take(post.ID), Integrity: rs.integrityReport()}, nil
+		jr.Emit(post.ID, obs.JournalEvent{
+			Kind: obs.JournalQueryEnd, Party: obs.PartyEngine, Detail: "ok",
+			At: rs.clock.Now(),
+		})
+		return &Response{Metrics: metrics, Trace: tr.Take(post.ID),
+			Integrity: rs.integrityReport(), Journal: jr.Take(post.ID)}, nil
 	}
 
 	finalTuples, err := e.aggregateAndFilter(ctx, rs, stmt)
@@ -133,6 +156,10 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	// delivery span advances the simulated clock but not TQ (the paper's
 	// T_Q ends when the filtered result is ready at the SSI).
 	dspan := tr.StartChild(post.ID, "deliver", obs.PartyQuerier, rs.clock.Now())
+	jr.Emit(post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseStart, Phase: "deliver", Party: obs.PartyQuerier,
+		At: rs.clock.Now(),
+	})
 	res, err := req.Querier.DecryptResult(post, finalTuples)
 	if err != nil {
 		return e.abortRun(rs, err)
@@ -145,12 +172,28 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	dspan.SetAttr("rows", strconv.Itoa(len(res.Rows))).
 		SetAttr("bytes", strconv.Itoa(outBytes))
 	tr.EndSpan(post.ID, rs.clock.Now())
+	jr.Emit(post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseEnd, Phase: "deliver", Party: obs.PartyQuerier,
+		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(res.Rows), Bytes: int64(outBytes)},
+	})
 	e.obs.bytes.With("deliver_down").Add(float64(outBytes))
 
 	snapshot()
 	metrics.finish()
+	conf := e.conformance(rs, req)
+	if conf != nil {
+		// Deterministic model check on the root span: predicted T_Q and
+		// the measured/predicted ratio, both pure functions of the run.
+		root.SetAttr("tq_model", conf.PredictedTQ.String()).
+			SetAttr("tq_ratio", strconv.FormatFloat(conf.Ratio, 'f', 3, 64))
+	}
 	tr.EndSpan(post.ID, rs.clock.Now()) // root
-	return &Response{Result: res, Metrics: metrics, Trace: tr.Take(post.ID), Integrity: rs.integrityReport()}, nil
+	jr.Emit(post.ID, obs.JournalEvent{
+		Kind: obs.JournalQueryEnd, Party: obs.PartyEngine, Detail: "ok",
+		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(res.Rows)},
+	})
+	return &Response{Result: res, Metrics: metrics, Trace: tr.Take(post.ID),
+		Integrity: rs.integrityReport(), Journal: jr.Take(post.ID), Conformance: conf}, nil
 }
 
 // collectInputs assembles the per-protocol collection-phase inputs: the

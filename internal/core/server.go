@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"context"
 
@@ -90,30 +92,53 @@ type Server struct {
 	rejected  int64
 	completed int64
 
+	// recent is a bounded ring of finished queries' traces and journals,
+	// feeding the ops endpoint's /traces/<id> and journal-tail routes.
+	recent   []retained
+	recentAt int
+
 	gInflight  *obs.Gauge
 	gQueued    *obs.Gauge
-	cAdmitted  *obs.Counter
-	cRejected  *obs.CounterVec
-	cCompleted *obs.CounterVec
-	hLatency   *obs.Histogram
+	cAdmitted  *obs.CounterVec // by querier
+	cRejected  *obs.CounterVec // by reason, querier
+	cCompleted *obs.CounterVec // by outcome, querier
+	hLatency   *obs.HistogramVec
+	hQueueWait *obs.HistogramVec
+}
+
+// serverRetain bounds the trace/journal retention ring.
+const serverRetain = 64
+
+// tenantSampleCap bounds each tenant's latency sample windows.
+const tenantSampleCap = 4096
+
+// retained is one finished query's kept observability artifacts.
+type retained struct {
+	id      string
+	trace   *obs.QueryTrace
+	journal *obs.QueryJournal
 }
 
 // tenant is one querier's slice of the scheduler state.
 type tenant struct {
-	quota    accessctl.Quota
-	inflight int
-	credit   int // admissions left in the current round-robin turn
-	queue    []*pending
+	quota     accessctl.Quota
+	inflight  int
+	credit    int // admissions left in the current round-robin turn
+	queue     []*pending
+	completed int64
+	simTQ     []float64 // sliding window of simulated TQ seconds
+	qwait     []float64 // sliding window of wall queue-wait seconds
 }
 
 // pending is one submitted request waiting for, or in, execution.
 type pending struct {
-	ctx     context.Context
-	req     Request
-	started bool
-	resp    *Response
-	err     error
-	done    chan struct{}
+	ctx      context.Context
+	req      Request
+	enqueued time.Time // wall instant of queue entry (obs.Wall)
+	started  bool
+	resp     *Response
+	err      error
+	done     chan struct{}
 }
 
 // NewServer wraps the engine in a multi-tenant scheduler. Multiple
@@ -139,18 +164,26 @@ func NewServer(eng *Engine, cfg ServerConfig) *Server {
 			"queries currently executing"),
 		gQueued: reg.Gauge("tcq_server_queued",
 			"requests waiting for admission"),
-		cAdmitted: reg.Counter("tcq_server_admitted_total",
-			"requests admitted into execution"),
+		cAdmitted: reg.CounterVec("tcq_server_admitted_total",
+			"requests admitted into execution, by querier", "querier"),
 		cRejected: reg.CounterVec("tcq_server_rejected_total",
-			"requests rejected at admission, by reason (busy, quota, closed)",
-			"reason"),
+			"requests rejected at admission, by reason (busy, quota, closed) and querier",
+			"reason", "querier"),
 		cCompleted: reg.CounterVec("tcq_server_completed_total",
-			"finished queries, by outcome (ok, error)", "outcome"),
-		hLatency: reg.Histogram("tcq_server_query_seconds",
-			"simulated query latency (TQ) of completed queries",
-			[]float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}),
+			"finished queries, by outcome (ok, error) and querier",
+			"outcome", "querier"),
+		hLatency: reg.HistogramVec("tcq_server_query_seconds",
+			"simulated query latency (TQ) of completed queries, by querier",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}, "querier"),
+		hQueueWait: reg.HistogramVec("tcq_server_queue_seconds",
+			"wall-clock admission-queue wait of dispatched requests, by querier",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}, "querier"),
 	}
 }
+
+// journal is the engine's structured query journal; the scheduler begins
+// each stream at admission so its events lead the engine's.
+func (s *Server) journal() *obs.Journal { return s.eng.obs.journal }
 
 // Submit runs one request through the scheduler and blocks until it
 // completes or is rejected. Rejections are immediate and typed:
@@ -165,11 +198,16 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	if req.Querier == nil {
 		return nil, fmt.Errorf("core: Request.Querier is required")
 	}
-	p := &pending{ctx: ctx, req: req, done: make(chan struct{})}
+	// The journal stream is keyed by query ID and begins at admission, so
+	// an unpinned request gets its ID here rather than inside the engine.
+	if req.QueryID == "" {
+		req.QueryID = s.eng.nextQueryID()
+	}
+	p := &pending{ctx: ctx, req: req, enqueued: obs.Wall(), done: make(chan struct{})}
 
 	s.mu.Lock()
 	if s.closed {
-		s.rejectLocked("closed")
+		s.rejectLocked("closed", req.Querier.ID)
 		s.mu.Unlock()
 		return nil, ErrServerClosed
 	}
@@ -178,12 +216,12 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	// The quota rejection is reserved for a querier over its own cap
 	// while the server still has room for others.
 	if s.queued >= s.cfg.QueueDepth {
-		s.rejectLocked("busy")
+		s.rejectLocked("busy", req.Querier.ID)
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d requests queued", ErrServerBusy, s.queued)
 	}
 	if mq := s.maxQueued(tn); mq >= 0 && len(tn.queue) >= mq {
-		s.rejectLocked("quota")
+		s.rejectLocked("quota", req.Querier.ID)
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: querier %s has %d requests queued",
 			ErrQuotaExceeded, req.Querier.ID, len(tn.queue))
@@ -191,6 +229,11 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	tn.queue = append(tn.queue, p)
 	s.queued++
 	s.gQueued.Set(float64(s.queued))
+	s.journal().Begin(req.QueryID)
+	s.journal().Emit(req.QueryID, obs.JournalEvent{
+		Kind: obs.JournalAdmission, Party: obs.PartyEngine,
+		Detail: req.Querier.ID, At: obs.SimOrigin(),
+	})
 	s.dispatchLocked()
 	s.mu.Unlock()
 
@@ -221,6 +264,9 @@ func (s *Server) Close() {
 		for _, id := range s.order {
 			tn := s.tenants[id]
 			for _, p := range tn.queue {
+				// The stream begun at admission never reached the engine;
+				// drop it so no open stream outlives the server.
+				s.journal().Discard(p.req.QueryID)
 				p.err = ErrServerClosed
 				close(p.done)
 			}
@@ -301,18 +347,21 @@ func weightOf(q accessctl.Quota) int {
 }
 
 // rejectLocked records one admission rejection.
-func (s *Server) rejectLocked(reason string) {
+func (s *Server) rejectLocked(reason, querier string) {
 	s.rejected++
-	s.cRejected.With(reason).Inc()
+	s.cRejected.With(reason, querier).Inc()
 }
 
-// withdrawLocked removes a still-queued request whose context expired.
+// withdrawLocked removes a still-queued request whose context expired,
+// discarding the journal stream admission opened for it: a withdrawn
+// request must leak neither a started span nor an open stream.
 func (s *Server) withdrawLocked(tn *tenant, p *pending) {
 	for i, q := range tn.queue {
 		if q == p {
 			tn.queue = append(tn.queue[:i], tn.queue[i+1:]...)
 			s.queued--
 			s.gQueued.Set(float64(s.queued))
+			s.journal().Discard(p.req.QueryID)
 			return
 		}
 	}
@@ -334,7 +383,17 @@ func (s *Server) dispatchLocked() {
 		s.admitted++
 		s.gInflight.Set(float64(s.inflight))
 		s.gQueued.Set(float64(s.queued))
-		s.cAdmitted.Inc()
+		s.cAdmitted.With(p.req.Querier.ID).Inc()
+		// Queue wait is a wall-clock quantity: simulated time never moves
+		// while a request queues, so it lives only in metrics and tenant
+		// stats — never in the trace or journal.
+		wait := obs.Wall().Sub(p.enqueued)
+		s.hQueueWait.With(p.req.Querier.ID).Observe(wait.Seconds())
+		tn.qwait = pushSample(tn.qwait, wait.Seconds())
+		s.journal().Emit(p.req.QueryID, obs.JournalEvent{
+			Kind: obs.JournalDispatch, Party: obs.PartyEngine,
+			Detail: p.req.Querier.ID, At: obs.SimOrigin(),
+		})
 		s.wg.Add(1)
 		go s.runOne(p, tn)
 	}
@@ -371,20 +430,130 @@ func (s *Server) runOne(p *pending, tn *tenant) {
 	defer s.wg.Done()
 	p.resp, p.err = s.eng.Execute(p.ctx, p.req)
 
-	s.mu.Lock()
-	s.inflight--
-	tn.inflight--
-	s.completed++
-	s.gInflight.Set(float64(s.inflight))
 	outcome := "ok"
 	if p.err != nil {
 		outcome = "error"
 	}
-	s.cCompleted.With(outcome).Inc()
+	if p.resp == nil {
+		// Execute failed before the engine adopted the journal stream the
+		// scheduler began at admission; drop it so nothing leaks.
+		s.journal().Discard(p.req.QueryID)
+	} else if p.resp.Trace != nil {
+		// Stitch the scheduler's account onto the engine trace as the last
+		// child of the root, keeping the engine-only trace a byte prefix of
+		// the server trace. Every scheduler span sits at the simulated
+		// origin with zero duration: the scheduler changes who waits in
+		// wall time, never what anything costs in simulated time.
+		at := obs.SimOrigin()
+		if srv := p.resp.Trace.Graft(nil, "server", obs.PartyEngine, at, at); srv != nil {
+			srv.SetAttr("querier", p.req.Querier.ID).SetAttr("outcome", outcome)
+			p.resp.Trace.Graft(srv, "admit", obs.PartyEngine, at, at)
+			p.resp.Trace.Graft(srv, "queue-wait", obs.PartyEngine, at, at)
+			p.resp.Trace.Graft(srv, "dispatch", obs.PartyEngine, at, at)
+		}
+	}
+
+	s.mu.Lock()
+	s.inflight--
+	tn.inflight--
+	s.completed++
+	tn.completed++
+	s.gInflight.Set(float64(s.inflight))
+	s.cCompleted.With(outcome, p.req.Querier.ID).Inc()
 	if p.resp != nil && p.resp.Metrics != nil {
-		s.hLatency.Observe(p.resp.Metrics.TQ.Seconds())
+		s.hLatency.With(p.req.Querier.ID).Observe(p.resp.Metrics.TQ.Seconds())
+		tn.simTQ = pushSample(tn.simTQ, p.resp.Metrics.TQ.Seconds())
+	}
+	if p.resp != nil {
+		s.retainLocked(p.req.QueryID, p.resp.Trace, p.resp.Journal)
 	}
 	s.dispatchLocked()
 	s.mu.Unlock()
 	close(p.done)
+}
+
+// pushSample appends to a bounded sliding window, evicting the oldest.
+func pushSample(w []float64, v float64) []float64 {
+	if len(w) >= tenantSampleCap {
+		copy(w, w[1:])
+		w[len(w)-1] = v
+		return w
+	}
+	return append(w, v)
+}
+
+// retainLocked stores one finished query's artifacts in the retention
+// ring for the ops endpoint.
+func (s *Server) retainLocked(id string, tr *obs.QueryTrace, jr *obs.QueryJournal) {
+	if len(s.recent) < serverRetain {
+		s.recent = append(s.recent, retained{id: id, trace: tr, journal: jr})
+		return
+	}
+	s.recent[s.recentAt%serverRetain] = retained{id: id, trace: tr, journal: jr}
+	s.recentAt++
+}
+
+// TraceFor returns the retained trace of a recently finished query, or
+// nil when it has aged out of the ring (or never ran here).
+func (s *Server) TraceFor(id string) *obs.QueryTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.recent) - 1; i >= 0; i-- {
+		if s.recent[i].id == id && s.recent[i].trace != nil {
+			return s.recent[i].trace
+		}
+	}
+	return nil
+}
+
+// RecentJournals returns up to n retained journals, most recent first.
+func (s *Server) RecentJournals(n int) []*obs.QueryJournal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*obs.QueryJournal, 0, n)
+	// Ring order: entries before recentAt%len are older overwrites.
+	for i := 0; i < len(s.recent) && len(out) < n; i++ {
+		r := s.recent[(len(s.recent)+s.recentAt-1-i)%len(s.recent)]
+		if r.journal != nil {
+			out = append(out, r.journal)
+		}
+	}
+	return out
+}
+
+// TenantStats is one querier's share of the server's recent work: its
+// completed-query count and the latency quantiles of its sliding sample
+// windows. Simulated TQ measures what queries cost; wall-clock queue
+// wait measures how contended the server is.
+type TenantStats struct {
+	Querier      string
+	Completed    int64
+	SimTQP50     time.Duration
+	SimTQP99     time.Duration
+	QueueWaitP50 time.Duration
+	QueueWaitP99 time.Duration
+}
+
+// TenantStats snapshots every known tenant, sorted by querier ID.
+func (s *Server) TenantStats() []TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStats, 0, len(s.order))
+	for _, id := range s.order {
+		tn := s.tenants[id]
+		out = append(out, TenantStats{
+			Querier:      id,
+			Completed:    tn.completed,
+			SimTQP50:     secondsDur(obs.Quantile(tn.simTQ, 0.5)),
+			SimTQP99:     secondsDur(obs.Quantile(tn.simTQ, 0.99)),
+			QueueWaitP50: secondsDur(obs.Quantile(tn.qwait, 0.5)),
+			QueueWaitP99: secondsDur(obs.Quantile(tn.qwait, 0.99)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Querier < out[j].Querier })
+	return out
+}
+
+func secondsDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }

@@ -19,11 +19,13 @@ import (
 
 // queryOutcome fingerprints everything a query's determinism contract
 // covers: result rows, the full metrics snapshot (which embeds the SSI's
-// recovery ledger), and the serialized trace.
+// recovery ledger), the serialized trace — scheduler spans included —
+// and the serialized structured journal.
 type queryOutcome struct {
 	rows    string
 	metrics Metrics
 	trace   string
+	journal string
 }
 
 func outcomeOf(t *testing.T, resp *Response) queryOutcome {
@@ -38,6 +40,7 @@ func outcomeOf(t *testing.T, resp *Response) queryOutcome {
 		rows:    fmt.Sprintf("%v", resp.Result.Rows),
 		metrics: *resp.Metrics,
 		trace:   buf.String(),
+		journal: string(resp.Journal.Bytes()),
 	}
 }
 
@@ -78,11 +81,15 @@ func TestConcurrentQueryDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("Q=%d", q), func(t *testing.T) {
 			specs := mkSpecs(q)
 
-			// Solo baselines: each spec on its own fresh engine.
+			// Solo baselines: each spec alone behind a one-slot server on
+			// its own fresh engine, so the baseline carries the same
+			// scheduler spans and journal prologue as the concurrent run.
 			want := make([]queryOutcome, len(specs))
 			for i, sp := range specs {
 				f := newFixture(t, 40, nil)
-				resp, err := f.eng.Execute(context.Background(), reqOf(f, sp))
+				solo := NewServer(f.eng, ServerConfig{MaxInFlight: 1, QueueDepth: 1})
+				resp, err := solo.Submit(context.Background(), reqOf(f, sp))
+				solo.Close()
 				if err != nil {
 					t.Fatalf("solo %s: %v", sp.id, err)
 				}
@@ -123,6 +130,10 @@ func TestConcurrentQueryDeterminism(t *testing.T) {
 				}
 				if got[i].trace != want[i].trace {
 					t.Errorf("%s (%v): trace diverged under concurrency", sp.id, sp.kind)
+				}
+				if got[i].journal != want[i].journal {
+					t.Errorf("%s (%v): journal diverged under concurrency\nsolo:\n%s\nconc:\n%s",
+						sp.id, sp.kind, want[i].journal, got[i].journal)
 				}
 			}
 		})

@@ -228,8 +228,12 @@ func applyAvailability(m Metrics, p Params, totalTuples float64) Metrics {
 	return m
 }
 
-// Protocol names used by Compare and the figure harness.
+// Protocol names used by Compare and the figure harness. NameBasic is
+// the Select-From-Where protocol: it has no aggregation phase and is not
+// part of the paper's Fig. 10 comparison (ProtocolNames), but Full
+// decomposes it so the conformance gate can check all engine protocols.
 const (
+	NameBasic      = "Basic"
 	NameSAgg       = "S_Agg"
 	NameR2Noise    = "R2_Noise"
 	NameR1000Noise = "R1000_Noise"

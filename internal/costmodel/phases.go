@@ -147,13 +147,29 @@ func aggregationPhase(name string, p Params) PhaseCost {
 // optionally with the audit extension's replication factor (1 = off).
 func Full(name string, p Params, auditReplicas int) (FullCost, error) {
 	switch name {
-	case NameSAgg, NameR2Noise, NameR1000Noise, NameCNoise, NameEDHist:
+	case NameBasic, NameSAgg, NameR2Noise, NameR1000Noise, NameCNoise, NameEDHist:
 	default:
 		return FullCost{}, fmt.Errorf("costmodel: unknown protocol %q", name)
 	}
 	p = p.withDefaults()
 	if auditReplicas < 1 {
 		auditReplicas = 1
+	}
+	if name == NameBasic {
+		// Select-From-Where: no aggregation — the filtering pass walks the
+		// whole covering result, so its G is N_t.
+		q := p
+		q.G = p.Nt
+		col := collectionPhase(name, p)
+		fil := filteringPhase(q)
+		r := float64(auditReplicas)
+		fil.Load *= r
+		fil.PTDS *= r
+		return FullCost{
+			Protocol:   name,
+			Phases:     []PhaseCost{col, fil},
+			SSIStorage: p.Nt * p.St,
+		}, nil
 	}
 	col := collectionPhase(name, p)
 	agg := aggregationPhase(name, p)

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// OpsSource is what a server exposes to the ops endpoint: its metrics
+// registry plus callbacks into its retention of recent queries. Any nil
+// field simply disables the corresponding route. The callbacks return
+// finished artifacts (the same QueryTrace/QueryJournal values attached
+// to responses), so the endpoint serves exactly what the caller already
+// observed — no extra telemetry channel to audit.
+type OpsSource struct {
+	// Registry renders /metrics in Prometheus text exposition format.
+	Registry *Registry
+	// Health returns a JSON-marshalable snapshot for /healthz
+	// (typically the server's Stats plus per-tenant summaries).
+	Health func() any
+	// Trace returns the retained trace for a query ID, or nil.
+	Trace func(id string) *QueryTrace
+	// Journals returns up to n of the most recently finished journals,
+	// newest last.
+	Journals func(n int) []*QueryJournal
+}
+
+// ServeOps builds the operational HTTP handler:
+//
+//	GET /metrics        Prometheus text exposition of the registry
+//	GET /healthz        JSON health/stats snapshot
+//	GET /traces/<id>    JSONL span tree of a retained query trace
+//	GET /journal?n=K    JSONL tail of the K most recent query journals
+//
+// The handler is read-only and deterministic given the source state; it
+// exists so a long-running tdsnet server can be inspected with curl
+// instead of log archaeology.
+func ServeOps(src OpsSource) http.Handler {
+	mux := http.NewServeMux()
+	if src.Registry != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = src.Registry.WriteText(w)
+		})
+	}
+	if src.Health != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(src.Health())
+		})
+	}
+	if src.Trace != nil {
+		mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/traces/")
+			qt := src.Trace(id)
+			if id == "" || qt == nil {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = qt.WriteJSONL(w)
+		})
+	}
+	if src.Journals != nil {
+		mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+			n := 10
+			if q := r.URL.Query().Get("n"); q != "" {
+				if v, err := strconv.Atoi(q); err == nil && v > 0 {
+					n = v
+				}
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, qj := range src.Journals(n) {
+				// One header line per stream, then the stream itself;
+				// each stream independently passes CheckJournal.
+				_ = enc.Encode(struct {
+					QueryID string `json:"query_id"`
+					Events  int    `json:"events"`
+				}{qj.QueryID, len(qj.Events)})
+				_ = qj.WriteJSONL(w)
+			}
+		})
+	}
+	return mux
+}

@@ -1,0 +1,24 @@
+package obs
+
+import "hash/fnv"
+
+// SampleDevice decides whether per-device telemetry (deposit events,
+// fault events) is kept for the given device at the given sampling
+// rate. The decision is a pure function of the device ID — FNV-1a of
+// the ID mapped onto [0,1) and compared against the rate — so it is
+// identical across worker counts, interleavings and runs: sampling
+// changes how much telemetry a fleet emits, never *which* telemetry,
+// and the sampled trace stays byte-reproducible.
+//
+// rate <= 0 means sampling is off (keep everything, the default);
+// rate >= 1 likewise keeps everything.
+func SampleDevice(device string, rate float64) bool {
+	if rate <= 0 || rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(device))
+	// Top 53 bits → uniform float in [0,1).
+	u := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	return u < rate
+}

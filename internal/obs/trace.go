@@ -217,6 +217,37 @@ func (t *Tracer) Discard(id string) {
 	t.mu.Unlock()
 }
 
+// Graft appends an already-closed span under parent (or under the root
+// when parent is nil), minting its ID from the trace's retained
+// counter. It exists for layers that annotate a *finished* trace — the
+// multi-tenant scheduler stitches its admit/queue-wait/dispatch spans
+// onto the engine's tree after Take — and, because WriteJSONL walks
+// depth-first in creation order, grafting a new last child of the root
+// appends lines at the end of the file: the engine-only trace stays a
+// byte prefix of the server trace. Nil-safe; not safe for concurrent
+// use (the trace has been taken out of the tracer by then).
+func (qt *QueryTrace) Graft(parent *Span, name string, party Party, start, end time.Time) *Span {
+	if qt == nil || qt.Root == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = qt.Root
+	}
+	if qt.nextID < 2 {
+		max := 0
+		qt.Walk(func(s *Span) {
+			if s.ID > max {
+				max = s.ID
+			}
+		})
+		qt.nextID = max + 1
+	}
+	s := &Span{ID: qt.nextID, Parent: parent.ID, Name: name, Party: party, Start: start, End: end}
+	qt.nextID++
+	parent.Children = append(parent.Children, s)
+	return s
+}
+
 // spanLine and eventLine are the JSONL wire forms. Timestamps are
 // nanosecond offsets from SimOrigin, so files from different runs diff
 // cleanly.

@@ -51,6 +51,14 @@ func (s *Sharded) WithTracer(tr *obs.Tracer) {
 	}
 }
 
+// WithJournal mirrors ledger events of every stripe into j. Like the
+// tracer, the journal is keyed by query ID and safe for concurrent use.
+func (s *Sharded) WithJournal(j *obs.Journal) {
+	for _, sh := range s.shards {
+		sh.WithJournal(j)
+	}
+}
+
 // Shards reports the stripe count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 

@@ -184,7 +184,8 @@ func (o *Observation) clone() Observation {
 type SSI struct {
 	mu      sync.Mutex
 	queries map[string]*QueryState
-	trace   *obs.Tracer // nil-safe; mirrors ledger events as SSI-party trace events
+	trace   *obs.Tracer  // nil-safe; mirrors ledger events as SSI-party trace events
+	journal *obs.Journal // nil-safe; mirrors ledger events as SSI-party journal records
 }
 
 // New returns an empty SSI.
@@ -197,6 +198,12 @@ func New() *SSI {
 // guarantees the mirror carries ciphertext volumes and timings, nothing
 // else — exactly the honest-but-curious view.
 func (s *SSI) WithTracer(tr *obs.Tracer) { s.trace = tr }
+
+// WithJournal mirrors every recorded ledger event into j as an SSI-party
+// journal record. The Detail field carries only the ledger entry's kind —
+// a closed vocabulary the SSI itself minted — so the journal leaks
+// nothing beyond the ledger the SSI already keeps.
+func (s *SSI) WithJournal(j *obs.Journal) { s.journal = j }
 
 // PostQuery deposits a query in the global querybox (step 1 of Fig. 2).
 func (s *SSI) PostQuery(post *protocol.QueryPost, now time.Time) error {
@@ -350,6 +357,11 @@ func (s *SSI) Record(id string, e LedgerEntry) {
 	st.ledger = append(st.ledger, e)
 	s.trace.SSIEvent(id, e.Kind, e.Device, e.At,
 		obs.CipherFacts{Attempt: e.Attempt, Wait: e.Wait})
+	s.journal.Emit(id, obs.JournalEvent{
+		Kind: obs.JournalLedger, Phase: e.Phase, Party: obs.PartySSI,
+		Device: e.Device, Detail: e.Kind, At: e.At,
+		Facts: obs.CipherFacts{Attempt: e.Attempt, Wait: e.Wait},
+	})
 }
 
 // LedgerFor returns a copy of the recovery ledger of a query.

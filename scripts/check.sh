@@ -47,6 +47,9 @@ go test -race -count=1 ./internal/core -run 'Adversary|Integrity' \
 echo "==> multi-tenant scheduler gate"
 go test -race -count=1 ./internal/core -run 'Server|ConcurrentQueryDeterminism'
 
+echo "==> journal determinism and cost-model conformance gate"
+go test -race -count=1 ./internal/core -run 'Journal|Conformance'
+
 if [ "$short" -eq 0 ]; then
     echo "==> go test -race"
     go test -race ./...

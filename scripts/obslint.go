@@ -1,12 +1,21 @@
-// Command obslint enforces the repo's simulated-clock discipline: no file
-// under internal/ may call time.Now() directly. All simulated timestamps
-// must flow through obs.SimClock and the single sanctioned wall-clock
-// escape hatch, obs.Wall() (internal/obs/clock.go) — otherwise traces and
-// metrics stop being deterministic across runs and worker counts.
+// Command obslint enforces the repo's observability discipline:
+//
+//   - No file under internal/ may call time.Now() directly. All simulated
+//     timestamps must flow through obs.SimClock and the single sanctioned
+//     wall-clock escape hatch, obs.Wall() (internal/obs/clock.go) —
+//     otherwise traces and metrics stop being deterministic across runs
+//     and worker counts.
+//
+//   - The journal-emitting packages (internal/core, internal/ssi,
+//     internal/tds) may not import encoding/json. The journal's wire form
+//     is byte-pinned by internal/obs's canonical encoder; a second JSON
+//     path in an emitting package is how ad-hoc, non-deterministic
+//     serialization sneaks into the telemetry surface.
 //
 // Usage: go run ./scripts/obslint.go [dir]   (dir defaults to internal)
 //
-// Test files are exempt: they may time out, poll or measure wall time.
+// Test files are exempt: they may time out, poll, measure wall time and
+// unmarshal artifacts for assertions.
 package main
 
 import (
@@ -21,6 +30,14 @@ import (
 // allowed are the files sanctioned to touch the wall clock.
 var allowed = map[string]bool{
 	filepath.Join("internal", "obs", "clock.go"): true,
+}
+
+// noJSON are the journal-emitting packages barred from importing
+// encoding/json directly.
+var noJSON = map[string]bool{
+	filepath.Join("internal", "core"): true,
+	filepath.Join("internal", "ssi"):  true,
+	filepath.Join("internal", "tds"):  true,
 }
 
 func main() {
@@ -39,7 +56,7 @@ func main() {
 		if allowed[filepath.Clean(path)] {
 			return nil
 		}
-		hits, err := lintFile(path)
+		hits, err := lintFile(path, noJSON[filepath.Dir(filepath.Clean(path))])
 		if err != nil {
 			return err
 		}
@@ -54,16 +71,18 @@ func main() {
 		os.Exit(2)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "obslint: %d direct time.Now() call(s) in %s/; use obs.SimClock or obs.Wall()\n", bad, root)
+		fmt.Fprintf(os.Stderr, "obslint: %d violation(s) in %s/; use obs.SimClock/obs.Wall() for time, internal/obs for journal encoding\n", bad, root)
 		os.Exit(1)
 	}
 }
 
 // lintFile reports every non-comment line of one file that calls
-// time.Now(. A leading // comment or a trailing // comment does not
-// count; string literals are not special-cased (no legitimate Go source
-// embeds "time.Now(" in a string here).
-func lintFile(path string) ([]string, error) {
+// time.Now( — and, when banJSON is set, every encoding/json import. A
+// leading // comment or a trailing // comment does not count; string
+// literals are not special-cased (no legitimate Go source embeds
+// "time.Now(" in a string here, and the import path match requires the
+// quotes).
+func lintFile(path string, banJSON bool) ([]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -97,6 +116,10 @@ func lintFile(path string) ([]string, error) {
 		}
 		if strings.Contains(text, "time.Now(") {
 			hits = append(hits, fmt.Sprintf("%s:%d: direct time.Now() call", path, line))
+		}
+		if banJSON && strings.Contains(text, `"encoding/json"`) {
+			hits = append(hits, fmt.Sprintf(
+				"%s:%d: encoding/json import in a journal-emitting package; emit through internal/obs", path, line))
 		}
 	}
 	return hits, sc.Err()
