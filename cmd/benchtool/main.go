@@ -51,7 +51,16 @@ func main() {
 	concurrentFleet := flag.Int("concurrent-fleet", 200, "concurrent-sweep: fleet size")
 	concurrentQueries := flag.String("concurrent-queries", "1,16,256", "concurrent-sweep: comma-separated in-flight query counts")
 	concurrentInflight := flag.Int("concurrent-inflight", 0, "concurrent-sweep: Server MaxInFlight (0 = GOMAXPROCS)")
+	rotationScenario := flag.Bool("rotation-scenario", false, "measure a collection pass with a live mid-query key rotation and merge the records into -fleet-out")
+	rotationFleet := flag.Int("rotation-fleet", 100000, "rotation-scenario: packed fleet size")
 	flag.Parse()
+	if *rotationScenario {
+		if err := runRotationScenario(*fleetOut, *rotationFleet, *fleetIters, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtool:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *concurrentSweep {
 		if err := runConcurrentSweep(*concurrentOut, *concurrentQueries, *concurrentFleet, *concurrentInflight, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtool:", err)

@@ -16,6 +16,13 @@
 // uploads, slow devices and crash-before-commit during the aggregation
 // phases. The run then reports its coverage ratio and recovery account.
 //
+// The -rotate-every/-revoke-ids flags exercise the live key lifecycle:
+// a signed trust-bundle rotation (and optional broadcast revocation)
+// begins mid-collection and rolls out in staged waves while the query is
+// in flight. The grace window keeps both epochs serving until the rollout
+// completes; the run reports how many stale deposits were retried and
+// which devices stayed expelled.
+//
 // The -ssi-adversary flag upgrades the threat model from honest-but-curious
 // to weakly malicious: the SSI itself misbehaves on schedule (dropping,
 // duplicating, replaying or equivocating ciphertext, forging coverage
@@ -101,6 +108,10 @@ type options struct {
 	ssiPersistent bool
 	verify        bool
 
+	rotateEvery int
+	rotateWaves int
+	revokeIDs   string
+
 	concurrent int
 	inflight   int
 
@@ -120,8 +131,10 @@ func (o options) faultPlan() (*faultplan.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	rot := o.rotationScript()
 	if o.churnOffline == 0 && o.churnDrop == 0 && o.churnCorrupt == 0 &&
-		o.churnSlow == 0 && o.churnCrash == 0 && o.coverageFloor == 0 && script == nil {
+		o.churnSlow == 0 && o.churnCrash == 0 && o.coverageFloor == 0 &&
+		script == nil && rot == nil {
 		return nil, nil
 	}
 	return &faultplan.Plan{
@@ -133,7 +146,34 @@ func (o options) faultPlan() (*faultplan.Plan, error) {
 		CrashFraction:   o.churnCrash,
 		CoverageFloor:   o.coverageFloor,
 		SSI:             script,
+		Rotation:        rot,
 	}, nil
+}
+
+// rotationScript turns the -rotate-every/-rotate-waves/-revoke-ids flags
+// into a live-rotation script, or nil when none is set. -revoke-ids
+// without -rotate-every revokes at the first committed deposit and
+// applies the whole rollout at once.
+func (o options) rotationScript() *faultplan.RotationScript {
+	var ids []string
+	for _, id := range strings.Split(o.revokeIDs, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	if o.rotateEvery <= 0 && len(ids) == 0 {
+		return nil
+	}
+	after := o.rotateEvery
+	if after <= 0 {
+		after = 1
+	}
+	return &faultplan.RotationScript{
+		AfterDeposits: after,
+		Waves:         o.rotateWaves,
+		WaveEvery:     o.rotateEvery,
+		Revoke:        ids,
+	}
 }
 
 // parseSSIScript turns the -ssi-adversary flag's comma-separated behavior
@@ -193,6 +233,12 @@ func main() {
 		"re-strike scripted SSI misbehaviors on every opportunity, including quarantine retries")
 	flag.BoolVar(&o.verify, "verify", true,
 		"verify the SSI against the fleet's deposit commitments (disable to isolate protocol cost)")
+	flag.IntVar(&o.rotateEvery, "rotate-every", 0,
+		"begin a live key rotation after N committed deposits and advance one rollout wave every further N (0 = no rotation)")
+	flag.IntVar(&o.rotateWaves, "rotate-waves", 3,
+		"staged-rollout wave count for -rotate-every / -revoke-ids")
+	flag.StringVar(&o.revokeIDs, "revoke-ids", "",
+		"comma-separated device IDs (e.g. tds-00007) revoked at the rotation point")
 	flag.IntVar(&o.concurrent, "concurrent", 1,
 		"run the query N times at once through the multi-tenant server (N > 1)")
 	flag.IntVar(&o.inflight, "inflight", 0,
@@ -298,6 +344,10 @@ func runOpts(o options) error {
 		if plan.SSI != nil {
 			fmt.Printf("SSI adversary: %v (persistent=%v)\n", plan.SSI.Behaviors, plan.SSI.Persistent)
 		}
+		if rot := plan.Rotation; rot != nil {
+			fmt.Printf("live rotation: after %d deposits, %d waves (one per %d further commits), revoking %d device(s)\n",
+				rot.AfterDeposits, rot.Waves, rot.WaveEvery, len(rot.Revoke))
+		}
 	}
 	fmt.Println("query:", o.query)
 
@@ -355,6 +405,9 @@ func runOpts(o options) error {
 			m.OfflineDevices, m.DroppedDeposits, m.CorruptDeposits, m.Timeouts, m.PartitionsAbandoned)
 		fmt.Printf("  recovery wait (timeouts+backoff)  %v across %d ledger entries\n",
 			m.RetryWait, len(m.Ledger))
+		if plan.Rotation != nil {
+			printRotationReport(eng, m.Ledger)
+		}
 		printRecoveryReport(m.Ledger)
 	}
 	if o.audit > 1 {
@@ -488,6 +541,30 @@ func printAbort(resp *core.Response, err error) {
 		printRecoveryReport(m.Ledger)
 	}
 	printIntegrity(resp.Integrity)
+}
+
+// printRotationReport summarizes the live-rotation account of one run:
+// how far the staged rollout got, how many stale-epoch deposits the grace
+// machinery had to absorb, and which devices stayed expelled.
+func printRotationReport(eng *core.Engine, ledger []ssi.LedgerEntry) {
+	var begun, waves, stale, revokedDeps int
+	for _, le := range ledger {
+		switch le.Kind {
+		case "rotation-begin":
+			begun++
+		case "rotation-wave":
+			waves++
+		case "deposit-stale":
+			stale++
+		case "deposit-revoked":
+			revokedDeps++
+		}
+	}
+	fmt.Printf("  rotation: begun %d, waves applied %d, stale deposits retried %d, revoked deposits rejected %d\n",
+		begun, waves, stale, revokedDeps)
+	if revoked := eng.RevokedDevices(); len(revoked) > 0 {
+		fmt.Printf("  revoked devices: %s\n", strings.Join(revoked, ", "))
+	}
 }
 
 // maxLedgerLines bounds the recovery report; churned thousand-device

@@ -136,7 +136,7 @@ func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.C
 			e.obs.devices.With("offline").Inc()
 			continue
 		}
-		devices = append(devices, collectDevice{slot: idx, id: id, b: b, t: e.fleet[idx]})
+		devices = append(devices, collectDevice{slot: idx, id: id, b: b, t: e.deviceAt(idx)})
 	}
 
 	if r := e.cfg.TraceSampleRate; r > 0 && r < 1 {
@@ -153,6 +153,14 @@ func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.C
 	if err != nil {
 		return err
 	}
+	if len(rs.staleQ) > 0 {
+		// Devices a torn rollout caught on the wrong epoch get one retried
+		// connection each, after the walk, in their original order.
+		end, err = e.retryStaleDevices(ctx, rs, cfgTpl, end)
+		if err != nil {
+			return err
+		}
+	}
 	e.flushRollup(rs, end)
 	rs.clock.AdvanceTo(end)
 
@@ -168,25 +176,42 @@ func (e *Engine) collectionPhase(ctx context.Context, rs *runState, cfgTpl tds.C
 
 // commitDeposit seals one device's tuples in an envelope, applies the
 // scripted transport corruption, and commits it through the SSI's
-// churn-aware path, folding the outcome into the metrics. It returns
-// whether the deposit completed the collection.
+// churn-aware path, folding the outcome into the metrics. The envelope
+// carries the epoch the device actually committed under — during a
+// rotation grace window that may be the previous epoch, which the SSI's
+// grace policy admits. Each envelope that reaches the SSI is one tick of
+// the scripted-rotation trigger clock: commits happen strictly in
+// connection order in both pipelines, so a rotation scripted "after N
+// deposits" strikes the same logical instant at any worker count. It
+// returns whether the deposit completed the collection.
 func (e *Engine) commitDeposit(rs *runState, d collectDevice,
-	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time) (bool, error) {
+	tuples []protocol.WireTuple, stats tds.CollectStats, now time.Time, attempt int) (bool, error) {
+	epoch := d.t.Epoch()
+	if epoch == 0 {
+		epoch = rs.post.Epoch
+	}
 	rs.slab.Grow(1)
-	dep := rs.slab.New(rs.post.ID, d.id, 1, rs.post.Epoch, tuples)
-	dep.Commit = d.t.CommitDeposit(rs.post, 1, tuples)
+	dep := rs.slab.New(rs.post.ID, d.id, attempt, epoch, tuples)
+	dep.Commit = d.t.CommitDeposit(rs.post, attempt, tuples)
 	if d.b.CorruptDeposit {
 		dep.Sum ^= 0x1 // one flipped transport bit; the checksum catches it
 	}
 	accepted, done, err := rs.ssi.DepositEnvelope(rs.post.ID, dep, now)
 	if err != nil {
-		if errors.Is(err, ssi.ErrCorruptDeposit) || errors.Is(err, ssi.ErrStaleDeposit) {
-			e.recordRejected(rs, d, now, err)
+		if errors.Is(err, ssi.ErrCorruptDeposit) || errors.Is(err, ssi.ErrStaleDeposit) ||
+			errors.Is(err, ssi.ErrRevokedDeposit) {
+			e.recordRejected(rs, d, now, err, attempt)
+			if rerr := e.scriptedRotation(rs, now); rerr != nil {
+				return done, rerr
+			}
 			return done, nil
 		}
 		return false, err
 	}
-	e.acceptDeposit(rs, d, accepted, tuples, dep.Commit, stats, now)
+	e.acceptDeposit(rs, d, accepted, tuples, dep.Commit, stats, now, epoch, attempt)
+	if rerr := e.scriptedRotation(rs, now); rerr != nil {
+		return done, rerr
+	}
 	return done, nil
 }
 
@@ -195,7 +220,8 @@ func (e *Engine) commitDeposit(rs *runState, d collectDevice,
 // the envelope's full ciphertext — what the SSI actually watched arrive,
 // whether or not the SIZE cap truncated the accepted count.
 func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted int,
-	tuples []protocol.WireTuple, commit []byte, stats tds.CollectStats, now time.Time) {
+	tuples []protocol.WireTuple, commit []byte, stats tds.CollectStats, now time.Time,
+	epoch, attempt int) {
 	sent, sentBytes := len(tuples), protocol.TotalSize(tuples)
 	rs.metrics.Nt += int64(accepted)
 	if accepted == sent {
@@ -203,10 +229,10 @@ func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted int,
 	}
 	rs.metrics.DepositedDevices++
 	rs.metrics.CollectBytes += int64(sentBytes)
-	rs.recordDepositCommit(d, accepted, tuples, commit)
+	rs.recordDepositCommit(d, accepted, tuples, commit, epoch, attempt)
 	if e.sampled(d.id) {
 		e.obs.tracer.SSIEvent(rs.post.ID, "deposit", d.id, now,
-			obs.CipherFacts{Tuples: accepted, Bytes: int64(sentBytes), Attempt: 1})
+			obs.CipherFacts{Tuples: accepted, Bytes: int64(sentBytes), Attempt: attempt})
 	}
 	e.noteRollup(rs, true, accepted, int64(sentBytes), now)
 	e.obs.devices.With("accepted").Inc()
@@ -220,17 +246,38 @@ func (e *Engine) acceptDeposit(rs *runState, d collectDevice, accepted int,
 
 // recordRejected accounts an envelope the SSI rejected. The rejection does
 // not abort the collection: the querybox stays open and the walk proceeds.
-func (e *Engine) recordRejected(rs *runState, d collectDevice, now time.Time, err error) {
+// A revoked device's deposit lands here when the fault plan scripts it to
+// keep depositing past its expulsion — the SSI's admit gate is the line
+// of defense, and the "deposit-revoked" ledger entry proves it held.
+func (e *Engine) recordRejected(rs *runState, d collectDevice, now time.Time, err error, attempt int) {
 	kind, outcome := "deposit-stale", "stale"
-	if errors.Is(err, ssi.ErrCorruptDeposit) {
+	switch {
+	case errors.Is(err, ssi.ErrCorruptDeposit):
 		kind, outcome = "deposit-corrupt", "corrupt"
 		rs.metrics.CorruptDeposits++
+	case errors.Is(err, ssi.ErrRevokedDeposit):
+		kind, outcome = "deposit-revoked", "revoked"
 	}
 	rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
-		Kind: kind, Phase: "collection", Device: d.id, Attempt: 1, At: now,
+		Kind: kind, Phase: "collection", Device: d.id, Attempt: attempt, At: now,
 	})
 	e.noteRollup(rs, false, 0, 0, now)
 	e.obs.devices.With(outcome).Inc()
+}
+
+// recordStaleDevice accounts a device that connected while a torn rollout
+// left it unable to serve this query's epoch: it has neither migrated to
+// the post's epoch nor kept it as grace material. The connection slot is
+// not spent (the SSI refuses before any transfer); the device queues for
+// one backoff-billed retry after the walk, by which time the rollout may
+// have reached it. The ledger entry makes the degradation auditable.
+func (e *Engine) recordStaleDevice(rs *runState, d collectDevice, now time.Time) {
+	rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+		Kind: "deposit-stale", Phase: "collection", Device: d.id, Attempt: 1, At: now,
+	})
+	rs.staleQ = append(rs.staleQ, d)
+	e.noteRollup(rs, false, 0, 0, now)
+	e.obs.devices.With("stale").Inc()
 }
 
 // recordDropped accounts a device that connected but vanished
@@ -338,6 +385,13 @@ func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds
 			now = now.Add(d.step(interval))
 			continue
 		}
+		if e.isRevoked(d.id) && !rs.revokedAllowed() {
+			// Expelled mid-run: the SSI refuses the connection outright —
+			// no grace for revocation. Same account as a device that could
+			// not answer; no connection slot is spent.
+			e.recordCollectError(rs, d, now)
+			continue
+		}
 		if d.t == nil {
 			// The packed slot wakes for exactly this connection; the
 			// loop-local copy keeps the walk from accumulating devices.
@@ -347,6 +401,12 @@ func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds
 			}
 			d.t = t
 		}
+		if rs.rotScript != nil && e.rotationInProgress() && !d.t.ServesEpoch(post.Epoch) {
+			// A torn rollout left this device on the wrong side of the
+			// epoch boundary; queue it for a post-walk retry.
+			e.recordStaleDevice(rs, d, now)
+			continue
+		}
 		tuples, stats, err := e.collectOne(d.t, post, cfgTpl, now)
 		if err != nil {
 			// A device that cannot answer (stale key epoch, local fault) is
@@ -355,7 +415,68 @@ func (e *Engine) collectSequential(ctx context.Context, rs *runState, cfgTpl tds
 			e.recordCollectError(rs, d, now)
 			continue
 		}
-		done, err := e.commitDeposit(rs, d, tuples, stats, now)
+		done, err := e.commitDeposit(rs, d, tuples, stats, now, 1)
+		if err != nil {
+			return now, err
+		}
+		if done {
+			break
+		}
+		now = now.Add(d.step(interval))
+	}
+	return now, nil
+}
+
+// revokedAllowed reports whether the fault plan scripts revoked devices
+// to keep depositing anyway — the adversarial case where the SSI's admit
+// gate, not the engine-side connection refusal, must hold the line.
+func (rs *runState) revokedAllowed() bool {
+	return rs.rotScript != nil && rs.rotScript.RevokedDeposits
+}
+
+// retryStaleDevices drains the stale queue after the main walk: devices
+// that connected while a torn rollout left them unable to serve the
+// query's epoch get one more connection, in their original order, each
+// billed a second-attempt backoff. By now the scripted waves (or a
+// completed rollout) may have migrated them; a device still stale — or
+// revoked meanwhile — degrades to the collect-error account, never to a
+// wrong answer.
+func (e *Engine) retryStaleDevices(ctx context.Context, rs *runState, cfgTpl tds.CollectConfig,
+	now time.Time) (time.Time, error) {
+	if len(rs.staleQ) == 0 {
+		return now, nil
+	}
+	post := rs.post
+	interval := e.cfg.ConnectionInterval
+	cfgTpl.Arena = &tdscrypto.Arena{}
+	queue := rs.staleQ
+	rs.staleQ = nil
+	for _, d := range queue {
+		if rs.ssi.CollectionDone(post.ID, now) {
+			break
+		}
+		if err := ctxErr(ctx); err != nil {
+			return now, err
+		}
+		t, err := e.materializeDevice(d.slot)
+		if err != nil {
+			return now, err
+		}
+		d.t = t
+		if e.isRevoked(d.id) || !d.t.ServesEpoch(post.Epoch) {
+			e.recordCollectError(rs, d, now)
+			continue
+		}
+		wait := rs.faults.RetryWait(2)
+		rs.metrics.RetryWait += wait
+		e.obs.retryWait.Add(wait.Seconds())
+		now = now.Add(wait)
+		tuples, stats, err := e.collectOne(d.t, post, cfgTpl, now)
+		if err != nil {
+			e.recordCollectError(rs, d, now)
+			continue
+		}
+		done, err := e.commitDeposit(rs, d, tuples, stats, now, 2)
 		if err != nil {
 			return now, err
 		}
@@ -405,7 +526,7 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 		var wg sync.WaitGroup
 		spec := now
 		for j, d := range wave {
-			if !d.b.DropDeposit {
+			if !d.b.DropDeposit && !(e.isRevoked(d.id) && !rs.revokedAllowed()) {
 				wg.Add(1)
 				go func(j int, d collectDevice, spec time.Time) {
 					defer wg.Done()
@@ -428,7 +549,7 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 		wg.Wait()
 
 		// Commit phase, strictly in connection order.
-		if interval == 0 {
+		if interval == 0 && rs.rotScript == nil {
 			// Every speculative clock equals the actual one, and the Done
 			// flag can only flip inside a deposit (the DURATION window
 			// cannot expire while the clock stands still) — so the whole
@@ -448,22 +569,49 @@ func (e *Engine) collectParallel(ctx context.Context, rs *runState, cfgTpl tds.C
 				now = now.Add(d.step(interval))
 				continue
 			}
+			if e.isRevoked(d.id) && !rs.revokedAllowed() {
+				// Revoked between walk start and this commit slot (or
+				// skipped at launch): refused exactly as the sequential
+				// walk refuses it.
+				e.recordCollectError(rs, d, now)
+				continue
+			}
 			r := res[j]
 			if r.fatal != nil {
 				return now, r.fatal
 			}
 			d.t = r.t
-			if !r.specNow.Equal(now) {
+			if rs.rotScript != nil && e.deviceAt(d.slot) == nil {
+				// A scripted rotation fires at commit points, after this
+				// wave speculated: the packed slot may have migrated since
+				// it was materialized. Rebuild it in its commit-point state
+				// — the state the sequential walk materializes — so the
+				// epoch it commits under is identical at any worker count.
+				t, err := e.materializeDevice(d.slot)
+				if err != nil {
+					return now, err
+				}
+				d.t = t
+				r.t = t
+			}
+			if rs.rotScript != nil && e.rotationInProgress() && !d.t.ServesEpoch(post.Epoch) {
+				e.recordStaleDevice(rs, d, now)
+				continue
+			}
+			if !r.specNow.Equal(now) || (rs.rotScript != nil && r.err != nil) {
 				// An earlier device errored, so simulated time advanced less
-				// than predicted. Redo this device at the actual clock; the
-				// per-device RNG makes the redo deterministic.
+				// than predicted — or a scripted rotation landed a wave after
+				// this device speculated, so its failure may be pre-migration
+				// state. Redo at the commit-point clock and device state —
+				// exactly what the sequential walk sees; the per-device RNG
+				// makes the redo deterministic.
 				r.tuples, r.stats, r.err = e.collectOne(d.t, post, cfgTpl, now)
 			}
 			if r.err != nil {
 				e.recordCollectError(rs, d, now)
 				continue
 			}
-			done, err := e.commitDeposit(rs, d, r.tuples, r.stats, now)
+			done, err := e.commitDeposit(rs, d, r.tuples, r.stats, now, 1)
 			if err != nil {
 				return now, err
 			}
@@ -497,7 +645,11 @@ func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []colle
 		if res[j].err != nil {
 			continue
 		}
-		dep := rs.slab.New(post.ID, wave[j].id, 1, post.Epoch, res[j].tuples)
+		epoch := res[j].t.Epoch()
+		if epoch == 0 {
+			epoch = post.Epoch
+		}
+		dep := rs.slab.New(post.ID, wave[j].id, 1, epoch, res[j].tuples)
 		dep.Commit = res[j].t.CommitDeposit(post, 1, res[j].tuples)
 		if wave[j].b.CorruptDeposit {
 			dep.Sum ^= 0x1
@@ -529,12 +681,12 @@ func (e *Engine) commitWaveBatch(rs *runState, wave []collectDevice, res []colle
 		default:
 			if b < limitBatch {
 				if out[b].Err != nil {
-					e.recordRejected(rs, wave[j], now, out[b].Err)
+					e.recordRejected(rs, wave[j], now, out[b].Err, 1)
 				} else {
 					d := wave[j]
 					d.t = res[j].t // a SIZE-truncated acceptance re-commits through it
 					e.acceptDeposit(rs, d, out[b].Accepted, res[j].tuples,
-						deps[b].Commit, res[j].stats, now)
+						deps[b].Commit, res[j].stats, now, deps[b].Epoch, 1)
 				}
 			}
 			b++

@@ -133,7 +133,25 @@ type Engine struct {
 	seq       int
 	discovery map[string]*discovered // cached A_G distributions
 
-	// Broadcast revocation state (lazily initialized by RevokeAndRotate).
+	// life guards the fleet's enrollment state against live rotation and
+	// revocation: the key authority's epoch, keys/verifier, eager fleet
+	// slot replacement, packed slot epochs, the revocation set, and the
+	// rotation coordinator state. Queries hold it only for pointer-sized
+	// reads on hot paths; lifecycle operations take it exclusively.
+	life sync.RWMutex
+	// rot is the in-progress live rotation (rotation.go); nil otherwise.
+	rot *rotationState
+	// bundleSeq is the trust-bundle distribution counter: the Version of
+	// the last bundle published, which devices enforce monotonicity
+	// against.
+	bundleSeq uint64
+	// commCache shares one k2 committer per wire epoch for verifying
+	// deposits across a rotation boundary (guarded by kmMu, like
+	// kmCache).
+	commCache map[int]*tdscrypto.Committer
+
+	// Broadcast revocation state (lazily initialized by RevokeAndRotate
+	// and BeginRotation).
 	bcast      *tdscrypto.BroadcastAuthority
 	deviceKeys map[string]tdscrypto.DeviceKeySet
 	revoked    map[string]bool
@@ -209,11 +227,13 @@ func (e *Engine) newTDS(id string, db *storage.LocalDB, ring tdscrypto.KeyRing) 
 // dropPlans forgets every compiled plan of a finished query, fleet-wide.
 func (e *Engine) dropPlans(id string) {
 	e.planCache.Drop(id)
+	e.life.RLock()
 	for _, t := range e.fleet {
 		if t != nil { // packed slots hold plans only while materialized
 			t.DropPlan(id)
 		}
 	}
+	e.life.RUnlock()
 	// Devices kept live across queries by the server's shared cache hold
 	// their own local plan maps too.
 	e.devCache.each(func(t *tds.TDS) { t.DropPlan(id) })
@@ -223,8 +243,18 @@ func (e *Engine) dropPlans(id string) {
 // change over time). Queriers built with the new K1 and TDSs enrolled
 // after rotation use the new ring; devices still holding the previous
 // epoch's keys can no longer decrypt new queries and drop out of
-// collection (counted in Metrics.CollectErrors) until re-enrolled.
+// collection (counted in Metrics.CollectErrors) until re-enrolled. This
+// is the hard cutover; BeginRotation (rotation.go) is the live path that
+// migrates a fleet under traffic.
 func (e *Engine) RotateKeys() {
+	e.life.Lock()
+	defer e.life.Unlock()
+	e.rotateKeysLocked()
+}
+
+// rotateKeysLocked advances the epoch under an already-held lifecycle
+// lock.
+func (e *Engine) rotateKeysLocked() {
 	e.keyAuth.Rotate()
 	e.keys = e.keyAuth.Ring()
 	e.verifier = tdscrypto.NewCommitter(e.keys.K2)
@@ -234,6 +264,9 @@ func (e *Engine) RotateKeys() {
 // as a fleet-wide firmware/key update would. Compromised devices remain
 // compromised — re-enrollment changes keys, not silicon.
 func (e *Engine) ReenrollAll() error {
+	e.life.Lock()
+	defer e.life.Unlock()
+	wire := int(e.keyAuth.Epoch()) + 1
 	for i, old := range e.fleet {
 		if old == nil {
 			// A packed slot re-enrolls by recording the new epoch; the
@@ -245,6 +278,7 @@ func (e *Engine) ReenrollAll() error {
 		if err != nil {
 			return err
 		}
+		t.SetEpoch(wire)
 		t.Corrupt = old.Corrupt
 		e.fleet[i] = t
 	}
@@ -265,51 +299,34 @@ func (e *Engine) RevokeAndRotate(ids ...string) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("core: RevokeAndRotate needs at least one device ID")
 	}
-	if e.bcast == nil {
-		// Lazily stand up the broadcast tree. On real hardware the path
-		// keys are installed at enrollment; the simulation issues them
-		// retroactively from the fleet roster.
-		bc, err := tdscrypto.NewBroadcastAuthority(e.cfg.MasterKey, len(e.fleet))
-		if err != nil {
-			return err
-		}
-		e.bcast = bc
-		e.deviceKeys = make(map[string]tdscrypto.DeviceKeySet, len(e.fleet))
-		e.revoked = make(map[string]bool)
-		for slot := range e.fleet {
-			dk, err := bc.DeviceKeys(slot)
-			if err != nil {
-				return err
-			}
-			e.deviceKeys[e.deviceID(slot)] = dk
-		}
+	e.life.Lock()
+	defer e.life.Unlock()
+	if e.rot != nil {
+		return fmt.Errorf("core: a live rotation is in progress; complete it before the hard cutover")
 	}
-	slotOf := make(map[string]int, len(e.fleet))
-	for i := range e.fleet {
-		slotOf[e.deviceID(i)] = i
+	if err := e.ensureBroadcastLocked(); err != nil {
+		return err
 	}
-	for _, id := range ids {
-		slot, ok := slotOf[id]
-		if !ok {
-			return fmt.Errorf("core: unknown device %q", id)
-		}
-		if err := e.bcast.Revoke(slot); err != nil {
-			return err
-		}
-		e.revoked[id] = true
+	if err := e.revokeSlotsLocked(ids); err != nil {
+		return err
 	}
 
-	e.RotateKeys()
+	e.rotateKeysLocked()
 	msg, err := e.bcast.BroadcastRing(e.keys)
 	if err != nil {
 		return err
 	}
+	wire := int(e.keyAuth.Epoch()) + 1
 	for i, old := range e.fleet {
-		id := e.deviceID(i)
+		id := e.deviceIDLocked(i)
 		if e.revoked[id] {
 			continue // cannot open the broadcast; stays on the dead epoch
 		}
-		ring, err := e.deviceKeys[id].OpenRing(msg)
+		dk, err := e.deviceKeysLocked(i)
+		if err != nil {
+			return err
+		}
+		ring, err := dk.OpenRing(msg)
 		if err != nil {
 			return fmt.Errorf("core: device %s failed to open the key broadcast: %w", id, err)
 		}
@@ -324,15 +341,105 @@ func (e *Engine) RevokeAndRotate(ids ...string) error {
 		if err != nil {
 			return err
 		}
+		t.SetEpoch(wire)
 		t.Corrupt = old.Corrupt
 		e.fleet[i] = t
 	}
+	e.pushEpochPolicyLocked(false)
 	e.devCache.purge() // same epoch argument as ReenrollAll
 	return nil
 }
 
+// ensureBroadcastLocked lazily stands up the broadcast tree. On real
+// hardware the path keys are installed at enrollment; the simulation
+// issues them retroactively (and on demand) from the fleet roster.
+func (e *Engine) ensureBroadcastLocked() error {
+	if e.bcast != nil {
+		return nil
+	}
+	bc, err := tdscrypto.NewBroadcastAuthority(e.cfg.MasterKey, len(e.fleet))
+	if err != nil {
+		return err
+	}
+	e.bcast = bc
+	e.deviceKeys = make(map[string]tdscrypto.DeviceKeySet)
+	if e.revoked == nil {
+		e.revoked = make(map[string]bool)
+	}
+	return nil
+}
+
+// deviceKeysLocked derives (and caches) one slot's broadcast path keys.
+// Lazy derivation keeps million-device fleets from paying a full-tree
+// key issue up front.
+func (e *Engine) deviceKeysLocked(slot int) (tdscrypto.DeviceKeySet, error) {
+	id := e.deviceIDLocked(slot)
+	if dk, ok := e.deviceKeys[id]; ok {
+		return dk, nil
+	}
+	dk, err := e.bcast.DeviceKeys(slot)
+	if err != nil {
+		return tdscrypto.DeviceKeySet{}, err
+	}
+	e.deviceKeys[id] = dk
+	return dk, nil
+}
+
+// revokeSlotsLocked expels the named devices: broadcast-tree revocation
+// plus the engine's revocation set.
+func (e *Engine) revokeSlotsLocked(ids []string) error {
+	slotOf := make(map[string]int, len(e.fleet))
+	for i := range e.fleet {
+		slotOf[e.deviceIDLocked(i)] = i
+	}
+	for _, id := range ids {
+		slot, ok := slotOf[id]
+		if !ok {
+			return fmt.Errorf("core: unknown device %q", id)
+		}
+		if err := e.bcast.Revoke(slot); err != nil {
+			return err
+		}
+		e.revoked[id] = true
+	}
+	return nil
+}
+
+// revokedListLocked returns the revocation set in sorted order — the
+// deterministic form trust bundles and SSI policies carry.
+func (e *Engine) revokedListLocked() []string {
+	if len(e.revoked) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(e.revoked))
+	for id := range e.revoked {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pushEpochPolicyLocked installs the current epoch/grace/revocation admit
+// policy on the SSI, when the SSI supports it. Implementations that do
+// not (bare test doubles) keep exact-epoch matching, which is safe —
+// grace deposits degrade to deposit-stale rejections, never to wrong
+// answers.
+func (e *Engine) pushEpochPolicyLocked(grace bool) {
+	h, ok := e.ssi.(ssi.EpochPolicyHolder)
+	if !ok {
+		return
+	}
+	h.SetEpochPolicy(ssi.EpochPolicy{
+		Epoch:   int(e.keyAuth.Epoch()) + 1,
+		Grace:   grace,
+		Revoked: e.revokedListLocked(),
+	})
+}
+
 // RevokedDevices returns the IDs expelled so far, in no particular order.
 func (e *Engine) RevokedDevices() []string {
+	e.life.RLock()
+	defer e.life.RUnlock()
 	out := make([]string, 0, len(e.revoked))
 	for id := range e.revoked {
 		out = append(out, id)
@@ -345,7 +452,11 @@ func (e *Engine) RevokedDevices() []string {
 func (e *Engine) Authority() *accessctl.Authority { return e.authority }
 
 // K1 returns the querier-side key of the current ring.
-func (e *Engine) K1() tdscrypto.Key { return e.keys.K1 }
+func (e *Engine) K1() tdscrypto.Key {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	return e.keys.K1
+}
 
 // Schema returns the common schema.
 func (e *Engine) Schema() *storage.Schema { return e.schema }
@@ -362,11 +473,14 @@ func (e *Engine) FleetSize() int { return len(e.fleet) }
 // extended threat model is active, a deterministic share of devices is
 // marked compromised at enrollment.
 func (e *Engine) AddTDS(db *storage.LocalDB) (*tds.TDS, error) {
+	e.life.Lock()
+	defer e.life.Unlock()
 	id := fmt.Sprintf("tds-%05d", len(e.fleet))
 	t, err := e.newTDS(id, db, e.keys)
 	if err != nil {
 		return nil, err
 	}
+	t.SetEpoch(int(e.keyAuth.Epoch()) + 1)
 	if f := e.cfg.CompromisedFraction; f > 0 {
 		r := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(id)) ^ 0x5eed))
 		t.Corrupt = r.Float64() < f
@@ -403,6 +517,8 @@ func (e *Engine) nextQueryID() string {
 // envelopes. KeyAuthority epochs are 0-based; on the wire 0 means
 // "unknown", so the first epoch transmits as 1.
 func (e *Engine) wireEpoch() int {
+	e.life.RLock()
+	defer e.life.RUnlock()
 	return int(e.keyAuth.Epoch()) + 1
 }
 
@@ -605,13 +721,27 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 	phaseStart := rs.clock.Now()
 	var stats phaseStats
 	// Revoked devices cannot open the current epoch's queries; the SSI
-	// never hands them partitions (the revocation list is public). The
+	// never hands them partitions (the revocation list is public). Nor
+	// can a device on the wrong side of a live rotation boundary open
+	// this query's epoch — drawing it as a worker would turn a staged
+	// rollout into a phase failure, so the draw pool is epoch-aware. The
 	// live set holds fleet slots, not devices — packed slots materialize
 	// only when actually drawn.
 	live := make([]int, 0, len(e.fleet))
 	for slot := range e.fleet {
-		if !e.revoked[e.deviceID(slot)] {
+		if !e.isRevoked(e.deviceID(slot)) && e.slotServes(slot, post.Epoch) {
 			live = append(live, slot)
+		}
+	}
+	if len(live) == 0 {
+		// A fully stale fleet (hard cutover, nobody re-enrolled) still
+		// runs the protocol and fails per-device, exactly like collection
+		// did; the epoch filter only narrows the pool while a mix of
+		// epochs is live, as during a staged rotation.
+		for slot := range e.fleet {
+			if !e.isRevoked(e.deviceID(slot)) {
+				live = append(live, slot)
+			}
 		}
 	}
 	if len(live) == 0 {

@@ -71,8 +71,14 @@ func (p *packedFleet) region(slot int) []byte {
 // would. Disabled (max == 0) outside a Server, where single-query walks
 // over million-device fleets must not accumulate live devices.
 type deviceCache struct {
-	mu   sync.Mutex
-	max  int
+	mu  sync.Mutex
+	max int
+	// gen is the purge generation. A materialization started before a
+	// purge must not land after it: put discards inserts whose observed
+	// generation is stale, so a rotation or revocation that purged the
+	// cache can never be undone by an in-flight materializeDevice
+	// resurrecting pre-purge (possibly revoked) key material.
+	gen  uint64
 	devs map[int]*tds.TDS
 }
 
@@ -86,19 +92,25 @@ func (c *deviceCache) enable(max int) {
 	}
 }
 
-func (c *deviceCache) get(slot int) *tds.TDS {
+// get returns the cached device for slot (nil when absent) and the purge
+// generation the lookup observed; hand that generation back to put.
+func (c *deviceCache) get(slot int) (*tds.TDS, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.devs[slot]
+	return c.devs[slot], c.gen
 }
 
-// put caches one materialized device. A full cache stays as it is — the
-// bound is a memory promise, not an eviction policy; the hot low-numbered
-// waves of concurrent collections are exactly what it retains.
-func (c *deviceCache) put(slot int, t *tds.TDS) {
+// put caches one materialized device, but only when the cache generation
+// is still the one the caller's get observed: a purge in between means
+// the fleet's enrollment state moved while the device was being built,
+// and inserting it would resurrect stale key material. A full cache stays
+// as it is — the bound is a memory promise, not an eviction policy; the
+// hot low-numbered waves of concurrent collections are exactly what it
+// retains.
+func (c *deviceCache) put(slot int, t *tds.TDS, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.max <= 0 || len(c.devs) >= c.max {
+	if gen != c.gen || c.max <= 0 || len(c.devs) >= c.max {
 		return
 	}
 	if _, ok := c.devs[slot]; !ok {
@@ -106,12 +118,14 @@ func (c *deviceCache) put(slot int, t *tds.TDS) {
 	}
 }
 
-// purge empties the cache — required whenever slot epochs move
-// (re-enrollment, revocation), since a cached device embodies the key
-// material of the epoch it was materialized at.
+// purge empties the cache and advances the generation — required whenever
+// slot epochs move (re-enrollment, revocation, rotation waves), since a
+// cached device embodies the key material of the epoch it was
+// materialized at.
 func (c *deviceCache) purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	if c.devs != nil {
 		c.devs = make(map[int]*tds.TDS)
 	}
@@ -132,10 +146,35 @@ func packedID(slot int) string { return fmt.Sprintf("tds-%05d", slot) }
 
 // deviceID names a fleet slot without materializing it.
 func (e *Engine) deviceID(slot int) string {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	return e.deviceIDLocked(slot)
+}
+
+// deviceIDLocked is deviceID for callers already holding the lifecycle
+// lock (rotation and revocation replace eager slots in place, so the
+// slot read needs it).
+func (e *Engine) deviceIDLocked(slot int) string {
 	if t := e.fleet[slot]; t != nil {
 		return t.ID
 	}
 	return packedID(slot)
+}
+
+// deviceAt reads one fleet slot under the lifecycle lock.
+func (e *Engine) deviceAt(slot int) *tds.TDS {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	return e.fleet[slot]
+}
+
+// isRevoked reports whether a device ID has been expelled, under the
+// lifecycle read lock — hot paths (live-list builds, collection walks)
+// would otherwise race a concurrent revocation.
+func (e *Engine) isRevoked(id string) bool {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	return e.revoked[id]
 }
 
 // keyMaterial expands (and caches) the key ring of one epoch. Every
@@ -162,28 +201,79 @@ func (e *Engine) keyMaterial(epoch uint32) (*tds.KeyMaterial, error) {
 // materializeDevice rebuilds one packed slot into a live TDS: unpack the
 // database against the fleet's shared schema (so the shared plan cache
 // keys match), borrow the epoch's expanded key material, and restore the
-// enrollment-time corruption flag. Safe for concurrent use; the caller
-// owns the returned device and drops it when the connection ends.
+// enrollment-time corruption flag. A slot that migrated during a
+// still-open rotation grace window comes back exactly as a device that
+// lived through the migration: new primary material, previous epoch's
+// material held as grace. Safe for concurrent use; the caller owns the
+// returned device and drops it when the connection ends.
 func (e *Engine) materializeDevice(slot int) (*tds.TDS, error) {
-	if t := e.fleet[slot]; t != nil {
+	if t := e.deviceAt(slot); t != nil {
 		return t, nil
 	}
-	if t := e.devCache.get(slot); t != nil {
-		return t, nil
+	cached, gen := e.devCache.get(slot)
+	if cached != nil {
+		return cached, nil
 	}
 	db, err := storage.UnpackDB(e.schema, e.packed.region(slot))
 	if err != nil {
 		return nil, fmt.Errorf("core: slot %d: %w", slot, err)
 	}
-	km, err := e.keyMaterial(e.packed.epoch[slot])
+	e.life.RLock()
+	epoch := e.packed.epoch[slot]
+	corrupt := e.packed.corrupt[slot]
+	grace := e.rot != nil && epoch == e.rot.newEpoch && epoch > 0
+	e.life.RUnlock()
+	km, err := e.keyMaterial(epoch)
 	if err != nil {
 		return nil, err
 	}
-	t := tds.NewWithMaterial(packedID(slot), db, km, e.cfg.Policy, e.authority)
+	var t *tds.TDS
+	if grace {
+		// Build the device at its pre-migration epoch, then migrate it —
+		// the same state transition the live rotation performed, so the
+		// rebuilt device keeps serving in-flight old-epoch queries.
+		prevKM, err := e.keyMaterial(epoch - 1)
+		if err != nil {
+			return nil, err
+		}
+		t = tds.NewWithMaterial(packedID(slot), db, prevKM, e.cfg.Policy, e.authority)
+		t.SetEpoch(int(epoch)) // old wire epoch: (epoch-1)+1
+		t.Migrate(int(epoch)+1, km)
+	} else {
+		t = tds.NewWithMaterial(packedID(slot), db, km, e.cfg.Policy, e.authority)
+		t.SetEpoch(int(epoch) + 1)
+	}
 	t.Shared = e.planCache
-	t.Corrupt = e.packed.corrupt[slot]
-	e.devCache.put(slot, t)
+	t.Corrupt = corrupt
+	e.devCache.put(slot, t, gen)
 	return t, nil
+}
+
+// slotServes reports whether the device in one fleet slot can open
+// queries posted at the given wire epoch — without materializing packed
+// slots. During a live rotation's grace window a migrated device serves
+// its new epoch and the previous one; an unmigrated device serves only
+// its own. Epoch 0 means "unknown" and matches everything.
+func (e *Engine) slotServes(slot, wireEpoch int) bool {
+	if wireEpoch == 0 {
+		return true
+	}
+	e.life.RLock()
+	t := e.fleet[slot]
+	var epoch uint32
+	var grace bool
+	if t == nil {
+		epoch = e.packed.epoch[slot]
+		grace = e.rot != nil && epoch == e.rot.newEpoch && epoch > 0
+	}
+	e.life.RUnlock()
+	if t != nil {
+		return t.ServesEpoch(wireEpoch)
+	}
+	if int(epoch)+1 == wireEpoch {
+		return true
+	}
+	return grace && int(epoch) == wireEpoch
 }
 
 // runDevice materializes a slot for the rest of one run, caching the
@@ -192,7 +282,7 @@ func (e *Engine) materializeDevice(slot int) (*tds.TDS, error) {
 // deliberately bypasses this cache: a walk over a million-device fleet
 // must not accumulate a million live devices.
 func (e *Engine) runDevice(rs *runState, slot int) (*tds.TDS, error) {
-	if t := e.fleet[slot]; t != nil {
+	if t := e.deviceAt(slot); t != nil {
 		return t, nil
 	}
 	if t, ok := rs.devs[slot]; ok {

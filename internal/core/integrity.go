@@ -32,7 +32,12 @@ type depositRecord struct {
 	device   string
 	attempt  int
 	accepted int
-	commit   []byte
+	// epoch is the wire epoch the device committed under. During a
+	// rotation grace window deposits of epoch e and e-1 legitimately
+	// coexist in one covering result; each record verifies against its
+	// own epoch's k2 committer.
+	epoch  int
+	commit []byte
 }
 
 // integrityState accumulates one run's verification context.
@@ -87,15 +92,16 @@ func (rs *runState) integrityReport() *IntegrityReport {
 // acknowledgment), so the record always binds exactly the tuples that
 // should be in storage.
 func (rs *runState) recordDepositCommit(d collectDevice, accepted int,
-	tuples []protocol.WireTuple, commit []byte) {
+	tuples []protocol.WireTuple, commit []byte, epoch, attempt int) {
 	if !rs.verify {
 		return
 	}
 	if accepted < len(tuples) {
-		commit = d.t.CommitDeposit(rs.post, 1, tuples[:accepted])
+		commit = d.t.CommitDeposit(rs.post, attempt, tuples[:accepted])
 	}
 	rs.integ.records = append(rs.integ.records, depositRecord{
-		device: d.id, attempt: 1, accepted: accepted, commit: commit,
+		device: d.id, attempt: attempt, accepted: accepted, epoch: epoch,
+		commit: commit,
 	})
 }
 
@@ -146,12 +152,15 @@ func (e *Engine) verifyCollection(rs *runState) error {
 	// collection root, so verification never holds the covering result
 	// in one slice. The folded digest is byte-identical to the old
 	// collect-all-leaves Fold.
-	fold := e.verifier.StartFold("collection-root")
+	fold := rs.verifier.StartFold("collection-root")
 	off := 0
 	for _, r := range rs.integ.records {
 		slice := rs.ssi.CollectedRange(id, off, off+r.accepted)
 		off += r.accepted
-		want := protocol.DepositCommitment(e.verifier, id, r.device, r.attempt, rs.post.Epoch, slice)
+		// Each record answers to the committer of the epoch it deposited
+		// under — across a rotation boundary the covering result holds
+		// both epochs' deposits, each verifiable only with its own k2.
+		want := protocol.DepositCommitment(e.committerFor(r.epoch), id, r.device, r.attempt, r.epoch, slice)
 		e.noteCheck(rs)
 		if !tdscrypto.CommitEqual(r.commit, want) {
 			fold.Discard()
@@ -183,6 +192,27 @@ func (e *Engine) verifyCollection(rs *runState) error {
 	return nil
 }
 
+// committerFor returns (and caches) the k2 committer of one wire epoch.
+// RingAt is a pure function of the master key, so a query pinned to the
+// epoch it posted at keeps verifying correctly even after the authority
+// rotates underneath it mid-run.
+func (e *Engine) committerFor(wireEpoch int) *tdscrypto.Committer {
+	if wireEpoch < 1 {
+		wireEpoch = 1
+	}
+	e.kmMu.Lock()
+	defer e.kmMu.Unlock()
+	if c, ok := e.commCache[wireEpoch]; ok {
+		return c
+	}
+	c := tdscrypto.NewCommitter(e.keyAuth.RingAt(uint64(wireEpoch - 1)).K2)
+	if e.commCache == nil {
+		e.commCache = make(map[int]*tdscrypto.Committer)
+	}
+	e.commCache[wireEpoch] = c
+	return c
+}
+
 // buildVerified obtains one partition build and verifies it is a
 // permutation of its input before any TDS processes it. A failed check
 // quarantines the build and retries once through the SSI's stashed
@@ -198,7 +228,7 @@ func (e *Engine) buildVerified(rs *runState, phase string, input []protocol.Wire
 	rs.integ.phases++
 	e.noteCheck(rs)
 	if multisetEqual(input, parts) {
-		rs.integ.fold(e.verifier, phase, parts)
+		rs.integ.fold(rs.verifier, phase, parts)
 		return parts, nil
 	}
 	verr := e.integrityViolation(rs, "partition-multiset", phase)
@@ -215,7 +245,7 @@ func (e *Engine) buildVerified(rs *runState, phase string, input []protocol.Wire
 		rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
 			Kind: "integrity-recovered", Phase: phase, At: rs.clock.Now(),
 		})
-		rs.integ.fold(e.verifier, phase, retry)
+		rs.integ.fold(rs.verifier, phase, retry)
 		return retry, nil
 	}
 	return nil, verr

@@ -11,6 +11,7 @@ import (
 	"github.com/trustedcells/tcq/internal/protocol"
 	"github.com/trustedcells/tcq/internal/ssi"
 	"github.com/trustedcells/tcq/internal/tds"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
 )
 
 // engineObs bundles the engine's observability surface: the tracer that
@@ -115,6 +116,21 @@ type runState struct {
 	// slab recycles deposit envelopes across collection waves instead of
 	// allocating one per device.
 	slab protocol.DepositSlab
+	// Live-rotation context. rotScript is the fault plan's scripted
+	// rotation (nil when none); commits counts committed deposit envelopes
+	// in connection order — the worker-count-independent trigger clock the
+	// script fires on; rotStarted is the commit count at which the scripted
+	// rotation began. staleQ queues devices that connected while a torn
+	// rollout left them unable to serve this query's epoch; they are
+	// retried in original connection order once the walk completes.
+	// verifier is the k2 committer of the epoch this query was posted at,
+	// pinned at post time so a mid-run rotation cannot shift what the
+	// engine verifies deposits and partition commitments against.
+	rotScript  *faultplan.RotationScript
+	commits    int
+	rotStarted int
+	staleQ     []collectDevice
+	verifier   *tdscrypto.Committer
 	// roll accumulates the per-wave trace rollups when TraceSampleRate is
 	// fractional; nil at the full-tracing default.
 	roll *collectRollup

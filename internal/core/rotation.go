@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/ssi"
+	"github.com/trustedcells/tcq/internal/tdscrypto"
+)
+
+// Live key lifecycle: rotating and revoking while queries are in flight.
+//
+// RotateKeys + ReenrollAll is a hard cutover — fine between queries,
+// fatal under traffic: every in-flight query posted at the old epoch
+// would lose the rest of its collection the instant the fleet migrates.
+// The live path decomposes the cutover into a coordinated sequence the
+// fleet can absorb mid-query:
+//
+//  1. BeginRotation rotates the authority, publishes one signed
+//     tdscrypto.TrustBundle (new epoch + revocation set + the new ring
+//     broadcast-encrypted to exactly the surviving devices), opens the
+//     SSI's grace window (deposits of epoch e and e-1 both admit; revoked
+//     devices are rejected immediately — no grace for revocation), and
+//     derives the staged rollout schedule.
+//  2. AdvanceRotationWave delivers the bundle to the next wave. Each
+//     migrating device verifies the envelope signature, enforces version
+//     monotonicity (replay defense), opens the broadcast with its own
+//     tree keys, and installs the new ring as primary while keeping the
+//     old epoch's material as grace — so queries posted before its
+//     migration keep opening on it mid-flight.
+//  3. CompleteRotation applies any remaining waves, closes the grace
+//     window on the SSI and the devices, and retires the rotation.
+//
+// The wave schedule is a pure function of (engine seed, target epoch,
+// device ID) — never of slot order, worker count, goroutine scheduling or
+// time — so a rotation scripted at a deterministic trigger point yields
+// bit-identical runs for every CollectWorkers setting, which is what the
+// rotation chaos sweep pins.
+
+// rotationState is the coordinator state of one in-progress rotation,
+// guarded by Engine.life.
+type rotationState struct {
+	prevEpoch uint32 // key-authority epoch the fleet migrates away from
+	newEpoch  uint32 // key-authority epoch the bundle carries
+	version   uint64 // trust-bundle distribution counter of this rotation
+	bundle    []byte // the signed bundle, as published to the SSI
+	waves     [][]int
+	nextWave  int // waves[:nextWave] have been applied
+}
+
+// bundleDelivery is how one rollout wave receives (or fails to receive)
+// the trust bundle.
+type bundleDelivery int
+
+const (
+	deliverBundle bundleDelivery = iota
+	// dropBundle: the SSI loses the bundle; nobody in the wave migrates.
+	dropBundle
+	// replayStaleBundle: the SSI replays the previous distribution's
+	// (validly signed) bundle; every device rejects it on the version
+	// counter and stays unmigrated.
+	replayStaleBundle
+)
+
+// rotationWave assigns one device to a rollout wave: FNV-1a over the
+// engine seed, the target epoch and the device ID, mod the wave count.
+// Exported behavior (RolloutSchedule) depends only on these inputs, so
+// the schedule is bit-identical across runs, engines and worker counts.
+func rotationWave(seed int64, epoch uint32, id string, waves int) int {
+	h := uint32(2166136261)
+	mix := func(b byte) { h ^= uint32(b); h *= 16777619 }
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(seed) >> (8 * i)))
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(epoch >> (8 * i)))
+	}
+	for i := 0; i < len(id); i++ {
+		mix(id[i])
+	}
+	return int(h % uint32(waves))
+}
+
+// BeginRotation starts a live key rotation: revoke the named devices (if
+// any), rotate the authority, publish the signed trust bundle, open the
+// grace window on the SSI, and derive the staged rollout schedule. No
+// device migrates yet — waves apply via AdvanceRotationWave (or all at
+// once via CompleteRotation). In-flight queries posted at the old epoch
+// keep running throughout: unmigrated devices serve them on their
+// primary material, migrated ones on their grace material, and the SSI
+// admits both epochs until CompleteRotation.
+func (e *Engine) BeginRotation(waves int, revoke ...string) error {
+	e.life.Lock()
+	defer e.life.Unlock()
+	if e.rot != nil {
+		return fmt.Errorf("core: a rotation is already in progress")
+	}
+	if waves < 1 {
+		waves = 1
+	}
+	if err := e.ensureBroadcastLocked(); err != nil {
+		return err
+	}
+	// Revocations ride the rotation: revoke the broadcast slots first so
+	// the new ring's broadcast excludes them.
+	if len(revoke) > 0 {
+		if err := e.revokeSlotsLocked(revoke); err != nil {
+			return err
+		}
+	}
+	prevEpoch := uint32(e.keyAuth.Epoch())
+	e.rotateKeysLocked()
+	newEpoch := uint32(e.keyAuth.Epoch())
+	msg, err := e.bcast.BroadcastRing(e.keys)
+	if err != nil {
+		return err
+	}
+	e.bundleSeq++
+	bundle := tdscrypto.SignTrustBundle(&tdscrypto.TrustBundle{
+		Version:   e.bundleSeq,
+		Epoch:     uint64(newEpoch),
+		Revoked:   e.revokedListLocked(),
+		Broadcast: msg,
+	}, tdscrypto.BundleSigner(e.cfg.MasterKey))
+
+	schedule := make([][]int, waves)
+	for slot := range e.fleet {
+		id := e.deviceIDLocked(slot)
+		if e.revoked[id] {
+			continue // never scheduled; a revoked device cannot open the bundle
+		}
+		w := rotationWave(e.cfg.Seed, newEpoch, id, waves)
+		schedule[w] = append(schedule[w], slot)
+	}
+	e.rot = &rotationState{
+		prevEpoch: prevEpoch, newEpoch: newEpoch,
+		version: e.bundleSeq, bundle: bundle, waves: schedule,
+	}
+	e.pushEpochPolicyLocked(true) // grace: epoch e and e-1 both admit
+	e.devCache.purge()
+	return nil
+}
+
+// AdvanceRotationWave delivers the trust bundle to the next rollout wave
+// and migrates its devices. It reports whether every wave has now been
+// applied (the rollout is complete; the grace window stays open until
+// CompleteRotation).
+func (e *Engine) AdvanceRotationWave() (bool, error) {
+	return e.advanceRotationWave(deliverBundle)
+}
+
+func (e *Engine) advanceRotationWave(mode bundleDelivery) (bool, error) {
+	e.life.Lock()
+	defer e.life.Unlock()
+	rot := e.rot
+	if rot == nil {
+		return false, fmt.Errorf("core: no rotation in progress")
+	}
+	if rot.nextWave >= len(rot.waves) {
+		return true, nil
+	}
+	slots := rot.waves[rot.nextWave]
+	rot.nextWave++
+	switch mode {
+	case deliverBundle:
+		if err := e.migrateSlotsLocked(rot, slots); err != nil {
+			return false, err
+		}
+	case dropBundle:
+		// The bundle never reached this wave; its devices stay on the
+		// old epoch, which the grace window keeps serviceable.
+	case replayStaleBundle:
+		// The SSI replays last distribution's bundle. Its signature is
+		// genuine, so the version counter is the only defense — every
+		// device must reject it and stay unmigrated.
+		stale := tdscrypto.SignTrustBundle(&tdscrypto.TrustBundle{
+			Version: rot.version - 1, Epoch: uint64(rot.prevEpoch),
+		}, tdscrypto.BundleSigner(e.cfg.MasterKey))
+		pub := tdscrypto.BundleVerifier(e.cfg.MasterKey)
+		if _, err := tdscrypto.AcceptTrustBundle(stale, pub, rot.version-1); err == nil {
+			return false, fmt.Errorf("core: a replayed stale trust bundle was accepted")
+		}
+	}
+	e.devCache.purge()
+	return rot.nextWave >= len(rot.waves), nil
+}
+
+// migrateSlotsLocked applies the current bundle to one wave of fleet
+// slots. Eager devices run the full device-side path each: verify the
+// envelope, enforce version monotonicity, open the broadcast with their
+// own tree keys, install the recovered ring as primary and keep the old
+// material as grace. Packed slots share one representative verification
+// per wave (the path is identical for every non-revoked device) and then
+// record the new epoch; materializeDevice rebuilds them in the migrated
+// state, grace included, while the window is open.
+func (e *Engine) migrateSlotsLocked(rot *rotationState, slots []int) error {
+	pub := tdscrypto.BundleVerifier(e.cfg.MasterKey)
+	wantRing := e.keyAuth.RingAt(uint64(rot.newEpoch))
+	newWire := int(rot.newEpoch) + 1
+	km, err := e.keyMaterial(rot.newEpoch)
+	if err != nil {
+		return err
+	}
+	verified := false
+	for _, slot := range slots {
+		id := e.deviceIDLocked(slot)
+		if e.revoked[id] {
+			continue // revoked after scheduling; cannot open the bundle
+		}
+		t := e.fleet[slot]
+		if t == nil && verified {
+			e.packed.epoch[slot] = rot.newEpoch
+			continue
+		}
+		b, err := tdscrypto.AcceptTrustBundle(rot.bundle, pub, rot.version-1)
+		if err != nil {
+			return fmt.Errorf("core: device %s rejected the trust bundle: %w", id, err)
+		}
+		dk, err := e.deviceKeysLocked(slot)
+		if err != nil {
+			return err
+		}
+		ring, err := dk.OpenRing(b.Broadcast)
+		if err != nil {
+			return fmt.Errorf("core: device %s failed to open the rotation broadcast: %w", id, err)
+		}
+		if ring != wantRing {
+			return fmt.Errorf("core: device %s recovered a ring that is not epoch %d's", id, rot.newEpoch)
+		}
+		if t == nil {
+			e.packed.epoch[slot] = rot.newEpoch
+			verified = true
+			continue
+		}
+		t.Migrate(newWire, km)
+	}
+	return nil
+}
+
+// CompleteRotation applies any pending waves, closes the grace window —
+// the SSI's admit gate reverts to exact-epoch matching and every device
+// drops its previous-epoch material — and retires the rotation state.
+// Call it once the in-flight queries posted at the old epoch have
+// drained; completing earlier turns their remaining deposits into
+// deposit-stale rejections (degraded coverage, never wrong answers).
+func (e *Engine) CompleteRotation() error {
+	e.life.Lock()
+	defer e.life.Unlock()
+	rot := e.rot
+	if rot == nil {
+		return fmt.Errorf("core: no rotation in progress")
+	}
+	for rot.nextWave < len(rot.waves) {
+		if err := e.migrateSlotsLocked(rot, rot.waves[rot.nextWave]); err != nil {
+			return err
+		}
+		rot.nextWave++
+	}
+	for _, t := range e.fleet {
+		if t != nil {
+			t.DropGrace()
+		}
+	}
+	e.rot = nil
+	e.pushEpochPolicyLocked(false)
+	e.devCache.purge()
+	return nil
+}
+
+// rotationInProgress reports whether a live rotation is between Begin and
+// Complete.
+func (e *Engine) rotationInProgress() bool {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	return e.rot != nil
+}
+
+// RolloutSchedule returns the device IDs of each rollout wave of the
+// in-progress rotation, in wave order — the deterministic schedule the
+// chaos sweep pins across worker counts. Nil when no rotation is in
+// progress.
+func (e *Engine) RolloutSchedule() [][]string {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	if e.rot == nil {
+		return nil
+	}
+	out := make([][]string, len(e.rot.waves))
+	for w, slots := range e.rot.waves {
+		ids := make([]string, len(slots))
+		for i, s := range slots {
+			ids[i] = e.deviceIDLocked(s)
+		}
+		out[w] = ids
+	}
+	return out
+}
+
+// TrustBundleBytes returns the signed bundle of the in-progress rotation
+// (nil outside one) — what a real deployment would publish through the
+// SSI for devices to fetch.
+func (e *Engine) TrustBundleBytes() []byte {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	if e.rot == nil {
+		return nil
+	}
+	return append([]byte(nil), e.rot.bundle...)
+}
+
+// scriptedRotation drives a fault plan's RotationScript from one commit
+// point of the collection walk: it counts committed envelopes, fires
+// BeginRotation at the scripted count, and advances rollout waves every
+// WaveEvery further commits. It runs strictly in deposit commit order —
+// the order that is identical for every CollectWorkers setting — so the
+// rotation strikes the same logical instant in every configuration.
+// Rotation lifecycle events land in the recovery ledger (and through its
+// mirrors, the trace and the journal).
+func (e *Engine) scriptedRotation(rs *runState, now time.Time) error {
+	sc := rs.rotScript
+	if sc == nil {
+		return nil
+	}
+	rs.commits++
+	if sc.AfterDeposits > 0 && rs.commits == sc.AfterDeposits && !e.rotationInProgress() {
+		if err := e.BeginRotation(sc.Waves, sc.Revoke...); err != nil {
+			return err
+		}
+		rs.rotStarted = rs.commits
+		rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+			Kind: "rotation-begin", Phase: "collection", At: now,
+		})
+		if sc.WaveEvery <= 0 {
+			return e.scriptedWaves(rs, sc, now, -1)
+		}
+		return nil
+	}
+	if e.rotationInProgress() && sc.WaveEvery > 0 && rs.commits > rs.rotStarted &&
+		(rs.commits-rs.rotStarted)%sc.WaveEvery == 0 {
+		return e.scriptedWaves(rs, sc, now, 1)
+	}
+	return nil
+}
+
+// scriptedWaves advances n rollout waves (all remaining when n < 0) under
+// the script's delivery faults, honoring a torn rollout by never applying
+// the final wave.
+func (e *Engine) scriptedWaves(rs *runState, sc *faultplan.RotationScript, now time.Time, n int) error {
+	mode := deliverBundle
+	switch {
+	case sc.DropBundle:
+		mode = dropBundle
+	case sc.ReplayStale:
+		mode = replayStaleBundle
+	}
+	for n != 0 {
+		if e.pendingWaves() == 0 {
+			return nil // rollout already fully applied; nothing to record
+		}
+		if sc.TornRollout && e.pendingWaves() <= 1 {
+			return nil // the last wave never lands; the fleet stays split
+		}
+		done, err := e.advanceRotationWave(mode)
+		if err != nil {
+			return err
+		}
+		rs.ssi.Record(rs.post.ID, ssi.LedgerEntry{
+			Kind: "rotation-wave", Phase: "collection", At: now,
+		})
+		if done {
+			return nil
+		}
+		if n > 0 {
+			n--
+		}
+	}
+	return nil
+}
+
+// pendingWaves counts rollout waves not yet applied.
+func (e *Engine) pendingWaves() int {
+	e.life.RLock()
+	defer e.life.RUnlock()
+	if e.rot == nil {
+		return 0
+	}
+	return len(e.rot.waves) - e.rot.nextWave
+}

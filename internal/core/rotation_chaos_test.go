@@ -1,0 +1,734 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/trustedcells/tcq/internal/faultplan"
+	"github.com/trustedcells/tcq/internal/obs"
+	"github.com/trustedcells/tcq/internal/protocol"
+	"github.com/trustedcells/tcq/internal/querier"
+	"github.com/trustedcells/tcq/internal/sqlexec"
+	"github.com/trustedcells/tcq/internal/sqlparse"
+	"github.com/trustedcells/tcq/internal/ssi"
+	"github.com/trustedcells/tcq/internal/storage"
+)
+
+// The rotation chaos sweep: rotate (and revoke) mid-query, across every
+// protocol, both collection pipelines and both fleet representations, and
+// require the answer to be bit-identical to a rotation-free run — or a
+// typed abort, never a silently skewed result.
+
+const basicConsumerSQL = `SELECT C.cid, C.district FROM Consumer C`
+
+// connectionOrder reproduces the engine's collection connection order for
+// a pinned query ID: the first draw of the run RNG, exactly as
+// collectionPhase makes it. Tests use it to place revocations relative to
+// the scripted rotation point.
+func connectionOrder(qid string, fleetSize int) []int {
+	return rand.New(rand.NewSource(7 ^ int64(hashString(qid)))).Perm(fleetSize)
+}
+
+// slotOf inverts the "tds-%05d" device naming.
+func slotOf(t *testing.T, id string) int {
+	t.Helper()
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "tds-"))
+	if err != nil {
+		t.Fatalf("device ID %q does not name a fleet slot: %v", id, err)
+	}
+	return n
+}
+
+// referenceExcluding runs the query standalone over every database except
+// the excluded fleet slots — the honest answer once those devices are out.
+func referenceExcluding(t *testing.T, f *fixture, sql string, exclude map[int]bool) *sqlexec.Result {
+	t.Helper()
+	plan, err := sqlexec.Compile(sqlparse.MustParse(sql), f.eng.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbs []*storage.LocalDB
+	for i, db := range f.dbs {
+		if !exclude[i] {
+			dbs = append(dbs, db)
+		}
+	}
+	res, err := sqlexec.Standalone(plan, dbs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func ledgerCount(m *Metrics, kind string) int {
+	n := 0
+	for _, le := range m.Ledger {
+		if le.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRotationMidQueryDeterminism is the heart of the sweep: a rotation
+// scripted to begin after the 8th deposit and roll out in three waves,
+// under every protocol, both worker counts and both fleet
+// representations. The rows must match a rotation-free run bit for bit,
+// the run must verify with zero integrity violations, and metrics, ledger
+// and rows must be identical at any CollectWorkers setting.
+func TestRotationMidQueryDeterminism(t *testing.T) {
+	for _, packed := range []bool{false, true} {
+		name := "eager"
+		if packed {
+			name = "packed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, sc := range churnScenarios {
+				t.Run(sc.kind.String(), func(t *testing.T) {
+					type outcome struct {
+						rows    []string
+						metrics Metrics
+						integ   *IntegrityReport
+					}
+					runAt := func(workers int, rot *faultplan.RotationScript) outcome {
+						f := newFixture(t, 40, func(c *Config) {
+							c.CollectWorkers = workers
+							c.PackedFleet = packed
+						})
+						resp, err := f.eng.Execute(context.Background(), Request{
+							Querier: f.q, SQL: sc.sql, Kind: sc.kind, Params: sc.params,
+							Faults: &faultplan.Plan{Seed: 21, Rotation: rot},
+						})
+						if err != nil {
+							t.Fatalf("workers=%d rot=%v: %v", workers, rot != nil, err)
+						}
+						m := *resp.Metrics
+						m.TLocal = 0 // mean of identical sums; avoid float divergence noise
+						return outcome{rows: sortedRows(resp.Result), metrics: m, integ: resp.Integrity}
+					}
+					script := func() *faultplan.RotationScript {
+						return &faultplan.RotationScript{AfterDeposits: 8, Waves: 3, WaveEvery: 5}
+					}
+					clean := runAt(1, nil)
+					seq := runAt(1, script())
+					par := runAt(8, script())
+
+					if !reflect.DeepEqual(seq.rows, clean.rows) {
+						t.Errorf("rotation changed the answer:\nclean:    %v\nrotated:  %v",
+							clean.rows, seq.rows)
+					}
+					if !reflect.DeepEqual(seq.rows, par.rows) {
+						t.Errorf("results diverge across workers:\nW1: %v\nW8: %v", seq.rows, par.rows)
+					}
+					if !reflect.DeepEqual(seq.metrics.Ledger, par.metrics.Ledger) {
+						t.Errorf("recovery ledgers diverge:\nW1: %+v\nW8: %+v",
+							seq.metrics.Ledger, par.metrics.Ledger)
+					}
+					if !reflect.DeepEqual(seq.metrics, par.metrics) {
+						t.Errorf("metrics diverge:\nW1: %+v\nW8: %+v", seq.metrics, par.metrics)
+					}
+					for _, o := range []outcome{seq, par} {
+						if o.integ == nil || !o.integ.Verified {
+							t.Fatal("rotated run skipped verification")
+						}
+						if o.integ.Violations != 0 {
+							t.Errorf("rotation produced %d integrity violations", o.integ.Violations)
+						}
+					}
+					if n := ledgerCount(&seq.metrics, "rotation-begin"); n != 1 {
+						t.Errorf("rotation-begin ledger entries = %d, want 1", n)
+					}
+					if n := ledgerCount(&seq.metrics, "rotation-wave"); n != 3 {
+						t.Errorf("rotation-wave ledger entries = %d, want all 3 waves", n)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRotationRevocationMidQuery revokes two devices as part of a
+// mid-query rotation, placed (via the reproducible connection order) so
+// they have not yet deposited when the rotation strikes. They must be
+// refused with no grace, the rows must equal the standalone answer over
+// the surviving fleet, and the whole outcome must be worker-count
+// independent.
+func TestRotationRevocationMidQuery(t *testing.T) {
+	const fleetSize, after = 24, 8
+	const qid = "rot-revoke-pin"
+	order := connectionOrder(qid, fleetSize)
+	victims := []string{
+		fmt.Sprintf("tds-%05d", order[after]),
+		fmt.Sprintf("tds-%05d", order[after+1]),
+	}
+	exclude := map[int]bool{order[after]: true, order[after+1]: true}
+
+	type outcome struct {
+		rows    []string
+		metrics Metrics
+	}
+	runAt := func(workers int) (*fixture, outcome) {
+		f := newFixture(t, fleetSize, func(c *Config) { c.CollectWorkers = workers })
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: f.q, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: qid,
+			Faults: &faultplan.Plan{Rotation: &faultplan.RotationScript{
+				AfterDeposits: after, Waves: 2, WaveEvery: 6, Revoke: victims,
+			}},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if resp.Integrity == nil || resp.Integrity.Violations != 0 {
+			t.Fatalf("workers=%d: integrity report %+v", workers, resp.Integrity)
+		}
+		m := *resp.Metrics
+		m.TLocal = 0
+		return f, outcome{rows: sortedRows(resp.Result), metrics: m}
+	}
+
+	f, seq := runAt(1)
+	_, par := runAt(8)
+
+	want := sortedRows(referenceExcluding(t, f, basicConsumerSQL, exclude))
+	if !reflect.DeepEqual(seq.rows, want) {
+		t.Errorf("rows over the surviving fleet:\ngot:  %v\nwant: %v", seq.rows, want)
+	}
+	if seq.metrics.CollectErrors != len(victims) {
+		t.Errorf("CollectErrors = %d, want the %d revoked devices refused",
+			seq.metrics.CollectErrors, len(victims))
+	}
+	if !reflect.DeepEqual(seq.rows, par.rows) || !reflect.DeepEqual(seq.metrics, par.metrics) {
+		t.Errorf("revocation outcome diverges across workers:\nW1: %+v\nW8: %+v",
+			seq.metrics, par.metrics)
+	}
+	revoked := map[string]bool{}
+	for _, id := range f.eng.RevokedDevices() {
+		revoked[id] = true
+	}
+	for _, v := range victims {
+		if !revoked[v] {
+			t.Errorf("device %s missing from the revocation set", v)
+		}
+	}
+	for _, wave := range f.eng.RolloutSchedule() {
+		for _, id := range wave {
+			if exclude[slotOf(t, id)] {
+				t.Errorf("revoked device %s appears in the rollout schedule", id)
+			}
+		}
+	}
+}
+
+// TestRotationBundleFaults scripts the three bundle-delivery faults. A
+// dropped bundle and a replayed stale bundle leave the wave unmigrated —
+// the grace window keeps the query whole either way. A revoked device
+// that keeps depositing is stopped by the SSI's admit gate and leaves the
+// "deposit-revoked" proof in the ledger.
+func TestRotationBundleFaults(t *testing.T) {
+	const fleetSize = 24
+	clean := func(t *testing.T, qid string) []string {
+		f := newFixture(t, fleetSize, nil)
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: f.q, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: qid,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sortedRows(resp.Result)
+	}
+	faulted := func(t *testing.T, qid string, rot *faultplan.RotationScript) (*fixture, *Response) {
+		f := newFixture(t, fleetSize, nil)
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: f.q, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: qid,
+			Faults: &faultplan.Plan{Rotation: rot},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Integrity == nil || resp.Integrity.Violations != 0 {
+			t.Fatalf("integrity report %+v", resp.Integrity)
+		}
+		return f, resp
+	}
+
+	t.Run("bundle-drop", func(t *testing.T) {
+		const qid = "rot-drop-pin"
+		f, resp := faulted(t, qid, &faultplan.RotationScript{
+			AfterDeposits: 6, Waves: 2, WaveEvery: 5, DropBundle: true,
+		})
+		if got, want := sortedRows(resp.Result), clean(t, qid); !reflect.DeepEqual(got, want) {
+			t.Errorf("dropped bundle changed the answer:\ngot:  %v\nwant: %v", got, want)
+		}
+		if n := ledgerCount(resp.Metrics, "rotation-wave"); n != 2 {
+			t.Errorf("rotation-wave entries = %d, want 2 (waves happen, delivery fails)", n)
+		}
+		if resp.Metrics.CollectErrors != 0 {
+			t.Errorf("CollectErrors = %d; grace must carry the unmigrated fleet", resp.Metrics.CollectErrors)
+		}
+		if f.eng.TrustBundleBytes() == nil {
+			t.Error("no published trust bundle while the rotation is in progress")
+		}
+	})
+
+	t.Run("stale-bundle-replay", func(t *testing.T) {
+		const qid = "rot-replay-pin"
+		_, resp := faulted(t, qid, &faultplan.RotationScript{
+			AfterDeposits: 6, Waves: 2, WaveEvery: 5, ReplayStale: true,
+		})
+		if got, want := sortedRows(resp.Result), clean(t, qid); !reflect.DeepEqual(got, want) {
+			t.Errorf("replayed stale bundle changed the answer:\ngot:  %v\nwant: %v", got, want)
+		}
+		if resp.Metrics.CollectErrors != 0 {
+			t.Errorf("CollectErrors = %d; rejecting the replay must not cost coverage", resp.Metrics.CollectErrors)
+		}
+	})
+
+	t.Run("revoked-device-keeps-depositing", func(t *testing.T) {
+		const qid = "rot-revdep-pin"
+		order := connectionOrder(qid, fleetSize)
+		victim := fmt.Sprintf("tds-%05d", order[6])
+		_, resp := faulted(t, qid, &faultplan.RotationScript{
+			AfterDeposits: 6, Waves: 1, Revoke: []string{victim}, RevokedDeposits: true,
+		})
+		want := func() []string {
+			f := newFixture(t, fleetSize, nil)
+			return sortedRows(referenceExcluding(t, f, basicConsumerSQL,
+				map[int]bool{order[6]: true}))
+		}()
+		if got := sortedRows(resp.Result); !reflect.DeepEqual(got, want) {
+			t.Errorf("revoked deposit leaked into the answer:\ngot:  %v\nwant: %v", got, want)
+		}
+		found := false
+		for _, le := range resp.Metrics.Ledger {
+			if le.Kind == "deposit-revoked" && le.Device == victim {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no deposit-revoked ledger proof for %s:\n%+v", victim, resp.Metrics.Ledger)
+		}
+		if resp.Metrics.CollectErrors != 0 {
+			t.Errorf("CollectErrors = %d; the admit gate, not the engine, must refuse", resp.Metrics.CollectErrors)
+		}
+	})
+}
+
+// tornOutcome is one worker count's view of the torn-rollout sequence.
+type tornOutcome struct {
+	rows    [][]string
+	ledgers [][]ssiLedger
+}
+
+type ssiLedger struct {
+	Kind, Device string
+	Attempt      int
+}
+
+func flatLedger(m *Metrics) []ssiLedger {
+	out := make([]ssiLedger, 0, len(m.Ledger))
+	for _, le := range m.Ledger {
+		out = append(out, ssiLedger{Kind: le.Kind, Device: le.Device, Attempt: le.Attempt})
+	}
+	return out
+}
+
+// TestTornRolloutStaleRecovery walks the full degradation-and-recovery
+// arc of a rollout that stalls one wave short:
+//
+//	q1  rotation begins mid-query but the last wave never lands; the
+//	    old-epoch query is untouched (grace).
+//	q2  a new-epoch query finds the stranded wave stale: each stranded
+//	    device leaves a deposit-stale ledger entry (device + timestamp),
+//	    is retried once, stays stale, and degrades to a collect error —
+//	    the rows are exact over the migrated subset.
+//	q3  the rollout resumes mid-query; stranded devices caught before the
+//	    wave are retried after it lands, billed RetryWait, and the full
+//	    fleet answers.
+//	q4  CompleteRotation closes the window; a clean query sees everything.
+//
+// The entire sequence must be identical at any CollectWorkers setting.
+func TestTornRolloutStaleRecovery(t *testing.T) {
+	for _, packed := range []bool{false, true} {
+		name := "eager"
+		if packed {
+			name = "packed"
+		}
+		t.Run(name, func(t *testing.T) {
+			runSeq := func(workers int) tornOutcome {
+				const fleetSize = 24
+				f := newFixture(t, fleetSize, func(c *Config) {
+					c.CollectWorkers = workers
+					c.PackedFleet = packed
+				})
+				var out tornOutcome
+				note := func(resp *Response) {
+					out.rows = append(out.rows, sortedRows(resp.Result))
+					out.ledgers = append(out.ledgers, flatLedger(resp.Metrics))
+				}
+
+				// q1: old epoch, torn rollout (3 waves, last one never lands).
+				resp, err := f.eng.Execute(context.Background(), Request{
+					Querier: f.q, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: "torn-q1",
+					Faults: &faultplan.Plan{Rotation: &faultplan.RotationScript{
+						AfterDeposits: 6, Waves: 3, WaveEvery: 4, TornRollout: true,
+					}},
+				})
+				if err != nil {
+					t.Fatalf("q1: %v", err)
+				}
+				if got, want := sortedRows(resp.Result), sortedRows(f.reference(t, basicConsumerSQL)); !reflect.DeepEqual(got, want) {
+					t.Errorf("q1: torn rollout cost the old-epoch query coverage:\ngot:  %v\nwant: %v", got, want)
+				}
+				note(resp)
+				if !f.eng.rotationInProgress() || f.eng.pendingWaves() != 1 {
+					t.Fatalf("after q1: pending waves = %d, want exactly the torn final wave", f.eng.pendingWaves())
+				}
+				schedule := f.eng.RolloutSchedule()
+				stranded := schedule[len(schedule)-1]
+				strandedSlots := map[int]bool{}
+				for _, id := range stranded {
+					strandedSlots[slotOf(t, id)] = true
+				}
+
+				// q2: new-epoch query; the stranded wave is stale and stays so.
+				q2 := newQuerierForEngine(t, f.eng, "edf2")
+				resp, err = f.eng.Execute(context.Background(), Request{
+					Querier: q2, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: "torn-q2",
+					Faults: &faultplan.Plan{Rotation: &faultplan.RotationScript{}},
+				})
+				if err != nil {
+					t.Fatalf("q2: %v", err)
+				}
+				if got, want := sortedRows(resp.Result), sortedRows(referenceExcluding(t, f, basicConsumerSQL, strandedSlots)); !reflect.DeepEqual(got, want) {
+					t.Errorf("q2: rows over the migrated subset:\ngot:  %v\nwant: %v", got, want)
+				}
+				if resp.Metrics.CollectErrors != len(stranded) {
+					t.Errorf("q2: CollectErrors = %d, want the %d stranded devices",
+						resp.Metrics.CollectErrors, len(stranded))
+				}
+				staleSeen := map[string]bool{}
+				for _, le := range resp.Metrics.Ledger {
+					if le.Kind != "deposit-stale" {
+						continue
+					}
+					if le.Device == "" || le.At.IsZero() {
+						t.Errorf("q2: deposit-stale entry missing device or timestamp: %+v", le)
+					}
+					staleSeen[le.Device] = true
+				}
+				for _, id := range stranded {
+					if !staleSeen[id] {
+						t.Errorf("q2: stranded device %s left no deposit-stale ledger entry", id)
+					}
+				}
+				if resp.Metrics.RetryWait != 0 {
+					t.Errorf("q2: RetryWait = %v; a retry that cannot proceed must not bill backoff",
+						resp.Metrics.RetryWait)
+				}
+				if resp.Journal == nil || !bytes.Contains(resp.Journal.Bytes(), []byte(`"detail":"deposit-stale"`)) {
+					t.Error("q2: journal does not mirror the deposit-stale ledger entries")
+				}
+				note(resp)
+
+				// q3: the rollout resumes mid-query; stranded devices recover
+				// through the post-walk retry.
+				resp, err = f.eng.Execute(context.Background(), Request{
+					Querier: q2, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: "torn-q3",
+					Faults: &faultplan.Plan{Rotation: &faultplan.RotationScript{WaveEvery: 12}},
+				})
+				if err != nil {
+					t.Fatalf("q3: %v", err)
+				}
+				if got, want := sortedRows(resp.Result), sortedRows(f.reference(t, basicConsumerSQL)); !reflect.DeepEqual(got, want) {
+					t.Errorf("q3: recovered query is not whole:\ngot:  %v\nwant: %v", got, want)
+				}
+				if resp.Metrics.CollectErrors != 0 {
+					t.Errorf("q3: CollectErrors = %d after the wave landed", resp.Metrics.CollectErrors)
+				}
+				if resp.Metrics.RetryWait <= 0 {
+					t.Error("q3: recovered retries billed no RetryWait")
+				}
+				retried := 0
+				for _, le := range resp.Metrics.Ledger {
+					if le.Kind == "deposit-stale" && le.Attempt == 1 {
+						retried++
+					}
+				}
+				if retried == 0 {
+					t.Error("q3: no device was caught stale before the wave landed")
+				}
+				note(resp)
+
+				// q4: CompleteRotation closes the window; a clean query sees all.
+				if err := f.eng.CompleteRotation(); err != nil {
+					t.Fatalf("CompleteRotation: %v", err)
+				}
+				if f.eng.rotationInProgress() {
+					t.Fatal("rotation still in progress after CompleteRotation")
+				}
+				resp, err = f.eng.Execute(context.Background(), Request{
+					Querier: q2, SQL: basicConsumerSQL, Kind: protocol.KindBasic, QueryID: "torn-q4",
+				})
+				if err != nil {
+					t.Fatalf("q4: %v", err)
+				}
+				if got, want := sortedRows(resp.Result), sortedRows(f.reference(t, basicConsumerSQL)); !reflect.DeepEqual(got, want) {
+					t.Errorf("q4: post-rotation query is not whole:\ngot:  %v\nwant: %v", got, want)
+				}
+				note(resp)
+				return out
+			}
+			seq, par := runSeq(1), runSeq(8)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("torn-rollout sequence diverges across workers:\nW1: %+v\nW8: %+v", seq, par)
+			}
+		})
+	}
+}
+
+// TestRolloutScheduleDeterminism pins the schedule contract: two engines
+// built from the same seed derive bit-identical wave assignments, every
+// non-revoked device appears in exactly one wave, revoked devices in
+// none, and the lifecycle guards hold.
+func TestRolloutScheduleDeterminism(t *testing.T) {
+	const fleetSize, waves = 64, 4
+	e1 := newFixtureEngineOnly(t, fleetSize, true)
+	e2 := newFixtureEngineOnly(t, fleetSize, true)
+	for _, e := range []*Engine{e1, e2} {
+		if err := e.BeginRotation(waves, "tds-00001"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, s2 := e1.RolloutSchedule(), e2.RolloutSchedule()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("schedules diverge across identically-seeded engines:\n%v\n%v", s1, s2)
+	}
+	if len(s1) != waves {
+		t.Fatalf("schedule has %d waves, want %d", len(s1), waves)
+	}
+	seen := map[string]int{}
+	for _, wave := range s1 {
+		for _, id := range wave {
+			seen[id]++
+		}
+	}
+	if seen["tds-00001"] != 0 {
+		t.Error("revoked device scheduled for rollout")
+	}
+	if len(seen) != fleetSize-1 {
+		t.Errorf("schedule covers %d devices, want the %d survivors", len(seen), fleetSize-1)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("device %s scheduled %d times", id, n)
+		}
+	}
+
+	if err := e1.BeginRotation(2); err == nil {
+		t.Error("second BeginRotation did not refuse while one is in progress")
+	}
+	if err := e1.RevokeAndRotate("tds-00002"); err == nil {
+		t.Error("RevokeAndRotate did not refuse during a live rotation")
+	}
+	for i := 0; i < waves; i++ {
+		done, err := e1.AdvanceRotationWave()
+		if err != nil {
+			t.Fatalf("wave %d: %v", i, err)
+		}
+		if done != (i == waves-1) {
+			t.Errorf("wave %d: done = %v", i, done)
+		}
+	}
+	if err := e1.CompleteRotation(); err != nil {
+		t.Fatal(err)
+	}
+	if e1.rotationInProgress() || e1.TrustBundleBytes() != nil {
+		t.Error("rotation state not retired after CompleteRotation")
+	}
+	if err := e1.CompleteRotation(); err == nil {
+		t.Error("CompleteRotation did not refuse with no rotation in progress")
+	}
+}
+
+// postingSSI counts PostQuery calls, giving tests a way to wait until a
+// batch of concurrent queries has actually posted (and therefore pinned
+// its epoch) before the test rotates the keys underneath them. Embedding
+// the concrete *ssi.Sharded keeps every optional interface — including
+// the epoch-policy holder the rotation needs — promoted.
+type postingSSI struct {
+	*ssi.Sharded
+	posted atomic.Int32
+}
+
+func (p *postingSSI) PostQuery(post *protocol.QueryPost, at time.Time) error {
+	err := p.Sharded.PostQuery(post, at)
+	p.posted.Add(1)
+	return err
+}
+
+func (p *postingSSI) waitPosted(t *testing.T, n int32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.posted.Load() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("only %d of %d queries posted", p.posted.Load(), n)
+}
+
+// TestRevocationRaceSharedCache is the -race gate for the lifecycle
+// paths: 16 concurrent queries over one shared packed fleet (device
+// cache on) interleave with a live rotation that revokes one device,
+// wave by wave — 8 posted at the old epoch before the rotation begins,
+// 8 posted at the new epoch by a re-keyed querier while waves land.
+// Every query must either complete with zero integrity violations or
+// fail with a typed abort, and once the rotation settles the shared
+// cache must not have resurrected the revoked device — the
+// cache-generation counter discards materializations that raced a purge.
+func TestRevocationRaceSharedCache(t *testing.T) {
+	const fleetSize = 24
+	post := &postingSSI{Sharded: ssi.NewSharded(0)}
+	f := newFixture(t, fleetSize, func(c *Config) {
+		c.PackedFleet = true
+		c.SSI = post
+	})
+	srv := NewServer(f.eng, ServerConfig{MaxInFlight: 16, QueueDepth: 32, DeviceCache: 64})
+	defer srv.Close()
+
+	const victim = "tds-00007"
+	queries := []struct {
+		sql  string
+		kind protocol.Kind
+	}{
+		{countSQL, protocol.KindSAgg},
+		{basicConsumerSQL, protocol.KindBasic},
+	}
+	resps := make([]*Response, 16)
+	errs := make([]error, 16)
+	var wg sync.WaitGroup
+	launch := func(lo, hi int, q *querier.Querier) {
+		for i := lo; i < hi; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				qs := queries[i%len(queries)]
+				resps[i], errs[i] = srv.Submit(context.Background(), Request{
+					Querier: q, SQL: qs.sql, Kind: qs.kind,
+					QueryID: fmt.Sprintf("rev-race-%02d", i),
+				})
+			}(i)
+		}
+	}
+
+	// Wave 1 of traffic posts at the old epoch, then the rotation begins
+	// underneath it; wave 2 posts at the new epoch (its querier holds the
+	// rotated k1) while the rollout is mid-flight.
+	launch(0, 8, f.q)
+	post.waitPosted(t, 8)
+	if err := f.eng.BeginRotation(4, victim); err != nil {
+		t.Fatal(err)
+	}
+	launch(8, 16, newQuerierForEngine(t, f.eng, "edf-new"))
+	for {
+		done, err := f.eng.AdvanceRotationWave()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond) // let in-flight queries race the wave
+	}
+	wg.Wait()
+	if err := f.eng.CompleteRotation(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range resps {
+		if err := errs[i]; err != nil {
+			var mis *ErrSSIMisbehavior
+			if !errors.Is(err, ErrCoverageBelowFloor) && !errors.Is(err, ErrQueryTimeout) &&
+				!errors.Is(err, ErrNoEligibleTDS) && !errors.As(err, &mis) {
+				t.Errorf("query %d failed untyped: %v", i, err)
+			}
+			continue
+		}
+		if integ := resps[i].Integrity; integ == nil || integ.Violations != 0 {
+			t.Errorf("query %d racing the rotation: integrity report %+v", i, integ)
+		}
+	}
+
+	// Settled state: the victim is out, everyone else answers, and the
+	// shared cache holds no materialization of the revoked slot.
+	resp, err := srv.Submit(context.Background(), Request{
+		Querier: newQuerierForEngine(t, f.eng, "edf-post"),
+		SQL:     basicConsumerSQL, Kind: protocol.KindBasic, QueryID: "rev-race-settled",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRows(referenceExcluding(t, f, basicConsumerSQL,
+		map[int]bool{slotOf(t, victim): true}))
+	if got := sortedRows(resp.Result); !reflect.DeepEqual(got, want) {
+		t.Errorf("settled rows:\ngot:  %v\nwant: %v", got, want)
+	}
+	if resp.Metrics.CollectErrors != 1 {
+		t.Errorf("settled CollectErrors = %d, want the one revoked device", resp.Metrics.CollectErrors)
+	}
+	f.eng.devCache.mu.Lock()
+	_, resurrected := f.eng.devCache.devs[slotOf(t, victim)]
+	f.eng.devCache.mu.Unlock()
+	if resurrected {
+		t.Error("shared device cache resurrected the revoked device")
+	}
+}
+
+// TestJournalRotationDeterminism extends the journal's determinism
+// contract to rotation: with a scripted mid-query rotation the structured
+// event stream is byte-identical across worker counts, passes the schema
+// check, and mirrors the rotation lifecycle events.
+func TestJournalRotationDeterminism(t *testing.T) {
+	run := func(workers int) []byte {
+		f := newFixture(t, 40, func(c *Config) { c.CollectWorkers = workers })
+		resp, err := f.eng.Execute(context.Background(), Request{
+			Querier: f.q, SQL: flagshipSQL, Kind: protocol.KindSAgg,
+			Params:  protocol.Params{PartitionTuples: 4},
+			QueryID: "rotation-journal-pin",
+			Faults: &faultplan.Plan{Seed: 21, Rotation: &faultplan.RotationScript{
+				AfterDeposits: 8, Waves: 3, WaveEvery: 5,
+			}},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if resp.Journal == nil {
+			t.Fatalf("workers=%d: no journal", workers)
+		}
+		b := resp.Journal.Bytes()
+		if err := obs.CheckJournal(bytes.NewReader(b)); err != nil {
+			t.Fatalf("workers=%d: journal fails schema check: %v\n%s", workers, err, b)
+		}
+		return b
+	}
+	one, eight := run(1), run(8)
+	if !bytes.Equal(one, eight) {
+		t.Errorf("rotation journal diverged across CollectWorkers:\nW1:\n%s\nW8:\n%s", one, eight)
+	}
+	for _, detail := range []string{`"detail":"rotation-begin"`, `"detail":"rotation-wave"`} {
+		if !bytes.Contains(one, []byte(detail)) {
+			t.Errorf("journal does not mirror %s", detail)
+		}
+	}
+}

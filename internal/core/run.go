@@ -74,6 +74,13 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 		ssi:     svc,
 		verify:  !req.SkipVerify,
 		integ:   &integrityState{},
+		// The verifier is pinned to the epoch this query posts at: a
+		// rotation striking mid-run must not move the goalposts the
+		// engine verifies deposit and partition commitments against.
+		verifier: e.committerFor(post.Epoch),
+	}
+	if req.Faults != nil {
+		rs.rotScript = req.Faults.Rotation
 	}
 	metrics := rs.metrics
 
@@ -435,14 +442,30 @@ func (e *Engine) filterFinal(ctx context.Context, rs *runState, stmt *sqlparse.S
 		// Global aggregate over an empty covering result still returns one
 		// row (COUNT = 0, others NULL); one live TDS synthesizes it.
 		var w *tds.TDS
-		for _, idx := range rng.Perm(len(e.fleet)) {
-			if !e.revoked[e.deviceID(idx)] {
+		order := rng.Perm(len(e.fleet))
+		for _, idx := range order {
+			if !e.isRevoked(e.deviceID(idx)) && e.slotServes(idx, post.Epoch) {
 				t, err := e.runDevice(rs, idx)
 				if err != nil {
 					return nil, err
 				}
 				w = t
 				break
+			}
+		}
+		if w == nil {
+			// Fully stale fleet: fall back to any live device, as the
+			// phase draws do — the synthesis fails per-device rather than
+			// aborting the engine.
+			for _, idx := range order {
+				if !e.isRevoked(e.deviceID(idx)) {
+					t, err := e.runDevice(rs, idx)
+					if err != nil {
+						return nil, err
+					}
+					w = t
+					break
+				}
 			}
 		}
 		if w == nil {

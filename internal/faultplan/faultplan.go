@@ -87,6 +87,12 @@ type Plan struct {
 	// themselves dropping, duplicating or replaying ciphertext instead of
 	// the devices churning. Nil keeps the SSI honest-but-curious.
 	SSI *SSIScript
+
+	// Rotation scripts a live key rotation (and optional revocation)
+	// firing mid-collection — the chaos axis of the key-lifecycle sweep.
+	// Nil rotates nothing. The script adds no RNG draws, so plans with
+	// and without it assign every device the same Behavior.
+	Rotation *RotationScript
 }
 
 // SSIMisbehavior names one scripted infrastructure attack. Unlike device
@@ -147,6 +153,46 @@ func (s *SSIScript) Scripts(b SSIMisbehavior) bool {
 		}
 	}
 	return false
+}
+
+// RotationScript schedules a live key rotation at a deterministic point
+// inside one query's collection phase. The trigger counts committed
+// connections — never wall time or goroutine scheduling — so the rotation
+// fires at the same logical instant for every CollectWorkers setting and
+// the run stays bit-identical across worker counts. The zero value of
+// each knob disables it.
+type RotationScript struct {
+	// AfterDeposits fires Engine.BeginRotation once this many deposit
+	// envelopes have been committed through the SSI for the query. 0
+	// never begins a rotation from the script (one already in progress
+	// when the query starts is still driven by WaveEvery below).
+	AfterDeposits int
+	// Waves is the staged-rollout wave count handed to BeginRotation;
+	// values below 1 select a single wave (the whole fleet at once).
+	Waves int
+	// WaveEvery advances one rollout wave every further N committed
+	// envelopes. 0 applies every wave at the rotation point.
+	WaveEvery int
+	// Revoke lists device IDs expelled at the rotation point. Revocation
+	// is immediate — no grace: the SSI rejects their deposits from that
+	// instant on.
+	Revoke []string
+	// DropBundle scripts the SSI losing the trust bundle: no device in
+	// any wave migrates, the whole fleet stays on the old epoch, and
+	// only the grace window (which admits it) keeps collection going.
+	DropBundle bool
+	// ReplayStale scripts the SSI replaying the previous distribution's
+	// (perfectly signed) bundle instead of the new one; devices reject
+	// it on the version counter and stay unmigrated, as with DropBundle.
+	ReplayStale bool
+	// TornRollout leaves the rollout unfinished: the wave schedule stops
+	// advancing before the last wave, so the query ends with the fleet
+	// split across two epochs and the grace window still open.
+	TornRollout bool
+	// RevokedDeposits keeps revoked devices depositing: the engine skips
+	// its own eligibility filter so the SSI's revocation gate is what
+	// must reject them.
+	RevokedDeposits bool
 }
 
 // Behavior is what the plan scripts for one device on one query.

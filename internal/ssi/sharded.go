@@ -59,6 +59,16 @@ func (s *Sharded) WithJournal(j *obs.Journal) {
 	}
 }
 
+// SetEpochPolicy installs the rotation admit policy on every stripe. The
+// policy is fleet-wide state, not per-query state, so unlike the routed
+// calls it fans out — a query must see the same grace window whichever
+// stripe its ID hashes to.
+func (s *Sharded) SetEpochPolicy(p EpochPolicy) {
+	for _, sh := range s.shards {
+		sh.SetEpochPolicy(p)
+	}
+}
+
 // Shards reports the stripe count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 

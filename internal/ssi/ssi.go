@@ -33,7 +33,35 @@ var (
 	// ErrCorruptDeposit rejects an envelope whose transport checksum does
 	// not match its tuples (corrupted or truncated upload).
 	ErrCorruptDeposit = errors.New("ssi: corrupt deposit")
+	// ErrRevokedDeposit rejects an envelope from a device on the current
+	// revocation list. Unlike the epoch check, revocation knows no grace
+	// window: the moment the trust bundle lands, a revoked device's
+	// deposits bounce — whatever epoch they claim.
+	ErrRevokedDeposit = errors.New("ssi: deposit from revoked device")
 )
+
+// EpochPolicy is the admit gate's view of a live key rotation. Outside a
+// rotation the zero value applies: deposits must match the posted epoch
+// exactly. While a rotation's grace window is open, deposits sealed at
+// the current epoch e and the previous epoch e−1 are both admitted to
+// queries posted at either epoch — a fleet migrating in waves has honest
+// devices of two adjacent epochs answering one query. Revocation is the
+// deliberate exception: a revoked device is rejected immediately.
+type EpochPolicy struct {
+	// Epoch is the current wire epoch e (1-based; 0 disables the policy).
+	Epoch int
+	// Grace admits epoch e−1 alongside e while true.
+	Grace bool
+	// Revoked lists device IDs rejected outright.
+	Revoked []string
+}
+
+// EpochPolicyHolder is the optional interface a Service implements to
+// accept rotation policy updates; the engine's rotation coordinator
+// type-asserts it, exactly like the WithTracer / WithJournal hooks.
+type EpochPolicyHolder interface {
+	SetEpochPolicy(EpochPolicy)
+}
 
 // QueryState is everything the SSI holds for one active query.
 type QueryState struct {
@@ -137,7 +165,9 @@ var _ Service = (*SSI)(nil)
 // worker count.
 type LedgerEntry struct {
 	// Kind classifies the event: "deposit-timeout", "deposit-corrupt",
-	// "deposit-stale", "reassign", "partition-abandoned".
+	// "deposit-stale", "deposit-revoked", "reassign",
+	// "partition-abandoned", and the rotation lifecycle marks
+	// "rotation-begin", "rotation-wave", "rotation-complete".
 	Kind string
 	// Phase names the aggregation/filtering phase for reassignments.
 	Phase string
@@ -186,6 +216,8 @@ type SSI struct {
 	queries map[string]*QueryState
 	trace   *obs.Tracer  // nil-safe; mirrors ledger events as SSI-party trace events
 	journal *obs.Journal // nil-safe; mirrors ledger events as SSI-party journal records
+	policy  EpochPolicy
+	revoked map[string]bool // device IDs of policy.Revoked
 }
 
 // New returns an empty SSI.
@@ -204,6 +236,22 @@ func (s *SSI) WithTracer(tr *obs.Tracer) { s.trace = tr }
 // a closed vocabulary the SSI itself minted — so the journal leaks
 // nothing beyond the ledger the SSI already keeps.
 func (s *SSI) WithJournal(j *obs.Journal) { s.journal = j }
+
+// SetEpochPolicy installs the rotation admit policy. The rotation
+// coordinator calls it at the grace boundaries; in-flight deposits
+// serialize against it on s.mu, so every deposit sees exactly one policy.
+func (s *SSI) SetEpochPolicy(p EpochPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+	s.revoked = nil
+	if len(p.Revoked) > 0 {
+		s.revoked = make(map[string]bool, len(p.Revoked))
+		for _, id := range p.Revoked {
+			s.revoked[id] = true
+		}
+	}
+}
 
 // PostQuery deposits a query in the global querybox (step 1 of Fig. 2).
 func (s *SSI) PostQuery(post *protocol.QueryPost, now time.Time) error {
@@ -258,22 +306,27 @@ func (s *SSI) DepositEnvelope(id string, dep *protocol.Deposit, now time.Time) (
 	if st.Done {
 		return 0, true, nil
 	}
-	if err := admit(st, dep); err != nil {
+	if err := s.admit(st, dep); err != nil {
 		return 0, st.Done, err
 	}
 	return s.depositLocked(st, dep.Tuples, now), st.Done, nil
 }
 
-// admit runs the replay, epoch and integrity checks of one envelope and
-// commits its attempt counter on success. The caller holds s.mu.
-func admit(st *QueryState, dep *protocol.Deposit) error {
+// admit runs the revocation, replay, epoch and integrity checks of one
+// envelope and commits its attempt counter on success. The caller holds
+// s.mu.
+func (s *SSI) admit(st *QueryState, dep *protocol.Deposit) error {
+	if dep.DeviceID != "" && s.revoked[dep.DeviceID] {
+		return fmt.Errorf("%w: device %s", ErrRevokedDeposit, dep.DeviceID)
+	}
 	if dep.DeviceID != "" {
 		if last, seen := st.attempts[dep.DeviceID]; seen && dep.Attempt <= last {
 			return fmt.Errorf("%w: device %s attempt %d already committed",
 				ErrStaleDeposit, dep.DeviceID, dep.Attempt)
 		}
 	}
-	if dep.Epoch != 0 && st.Post.Epoch != 0 && dep.Epoch != st.Post.Epoch {
+	if dep.Epoch != 0 && st.Post.Epoch != 0 && dep.Epoch != st.Post.Epoch &&
+		!s.graceAdmits(dep.Epoch, st.Post.Epoch) {
 		return fmt.Errorf("%w: epoch %d, query posted at epoch %d",
 			ErrStaleDeposit, dep.Epoch, st.Post.Epoch)
 	}
@@ -284,6 +337,18 @@ func admit(st *QueryState, dep *protocol.Deposit) error {
 		st.attempts[dep.DeviceID] = dep.Attempt
 	}
 	return nil
+}
+
+// graceAdmits reports whether the open grace window covers a deposit
+// epoch / posted epoch mismatch: both must sit in {e−1, e}. The caller
+// holds s.mu and has already ruled out the exact match.
+func (s *SSI) graceAdmits(depEpoch, postEpoch int) bool {
+	p := s.policy
+	if !p.Grace || p.Epoch == 0 {
+		return false
+	}
+	in := func(e int) bool { return e == p.Epoch || e == p.Epoch-1 }
+	return in(depEpoch) && in(postEpoch)
 }
 
 // DepositBatch deposits several devices' collection results in device
@@ -330,7 +395,7 @@ func (s *SSI) DepositEnvelopeBatch(id string, deps []*protocol.Deposit, now time
 		if st.Done {
 			break
 		}
-		if rejectErr := admit(st, dep); rejectErr != nil {
+		if rejectErr := s.admit(st, dep); rejectErr != nil {
 			out[i].Err = rejectErr
 			continue
 		}

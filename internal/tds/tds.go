@@ -45,11 +45,17 @@ type TDS struct {
 	// tamper-resistant hardware is assumed to prevent this (Section 2.2).
 	Corrupt bool
 
-	k1, k2     *tdscrypto.Suite
-	k2raw      tdscrypto.Key
-	bucketHash *tdscrypto.BucketHasher
-	auditMAC   *tdscrypto.MACPool
-	committer  *tdscrypto.Committer
+	// Key material, guarded by matMu: a live rotation (Migrate) swaps the
+	// primary while collection workers are mid-call, so every access goes
+	// through matFor / a snapshot under the lock. The primary is the
+	// device's enrollment epoch; prev is the previous epoch's material,
+	// retained during a rotation grace window so queries posted before
+	// the boundary still open on a migrated device.
+	matMu     sync.RWMutex
+	epoch     int // primary enrollment epoch, wire numbering (0 = legacy)
+	km        *KeyMaterial
+	prev      *KeyMaterial
+	prevEpoch int
 
 	mu    sync.Mutex
 	plans map[string]*sqlexec.Plan // query ID -> compiled plan
@@ -105,12 +111,68 @@ func NewWithMaterial(id string, db *storage.LocalDB, km *KeyMaterial,
 	policy *accessctl.Policy, authority *accessctl.Authority) *TDS {
 	return &TDS{
 		ID: id, DB: db, Policy: policy, Authority: authority,
-		k1: km.K1, k2: km.K2, k2raw: km.K2Raw,
-		bucketHash: km.BucketHash,
-		auditMAC:   km.AuditMAC,
-		committer:  km.Committer,
-		plans:      make(map[string]*sqlexec.Plan),
+		km:    km,
+		plans: make(map[string]*sqlexec.Plan),
 	}
+}
+
+// Epoch returns the device's primary enrollment epoch (wire numbering;
+// 0 on fleets that never set one).
+func (t *TDS) Epoch() int {
+	t.matMu.RLock()
+	defer t.matMu.RUnlock()
+	return t.epoch
+}
+
+// SetEpoch stamps the enrollment epoch at provisioning time.
+func (t *TDS) SetEpoch(epoch int) {
+	t.matMu.Lock()
+	t.epoch = epoch
+	t.matMu.Unlock()
+}
+
+// Migrate installs a new primary key material — the device applied a
+// trust bundle — keeping the old primary as grace material so queries
+// posted at the old epoch keep opening mid-flight. Safe to call while
+// other goroutines are inside Collect/Aggregate: in-progress calls finish
+// on the material they resolved, subsequent calls resolve the new state.
+func (t *TDS) Migrate(epoch int, km *KeyMaterial) {
+	t.matMu.Lock()
+	t.prev, t.prevEpoch = t.km, t.epoch
+	t.km, t.epoch = km, epoch
+	t.matMu.Unlock()
+}
+
+// DropGrace forgets the previous epoch's material — the grace window
+// closed; stale-epoch queries must fail to open from here on.
+func (t *TDS) DropGrace() {
+	t.matMu.Lock()
+	t.prev, t.prevEpoch = nil, 0
+	t.matMu.Unlock()
+}
+
+// matFor resolves the key material serving one posted query: the grace
+// material when the query predates this device's migration and the
+// window is still open, the primary otherwise. Epoch 0 posts (legacy
+// fleets) always resolve the primary.
+func (t *TDS) matFor(post *protocol.QueryPost) *KeyMaterial {
+	t.matMu.RLock()
+	defer t.matMu.RUnlock()
+	if t.prev != nil && post.Epoch != 0 && post.Epoch == t.prevEpoch {
+		return t.prev
+	}
+	return t.km
+}
+
+// ServesEpoch reports whether the device currently holds material able
+// to open queries posted at the given wire epoch: its primary epoch, its
+// grace epoch while the window is open, or anything when either side
+// predates epoch stamping (0).
+func (t *TDS) ServesEpoch(epoch int) bool {
+	t.matMu.RLock()
+	defer t.matMu.RUnlock()
+	return epoch == 0 || t.epoch == 0 || t.epoch == epoch ||
+		(t.prev != nil && t.prevEpoch == epoch)
 }
 
 // CommitDeposit seals a collection deposit with the device's k2-keyed
@@ -119,8 +181,21 @@ func NewWithMaterial(id string, db *storage.LocalDB, km *KeyMaterial,
 // neither thin out the deposit nor claim coverage it discarded without
 // the querier-side verifier noticing. Only a key holder — a TDS — can
 // produce it, which is exactly what the weakly malicious SSI is not.
+//
+// The commitment is always the device's primary material binding its own
+// enrollment epoch — the epoch the deposit envelope declares — so the
+// verifier can recompute it per deposit from the declared epoch alone,
+// even when a rotation grace window has devices of two epochs answering
+// one query. Devices that never set an epoch bind the posted one, the
+// pre-rotation wire behavior.
 func (t *TDS) CommitDeposit(post *protocol.QueryPost, attempt int, tuples []protocol.WireTuple) []byte {
-	return protocol.DepositCommitment(t.committer, post.ID, t.ID, attempt, post.Epoch, tuples)
+	t.matMu.RLock()
+	c, epoch := t.km.Committer, t.epoch
+	t.matMu.RUnlock()
+	if epoch == 0 {
+		epoch = post.Epoch
+	}
+	return protocol.DepositCommitment(c, post.ID, t.ID, attempt, epoch, tuples)
 }
 
 // PlanCache shares compiled query plans across a fleet. It is keyed by
@@ -175,17 +250,17 @@ func (t *TDS) DropPlan(id string) {
 
 // plan decrypts, parses and compiles the posted query, caching per query
 // ID so a TDS participating in several phases does the work once. The
-// decryption runs with this device's own k1 (stale key epochs must keep
-// failing), the parse is shared through the post, and the compile through
-// the optional fleet-wide PlanCache.
-func (t *TDS) plan(post *protocol.QueryPost) (*sqlexec.Plan, error) {
+// decryption runs with the resolved key material's own k1 (stale key
+// epochs must keep failing), the parse is shared through the post, and
+// the compile through the optional fleet-wide PlanCache.
+func (t *TDS) plan(m *KeyMaterial, post *protocol.QueryPost) (*sqlexec.Plan, error) {
 	t.mu.Lock()
 	p, ok := t.plans[post.ID]
 	t.mu.Unlock()
 	if ok {
 		return p, nil
 	}
-	stmt, err := post.OpenQuery(t.k1)
+	stmt, err := post.OpenQuery(m.K1)
 	if err != nil {
 		return nil, err
 	}
@@ -234,10 +309,13 @@ type CollectStats struct {
 	Denied            bool
 }
 
-// collectScratch holds buffers reused across one call's tuple loop. The
-// encryption schemes copy plaintexts into fresh ciphertext buffers, so
-// reusing the plaintext scratch across tuples is safe.
+// collectScratch holds buffers reused across one call's tuple loop, plus
+// the key material the call resolved — one resolve per call, so a
+// rotation landing mid-call cannot split it across epochs. The encryption
+// schemes copy plaintexts into fresh ciphertext buffers, so reusing the
+// plaintext scratch across tuples is safe.
 type collectScratch struct {
+	m       *KeyMaterial     // material serving this call
 	payload []byte           // marker + encoded row plaintext
 	tag     []byte           // encoded grouping values / bucket identifier
 	row     storage.Row      // assembled fake row
@@ -253,7 +331,8 @@ type collectScratch struct {
 // not learn the query's selectivity or the policy decision.
 func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.WireTuple, CollectStats, error) {
 	var stats CollectStats
-	plan, err := t.plan(post)
+	m := t.matFor(post)
+	plan, err := t.plan(m, post)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -272,7 +351,7 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, fmt.Errorf("tds %s: local execution: %w", t.ID, err)
 		}
 	}
-	sc := collectScratch{arena: cfg.Arena}
+	sc := collectScratch{m: m, arena: cfg.Arena}
 	if len(rows) == 0 {
 		// Dummy sized like a plausible tuple of this plan. In the tagged
 		// protocols the dummy carries a plausible random tag, otherwise its
@@ -282,7 +361,7 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, err
 		}
 		sc.payload = protocol.AppendDummyPayload(sc.payload[:0], t.sampleBodySize(plan))
-		w, err := t.encryptTuple(post, sc.payload, tag, sc.arena)
+		w, err := t.encryptTuple(m, post, sc.payload, tag, sc.arena)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -297,7 +376,7 @@ func (t *TDS) Collect(post *protocol.QueryPost, cfg CollectConfig) ([]protocol.W
 			return nil, stats, err
 		}
 		sc.payload = protocol.AppendRowPayload(sc.payload[:0], protocol.MarkerTrue, row)
-		w, err := t.encryptTuple(post, sc.payload, tag, sc.arena)
+		w, err := t.encryptTuple(m, post, sc.payload, tag, sc.arena)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -353,7 +432,7 @@ func (t *TDS) dummyTag(post *protocol.QueryPost, cfg CollectConfig, sc *collectS
 		buckets := cfg.Hist.Buckets()
 		b := buckets[cfg.Rng.Intn(len(buckets))]
 		sc.tag = append(sc.tag[:0], b.ID...)
-		return t.bucketHash.Sum(sc.tag), nil
+		return sc.m.BucketHash.Sum(sc.tag), nil
 	default:
 		return nil, nil
 	}
@@ -374,7 +453,7 @@ func (t *TDS) collectionTag(post *protocol.QueryPost, plan *sqlexec.Plan,
 		}
 		bucket, _ := cfg.Hist.BucketOf(groupValues(plan, row).Key())
 		sc.tag = append(sc.tag[:0], bucket...)
-		return t.bucketHash.Sum(sc.tag), nil
+		return sc.m.BucketHash.Sum(sc.tag), nil
 	default:
 		return nil, fmt.Errorf("tds %s: unknown protocol %v", t.ID, post.Kind)
 	}
@@ -390,7 +469,7 @@ func groupValues(plan *sqlexec.Plan, row storage.Row) storage.Row {
 // returned tag is freshly allocated by the cipher and safe to retain.
 func (t *TDS) groupTag(post *protocol.QueryPost, group storage.Row, sc *collectScratch) ([]byte, error) {
 	sc.tag = storage.AppendRow(sc.tag[:0], group)
-	return t.k2.DetEncryptArena(sc.tag, post.AAD(), sc.arena)
+	return sc.m.K2.DetEncryptArena(sc.tag, post.AAD(), sc.arena)
 }
 
 // randomFakes appends nf fake tuples whose A_G values are drawn uniformly
@@ -451,11 +530,11 @@ func (t *TDS) encryptFake(post *protocol.QueryPost, row storage.Row, group stora
 		return protocol.WireTuple{}, err
 	}
 	sc.payload = protocol.AppendRowPayload(sc.payload[:0], protocol.MarkerFake, row)
-	return t.encryptTuple(post, sc.payload, tag, sc.arena)
+	return t.encryptTuple(sc.m, post, sc.payload, tag, sc.arena)
 }
 
-func (t *TDS) encryptTuple(post *protocol.QueryPost, payload, tag []byte, ar *tdscrypto.Arena) (protocol.WireTuple, error) {
-	ct, err := t.k2.NDetEncryptArena(payload, post.AAD(), ar)
+func (t *TDS) encryptTuple(m *KeyMaterial, post *protocol.QueryPost, payload, tag []byte, ar *tdscrypto.Arena) (protocol.WireTuple, error) {
+	ct, err := m.K2.NDetEncryptArena(payload, post.AAD(), ar)
 	if err != nil {
 		return protocol.WireTuple{}, fmt.Errorf("tds %s: encrypt: %w", t.ID, err)
 	}
@@ -499,11 +578,14 @@ var (
 	auditSep    = []byte{0}
 )
 
-// auditDigest MACs semantic output content under k2, bound to the query
-// and the input partition. Honest replicas of one partition produce equal
-// digests for equal semantic results; the SSI can compare but not open.
-func (t *TDS) auditDigest(post *protocol.QueryPost, fingerprint, semantic []byte) []byte {
-	mac := t.auditMAC.Get()
+// auditDigest MACs semantic output content under the serving material's
+// k2, bound to the query and the input partition. Honest replicas of one
+// partition produce equal digests for equal semantic results — including
+// across a rotation grace window, where a migrated replica serving
+// through its grace material and an unmigrated one serving through its
+// primary resolve the same epoch's k2. The SSI can compare but not open.
+func (t *TDS) auditDigest(m *KeyMaterial, post *protocol.QueryPost, fingerprint, semantic []byte) []byte {
+	mac := m.AuditMAC.Get()
 	mac.Write(auditPrefix)
 	mac.Write(post.AAD())
 	mac.Write(auditSep)
@@ -513,7 +595,7 @@ func (t *TDS) auditDigest(post *protocol.QueryPost, fingerprint, semantic []byte
 	var sum [sha256.Size]byte
 	out := make([]byte, 16)
 	copy(out, mac.Sum(sum[:0]))
-	t.auditMAC.Put(mac)
+	m.AuditMAC.Put(mac)
 	return out
 }
 
@@ -535,7 +617,8 @@ const (
 // raw collection tuples and partial aggregations into an accumulator, and
 // return the re-encrypted partial result.
 func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple, emit EmitMode) ([]protocol.WireTuple, error) {
-	plan, err := t.plan(post)
+	m := t.matFor(post)
+	plan, err := t.plan(m, post)
 	if err != nil {
 		return nil, err
 	}
@@ -543,7 +626,7 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 	acc := sqlexec.NewAccumulator(plan)
 	payloads := 0
 	for _, w := range partition {
-		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
+		pt, err := m.K2.Decrypt(w.Ciphertext, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: decrypt partition tuple: %w", t.ID, err)
 		}
@@ -579,27 +662,27 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 		// response of plausible size. The audit digest covers the semantic
 		// outcome ("empty"), not the random padding, so honest replicas
 		// still agree.
-		w, err := t.encryptTuple(post, protocol.DummyPayload(t.sampleBodySize(plan)), nil, nil)
+		w, err := t.encryptTuple(m, post, protocol.DummyPayload(t.sampleBodySize(plan)), nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		w.Digest = t.auditDigest(post, fp, []byte("empty"))
+		w.Digest = t.auditDigest(m, post, fp, []byte("empty"))
 		return []protocol.WireTuple{w}, nil
 	}
 
 	switch emit {
 	case EmitWhole:
 		enc := acc.Encode()
-		w, err := t.encryptTuple(post, protocol.EncodePayload(protocol.MarkerPartial, enc), nil, nil)
+		w, err := t.encryptTuple(m, post, protocol.EncodePayload(protocol.MarkerPartial, enc), nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		w.Digest = t.auditDigest(post, fp, enc)
+		w.Digest = t.auditDigest(m, post, fp, enc)
 		return []protocol.WireTuple{w}, nil
 	case EmitPerGroup:
 		groups := acc.Groups()
 		out := make([]protocol.WireTuple, 0, len(groups))
-		var sc collectScratch
+		sc := collectScratch{m: m}
 		var enc []byte
 		for _, g := range groups {
 			tag, err := t.groupTag(post, g.Values, &sc)
@@ -609,11 +692,11 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 			enc = sqlexec.AppendGroup(enc[:0], plan, g)
 			sc.payload = append(sc.payload[:0], byte(protocol.MarkerPartial))
 			sc.payload = append(sc.payload, enc...)
-			w, err := t.encryptTuple(post, sc.payload, tag, sc.arena)
+			w, err := t.encryptTuple(m, post, sc.payload, tag, sc.arena)
 			if err != nil {
 				return nil, err
 			}
-			w.Digest = t.auditDigest(post, fp, enc)
+			w.Digest = t.auditDigest(m, post, fp, enc)
 			out = append(out, w)
 		}
 		return out, nil
@@ -626,12 +709,13 @@ func (t *TDS) Aggregate(post *protocol.QueryPost, partition []protocol.WireTuple
 // (steps 10-12 of Fig. 2): decrypt the partition, remove dummy tuples and
 // re-encrypt the true tuples with k1 for the querier.
 func (t *TDS) FilterSFW(post *protocol.QueryPost, partition []protocol.WireTuple) ([]protocol.WireTuple, error) {
+	m := t.matFor(post)
 	fp := partitionFingerprint(partition)
 	var out []protocol.WireTuple
 	var payload []byte // plaintext scratch; re-encryption copies out of it
 	kept := 0
 	for _, w := range partition {
-		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
+		pt, err := m.K2.Decrypt(w.Ciphertext, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: decrypt: %w", t.ID, err)
 		}
@@ -648,13 +732,13 @@ func (t *TDS) FilterSFW(post *protocol.QueryPost, partition []protocol.WireTuple
 		}
 		payload = append(payload[:0], byte(protocol.MarkerTrue))
 		payload = append(payload, body...)
-		ct, err := t.k1.NDetEncrypt(payload, post.AAD())
+		ct, err := m.K1.NDetEncrypt(payload, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: re-encrypt: %w", t.ID, err)
 		}
 		out = append(out, protocol.WireTuple{
 			Ciphertext: ct,
-			Digest:     t.auditDigest(post, fp, body),
+			Digest:     t.auditDigest(m, post, fp, body),
 		})
 	}
 	return out, nil
@@ -666,7 +750,8 @@ func (t *TDS) FilterSFW(post *protocol.QueryPost, partition []protocol.WireTuple
 // result tuples with k1. forceEmpty requests the one-row semantics of a
 // global aggregate over an empty input.
 func (t *TDS) FinalizeGroups(post *protocol.QueryPost, partition []protocol.WireTuple, forceEmpty bool) ([]protocol.WireTuple, error) {
-	plan, err := t.plan(post)
+	m := t.matFor(post)
+	plan, err := t.plan(m, post)
 	if err != nil {
 		return nil, err
 	}
@@ -675,7 +760,7 @@ func (t *TDS) FinalizeGroups(post *protocol.QueryPost, partition []protocol.Wire
 	sawPartial := false
 	merged := 0
 	for _, w := range partition {
-		pt, err := t.k2.Decrypt(w.Ciphertext, post.AAD())
+		pt, err := m.K2.Decrypt(w.Ciphertext, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: decrypt: %w", t.ID, err)
 		}
@@ -706,13 +791,13 @@ func (t *TDS) FinalizeGroups(post *protocol.QueryPost, partition []protocol.Wire
 	var payload []byte
 	for _, row := range res.Rows {
 		payload = protocol.AppendRowPayload(payload[:0], protocol.MarkerTrue, row)
-		ct, err := t.k1.NDetEncrypt(payload, post.AAD())
+		ct, err := m.K1.NDetEncrypt(payload, post.AAD())
 		if err != nil {
 			return nil, fmt.Errorf("tds %s: encrypt result: %w", t.ID, err)
 		}
 		out = append(out, protocol.WireTuple{
 			Ciphertext: ct,
-			Digest:     t.auditDigest(post, fp, payload[1:]),
+			Digest:     t.auditDigest(m, post, fp, payload[1:]),
 		})
 	}
 	return out, nil

@@ -1,0 +1,194 @@
+package tdscrypto
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+)
+
+// Trust bundle: the unit of live key distribution. When the authority
+// rotates the fleet to a new epoch it does not visit devices one by one —
+// it publishes one signed envelope carrying everything a device needs to
+// migrate: the new epoch number, the revocation set, and the new key ring
+// broadcast-encrypted to exactly the non-revoked devices (complete-subtree
+// method, broadcast.go). Devices fetch the bundle over the untrusted SSI,
+// so the envelope must be self-authenticating and independent of the very
+// keys it replaces:
+//
+//   - the signature is Ed25519 under a long-lived distribution key derived
+//     from the authority master — not k1/k2, which the bundle rotates;
+//   - Version is a strictly monotonic distribution counter. A device
+//     remembers the highest version it has applied and rejects anything at
+//     or below it, which defeats an SSI replaying last epoch's (perfectly
+//     signed) bundle to wedge devices on stale keys;
+//   - a revoked device can verify the envelope but cannot open the
+//     broadcast payload inside it, so revocation needs no per-device
+//     messaging and takes effect the moment the bundle lands.
+const (
+	bundleMagic   = 0xB1
+	bundleVersion = 1
+)
+
+// TrustBundle is one epoch's enrollment material in transit.
+type TrustBundle struct {
+	// Version is the distribution counter, strictly increasing across
+	// bundles from one authority. Devices enforce monotonicity.
+	Version uint64
+	// Epoch is the key epoch the broadcast ring belongs to.
+	Epoch uint64
+	// Revoked lists device IDs excluded as of this bundle. Revocation is
+	// immediate — no grace window — so the list rides outside the
+	// broadcast payload where even a revoked device can read its fate.
+	Revoked []string
+	// Broadcast carries the new key ring, openable only by non-revoked
+	// devices (BroadcastRing / OpenRing).
+	Broadcast BroadcastMessage
+}
+
+// BundleSigner derives the authority's distribution signing key. The seed
+// comes from the master secret under its own label, so the signing key is
+// stable across epochs while k1/k2 rotate underneath it.
+func BundleSigner(master Key) ed25519.PrivateKey {
+	seed := DeriveKey(master, "bundle-sign")
+	return ed25519.NewKeyFromSeed(seed[:])
+}
+
+// BundleVerifier derives the matching public key, installed in every
+// device at enrollment (burn time), like the tree keys.
+func BundleVerifier(master Key) ed25519.PublicKey {
+	return BundleSigner(master).Public().(ed25519.PublicKey)
+}
+
+// SignTrustBundle serializes and signs one bundle. Ed25519 is
+// deterministic, so equal (bundle, key) pairs yield identical bytes —
+// the encoder is replay-stable for tests and caches.
+func SignTrustBundle(b *TrustBundle, priv ed25519.PrivateKey) []byte {
+	out := make([]byte, 0, 64+len(b.Revoked)*12+len(b.Broadcast.Entries)*48)
+	out = append(out, bundleMagic, bundleVersion)
+	out = binary.AppendUvarint(out, b.Version)
+	out = binary.AppendUvarint(out, b.Epoch)
+	out = binary.AppendUvarint(out, uint64(len(b.Revoked)))
+	for _, id := range b.Revoked {
+		out = bundleFramed(out, []byte(id))
+	}
+	out = binary.AppendUvarint(out, uint64(len(b.Broadcast.Entries)))
+	for _, e := range b.Broadcast.Entries {
+		out = binary.AppendUvarint(out, e.Node)
+		out = bundleFramed(out, e.Ciphertext)
+	}
+	return append(out, ed25519.Sign(priv, out)...)
+}
+
+func bundleFramed(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// DecodeTrustBundle parses a serialized bundle and verifies its signature.
+// Every length is checked against the remaining buffer before any
+// allocation, so hostile input cannot panic the decoder or balloon memory;
+// trailing garbage between payload and signature is an error; any bit flip
+// anywhere in the buffer — payload or signature — fails verification.
+func DecodeTrustBundle(buf []byte, pub ed25519.PublicKey) (*TrustBundle, error) {
+	if len(buf) < 2+ed25519.SignatureSize || buf[0] != bundleMagic || buf[1] != bundleVersion {
+		return nil, fmt.Errorf("tdscrypto: not a v%d trust bundle", bundleVersion)
+	}
+	body, sig := buf[:len(buf)-ed25519.SignatureSize], buf[len(buf)-ed25519.SignatureSize:]
+	r := bundleReader{buf: body[2:]}
+	b := &TrustBundle{}
+	b.Version = r.uvarint("bundle version")
+	b.Epoch = r.uvarint("epoch")
+	nr := r.uvarint("revoked count")
+	if r.err == nil && nr > uint64(len(r.buf)) {
+		// Each revoked ID costs at least its one frame byte; a count beyond
+		// that is a forged header, rejected before allocating.
+		r.err = fmt.Errorf("tdscrypto: revoked count %d exceeds buffer", nr)
+	}
+	if r.err == nil && nr > 0 {
+		b.Revoked = make([]string, nr)
+		for i := range b.Revoked {
+			b.Revoked[i] = string(r.framed("revoked id"))
+		}
+	}
+	ne := r.uvarint("entry count")
+	if r.err == nil && ne > uint64(len(r.buf))/2 {
+		// Each entry costs at least a node byte and a frame byte.
+		r.err = fmt.Errorf("tdscrypto: entry count %d exceeds buffer", ne)
+	}
+	if r.err == nil && ne > 0 {
+		b.Broadcast.Entries = make([]BroadcastEntry, ne)
+		for i := range b.Broadcast.Entries {
+			b.Broadcast.Entries[i].Node = r.uvarint("entry node")
+			b.Broadcast.Entries[i].Ciphertext = bundleClone(r.framed("entry ciphertext"))
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("tdscrypto: %d trailing bytes after trust bundle", len(r.buf))
+	}
+	if len(pub) != ed25519.PublicKeySize || !ed25519.Verify(pub, body, sig) {
+		return nil, fmt.Errorf("tdscrypto: trust bundle signature invalid")
+	}
+	return b, nil
+}
+
+// AcceptTrustBundle is the device-side gate: decode, verify the signature,
+// and enforce version monotonicity against the highest version this device
+// has already applied (0 before any). A stale or replayed bundle — even a
+// perfectly signed one — is rejected here.
+func AcceptTrustBundle(buf []byte, pub ed25519.PublicKey, lastVersion uint64) (*TrustBundle, error) {
+	b, err := DecodeTrustBundle(buf, pub)
+	if err != nil {
+		return nil, err
+	}
+	if b.Version <= lastVersion {
+		return nil, fmt.Errorf("tdscrypto: stale trust bundle version %d (have %d)",
+			b.Version, lastVersion)
+	}
+	return b, nil
+}
+
+// bundleClone detaches a decoded field from the input buffer; empty fields
+// stay nil so a round trip is byte-identical.
+func bundleClone(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// bundleReader is a cursor over the encoded buffer that latches the first
+// error; all reads after a failure return zero values.
+type bundleReader struct {
+	buf []byte
+	err error
+}
+
+func (r *bundleReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("tdscrypto: truncated %s", what)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *bundleReader) framed(what string) []byte {
+	n := r.uvarint(what + " length")
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("tdscrypto: %s length %d exceeds buffer", what, n)
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}

@@ -1,0 +1,156 @@
+package tdscrypto
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sealedBundle builds a genuine signed bundle: a 8-leaf tree with slot 2
+// revoked, carrying the epoch-3 ring to the survivors.
+func sealedBundle(t testing.TB, master Key) (*TrustBundle, []byte, *BroadcastAuthority) {
+	t.Helper()
+	ba, err := NewBroadcastAuthority(master, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Revoke(2); err != nil {
+		t.Fatal(err)
+	}
+	ring := NewKeyAuthority(master).RingAt(3)
+	msg, err := ba.BroadcastRing(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &TrustBundle{Version: 3, Epoch: 3, Revoked: []string{"tds-00002"}, Broadcast: msg}
+	return b, SignTrustBundle(b, BundleSigner(master)), ba
+}
+
+func TestTrustBundleRoundTrip(t *testing.T) {
+	master := DeriveKey(Key{}, "bundle-master")
+	b, enc, _ := sealedBundle(t, master)
+	got, err := DecodeTrustBundle(enc, BundleVerifier(master))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip changed the bundle:\n got %+v\nwant %+v", got, b)
+	}
+	// Deterministic signature: re-signing the decoded bundle reproduces the
+	// wire bytes exactly.
+	if again := SignTrustBundle(got, BundleSigner(master)); !reflect.DeepEqual(again, enc) {
+		t.Fatal("re-encode of a decoded bundle is not byte-identical")
+	}
+	// Empty bundle round-trips too.
+	empty := &TrustBundle{Version: 1}
+	got, err = DecodeTrustBundle(SignTrustBundle(empty, BundleSigner(master)), BundleVerifier(master))
+	if err != nil || !reflect.DeepEqual(got, empty) {
+		t.Fatalf("empty bundle round trip: %+v, %v", got, err)
+	}
+}
+
+// TestTrustBundleRejectsEveryBitFlip flips every bit of a genuine signed
+// bundle and asserts the decode rejects all of them: the Ed25519 signature
+// covers every payload byte, and a flipped signature byte fails
+// verification itself.
+func TestTrustBundleRejectsEveryBitFlip(t *testing.T) {
+	master := DeriveKey(Key{}, "bundle-master")
+	_, enc, _ := sealedBundle(t, master)
+	pub := BundleVerifier(master)
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeTrustBundle(mut, pub); err == nil {
+				t.Fatalf("bit %d of byte %d flipped undetected", bit, i)
+			}
+		}
+	}
+	// A signature from a different authority is just as dead.
+	b, _, _ := sealedBundle(t, master)
+	forged := SignTrustBundle(b, BundleSigner(DeriveKey(Key{}, "other-master")))
+	if _, err := DecodeTrustBundle(forged, pub); err == nil {
+		t.Fatal("bundle signed by a foreign authority accepted")
+	}
+}
+
+// TestTrustBundleVersionMonotonic is the stale-replay gate: a device that
+// has applied version v must reject any bundle at or below v, however
+// valid its signature.
+func TestTrustBundleVersionMonotonic(t *testing.T) {
+	master := DeriveKey(Key{}, "bundle-master")
+	_, enc, _ := sealedBundle(t, master) // version 3
+	pub := BundleVerifier(master)
+	if _, err := AcceptTrustBundle(enc, pub, 2); err != nil {
+		t.Fatalf("fresh bundle rejected: %v", err)
+	}
+	if _, err := AcceptTrustBundle(enc, pub, 3); err == nil {
+		t.Fatal("replayed bundle (version == last) accepted")
+	}
+	if _, err := AcceptTrustBundle(enc, pub, 7); err == nil {
+		t.Fatal("stale bundle (version < last) accepted")
+	}
+	if _, err := AcceptTrustBundle(enc, pub, 7); err != nil &&
+		!strings.Contains(err.Error(), "stale trust bundle") {
+		t.Fatal("stale rejection should be typed as such")
+	}
+}
+
+// TestTrustBundleRevokedCannotOpen: a revoked device verifies the envelope
+// (so it learns it is revoked) but cannot recover the new ring inside.
+func TestTrustBundleRevokedCannotOpen(t *testing.T) {
+	master := DeriveKey(Key{}, "bundle-master")
+	_, enc, ba := sealedBundle(t, master)
+	b, err := DecodeTrustBundle(enc, BundleVerifier(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewKeyAuthority(master).RingAt(b.Epoch)
+	for slot := 0; slot < 8; slot++ {
+		keys, err := ba.DeviceKeys(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ring, err := keys.OpenRing(b.Broadcast)
+		if slot == 2 {
+			if err == nil {
+				t.Fatal("revoked slot 2 opened the bundle ring")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("live slot %d: %v", slot, err)
+		}
+		if ring != want {
+			t.Fatalf("slot %d recovered a different ring", slot)
+		}
+	}
+}
+
+// FuzzTrustBundleDecode attacks the bundle boundary: arbitrary bytes must
+// never panic the decoder, and anything that decodes (meaning the
+// signature verified) re-signs to the same byte string and re-decodes to
+// an identical bundle — the no-silent-mutation property of the envelope.
+func FuzzTrustBundleDecode(f *testing.F) {
+	master := DeriveKey(Key{}, "bundle-master")
+	priv, pub := BundleSigner(master), BundleVerifier(master)
+	_, enc, _ := sealedBundle(f, master)
+	f.Add(enc)
+	f.Add(SignTrustBundle(&TrustBundle{Version: 1}, priv))
+	f.Add([]byte{bundleMagic, bundleVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeTrustBundle(data, pub)
+		if err != nil {
+			return
+		}
+		enc := SignTrustBundle(b, priv)
+		b2, err := DecodeTrustBundle(enc, pub)
+		if err != nil {
+			t.Fatalf("re-decode of a decoded bundle failed: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("re-encode is not stable:\nfirst  %+v\nsecond %+v", b, b2)
+		}
+	})
+}

@@ -50,6 +50,9 @@ go test -race -count=1 ./internal/core -run 'Server|ConcurrentQueryDeterminism'
 echo "==> journal determinism and cost-model conformance gate"
 go test -race -count=1 ./internal/core -run 'Journal|Conformance'
 
+echo "==> key lifecycle gate (live rotation / revocation / trust bundles)"
+go test -race -count=1 ./internal/core ./internal/tdscrypto -run 'Rotation|Revocation|Bundle'
+
 if [ "$short" -eq 0 ]; then
     echo "==> go test -race"
     go test -race ./...
@@ -68,6 +71,7 @@ if [ "$short" -eq 0 ]; then
     go test -run '^$' -fuzz '^FuzzDepositDecode$' -fuzztime 3s ./internal/protocol
     go test -run '^$' -fuzz '^FuzzDecodeRow$' -fuzztime 3s ./internal/storage
     go test -run '^$' -fuzz '^FuzzDecrypt$' -fuzztime 3s ./internal/tdscrypto
+    go test -run '^$' -fuzz '^FuzzTrustBundleDecode$' -fuzztime 3s ./internal/tdscrypto
 fi
 
 echo "OK"
