@@ -52,7 +52,7 @@ func parseFleetSizes(s string) ([]int, error) {
 const eagerBaselineFleet = 100_000
 
 // fleetEngine provisions one smart-meter fleet and a credentialed querier.
-func fleetEngine(fleet int, packed bool) (*core.Engine, *querier.Querier, error) {
+func fleetEngine(fleet int, packed bool, workers int) (*core.Engine, *querier.Querier, error) {
 	w := workload.DefaultSmartMeter(9)
 	w.Districts = 10
 	eng, err := core.NewEngine(core.Config{
@@ -63,7 +63,7 @@ func fleetEngine(fleet int, packed bool) (*core.Engine, *querier.Querier, error)
 		AuthorityKey:      tdscrypto.DeriveKey(tdscrypto.Key{}, "auth"),
 		MasterKey:         tdscrypto.DeriveKey(tdscrypto.Key{}, "master"),
 		AvailableFraction: 0.5,
-		CollectWorkers:    1,
+		CollectWorkers:    workers,
 		Seed:              9,
 		PackedFleet:       packed,
 	})
@@ -95,7 +95,7 @@ func liveHeap() uint64 {
 func measureProvision(name string, fleet int, packed bool) (benchRecord, *core.Engine, *querier.Querier, error) {
 	base := liveHeap()
 	start := time.Now()
-	eng, q, err := fleetEngine(fleet, packed)
+	eng, q, err := fleetEngine(fleet, packed, 1)
 	if err != nil {
 		return benchRecord{}, nil, nil, fmt.Errorf("%s: %w", name, err)
 	}

@@ -51,7 +51,7 @@ func runRotationScenario(path string, fleet, iters int, out io.Writer) error {
 	if fleet < 8 {
 		return fmt.Errorf("-rotation-fleet must be >= 8 (got %d)", fleet)
 	}
-	eng, q, err := fleetEngine(fleet, true)
+	eng, q, err := fleetEngine(fleet, true, 1)
 	if err != nil {
 		return err
 	}

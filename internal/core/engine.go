@@ -98,6 +98,11 @@ type Config struct {
 	// routinely benchmarkable. Every observable — rows, metrics,
 	// ledgers, traces — is bit-identical to the eager representation.
 	PackedFleet bool
+	// Pipeline is the engine-wide default for Request.Pipeline: whether
+	// a query's collection phase overlaps its first aggregation step.
+	// The zero value (PipelineDefault) resolves to PipelineOff. Requests
+	// override per query; observables are bit-identical either way.
+	Pipeline PipelineMode
 	// Seed makes runs reproducible.
 	Seed int64
 }
@@ -420,16 +425,10 @@ func (e *Engine) revokedListLocked() []string {
 }
 
 // pushEpochPolicyLocked installs the current epoch/grace/revocation admit
-// policy on the SSI, when the SSI supports it. Implementations that do
-// not (bare test doubles) keep exact-epoch matching, which is safe —
-// grace deposits degrade to deposit-stale rejections, never to wrong
-// answers.
+// policy on the SSI. ssi.Epochs is part of the composed ssi.Service
+// surface, so every injected implementation carries it.
 func (e *Engine) pushEpochPolicyLocked(grace bool) {
-	h, ok := e.ssi.(ssi.EpochPolicyHolder)
-	if !ok {
-		return
-	}
-	h.SetEpochPolicy(ssi.EpochPolicy{
+	e.ssi.SetEpochPolicy(ssi.EpochPolicy{
 		Epoch:   int(e.keyAuth.Epoch()) + 1,
 		Grace:   grace,
 		Revoked: e.revokedListLocked(),
@@ -758,10 +757,11 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 	type task struct {
 		part    []protocol.WireTuple
 		attempt int // 1-based assignment count for this partition
+		idx     int // partition index in the canonical build, kept across reassignment
 	}
 	tasks := make([]task, 0, len(partitions))
-	for _, p := range partitions {
-		tasks = append(tasks, task{part: p, attempt: 1})
+	for i, p := range partitions {
+		tasks = append(tasks, task{part: p, attempt: 1, idx: i})
 	}
 
 	// Failure decisions must be deterministic: draw them up front.
@@ -772,6 +772,7 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 	type assignment struct {
 		part    []protocol.WireTuple
 		workers []*tds.TDS // replicas processing the same partition
+		idx     int        // partition index, for pipeline adoption lookup
 	}
 	var plan []assignment
 	maxReassign := 10 * len(partitions) // safety valve against failure rates ~ 1
@@ -817,7 +818,7 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 				Kind: "reassign", Phase: phase, Device: ws[0].ID,
 				Attempt: t.attempt, At: phaseStart.Add(stats.Wait),
 			})
-			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1})
+			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1, idx: t.idx})
 			continue
 		}
 		if faults != nil && stats.Reassigned < maxReassign &&
@@ -843,10 +844,10 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 				continue
 			}
 			stats.Reassigned++
-			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1})
+			tasks = append(tasks, task{part: t.part, attempt: t.attempt + 1, idx: t.idx})
 			continue
 		}
-		plan = append(plan, assignment{part: t.part, workers: ws})
+		plan = append(plan, assignment{part: t.part, workers: ws, idx: t.idx})
 	}
 
 	pool := e.availableWorkers()
@@ -897,14 +898,26 @@ func (e *Engine) runPhase(ctx context.Context, rs *runState, phase string,
 				unanimous := true
 				var firstKey string
 				for i, w := range batch {
-					out, err := process(w, a.part)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
+					// Pipeline adoption: a speculative window whose input
+					// exactly matched this partition already produced the
+					// output any device of this epoch would — reuse it.
+					// The map is only populated in the single-replica,
+					// uncompromised regime, where outputs are observably
+					// device-independent; everything else about the unit
+					// (worker draw, busy time, voting) proceeds as if the
+					// assigned worker had computed it.
+					out, adopted := rs.adopt[a.idx]
+					if !adopted {
+						var err error
+						out, err = process(w, a.part)
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
 						}
-						mu.Unlock()
-						return
 					}
 					key := digestKey(out)
 					if i == 0 {

@@ -254,18 +254,21 @@ func (e *Engine) buildVerified(rs *runState, phase string, input []protocol.Wire
 // fold extends the run digest with one verified partition build: each
 // partition is committed individually and the partition commitments fold
 // under the previous digest, Merkle-style, so the final digest pins the
-// exact content and grouping of every phase.
+// exact content and grouping of every phase. The fold streams —
+// StartFold/Add/Sum over the same children is byte-identical to the
+// one-shot Fold — so a pipelined build folds partition by partition
+// without ever materializing the children slice.
 func (st *integrityState) fold(c *tdscrypto.Committer, phase string, parts [][]protocol.WireTuple) {
-	children := make([][]byte, 0, len(parts)+1)
-	children = append(children, st.digest)
+	fold := c.StartFold("phase/" + phase)
+	fold.Add(st.digest)
 	for _, p := range parts {
 		segs := make([][]byte, 0, 3*len(p))
 		for _, w := range p {
 			segs = append(segs, w.Tag, w.Ciphertext, w.Digest)
 		}
-		children = append(children, c.Commit("partition/"+phase, segs...))
+		fold.Add(c.Commit("partition/"+phase, segs...))
 	}
-	st.digest = c.Fold("phase/"+phase, children...)
+	st.digest = fold.Sum()
 }
 
 // tupleKey is the multiset identity of one wire tuple: every field,

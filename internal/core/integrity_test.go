@@ -105,11 +105,11 @@ func TestAdversaryChaosSweep(t *testing.T) {
 					rep     IntegrityReport
 					err     error
 				}
-				runAt := func(workers int) outcome {
+				runAt := func(workers int, pm PipelineMode) outcome {
 					f := newFixture(t, 20, func(c *Config) { c.CollectWorkers = workers })
 					resp, err := f.eng.Execute(context.Background(), Request{
 						Querier: f.q, SQL: sc.sql, Kind: sc.kind, Params: sc.params,
-						Faults: ssiScript(false, b),
+						Faults: ssiScript(false, b), Pipeline: pm,
 					})
 					if resp == nil {
 						t.Fatalf("workers=%d: no response at all (err=%v)", workers, err)
@@ -125,7 +125,7 @@ func TestAdversaryChaosSweep(t *testing.T) {
 					}
 					return o
 				}
-				seq, par := runAt(1), runAt(8)
+				seq, par := runAt(1, PipelineOff), runAt(8, PipelineOff)
 
 				// Determinism under attack: the adversary's strikes depend
 				// only on (seed, query ID), so both pipelines see the same
@@ -141,6 +141,27 @@ func TestAdversaryChaosSweep(t *testing.T) {
 				}
 				if (seq.err == nil) != (par.err == nil) || fmt.Sprint(seq.err) != fmt.Sprint(par.err) {
 					t.Errorf("errors diverge across workers:\n1: %v\n8: %v", seq.err, par.err)
+				}
+
+				// The streaming pipeline is deliberately NOT gated on SSI
+				// misbehavior: adoption matches against the verified (and,
+				// after a quarantine, recovered) canonical build, so a
+				// pipelined adversarial run must reproduce the barrier
+				// outcome exactly — rows, metrics, report and error alike.
+				pip := runAt(8, PipelineFull)
+				if !reflect.DeepEqual(seq.rows, pip.rows) {
+					t.Errorf("pipelined rows diverge:\nbarrier:   %v\npipelined: %v", seq.rows, pip.rows)
+				}
+				if !reflect.DeepEqual(seq.metrics, pip.metrics) {
+					t.Errorf("pipelined metrics diverge:\nbarrier:   %+v\npipelined: %+v",
+						seq.metrics, pip.metrics)
+				}
+				if !reflect.DeepEqual(seq.rep, pip.rep) {
+					t.Errorf("pipelined integrity reports diverge:\nbarrier:   %+v\npipelined: %+v",
+						seq.rep, pip.rep)
+				}
+				if (seq.err == nil) != (pip.err == nil) || fmt.Sprint(seq.err) != fmt.Sprint(pip.err) {
+					t.Errorf("pipelined errors diverge:\nbarrier:   %v\npipelined: %v", seq.err, pip.err)
 				}
 
 				switch {

@@ -37,6 +37,7 @@ type engineObs struct {
 	depositTuples *obs.Histogram
 	queriesFailed *obs.CounterVec // aborted runs, by reason
 	integrity     *obs.CounterVec // verified-execution events, by kind
+	pipeline      *obs.CounterVec // streaming-pipeline window outcomes
 }
 
 func newEngineObs() *engineObs {
@@ -83,6 +84,9 @@ func newEngineObs() *engineObs {
 		integrity: reg.CounterVec("tcq_integrity_events_total",
 			"verified-execution events (check, violation, quarantine, recovered)",
 			"kind"),
+		pipeline: reg.CounterVec("tcq_pipeline_windows_total",
+			"streaming-pipeline speculative window outcomes (speculated, adopted, wasted)",
+			"outcome"),
 	}
 }
 
@@ -134,24 +138,53 @@ type runState struct {
 	// roll accumulates the per-wave trace rollups when TraceSampleRate is
 	// fractional; nil at the full-tracing default.
 	roll *collectRollup
+	// Streaming-pipeline context. pipeMode is the resolved request mode;
+	// pipe the speculative executor (nil when speculation is not armed);
+	// adopt the canonical-partition-index → speculative-output map the
+	// streamed phase's runPhase consults, installed by settlePipeline
+	// and cleared when that phase ends. adopt is written strictly before
+	// the phase pool starts and read-only inside it.
+	pipeMode PipelineMode
+	pipe     *pipeline
+	adopt    map[int][]protocol.WireTuple
+}
+
+// beginPhaseScope opens one phase's span/journal pair at the current
+// simulated instant. Every phase — collection, the aggregation steps,
+// filtering, delivery — brackets itself through this helper and
+// endPhaseScope, so a span can never be emitted without its journal
+// counterpart (or vice versa), however the phases are overlapped.
+func (e *Engine) beginPhaseScope(rs *runState, name string, party obs.Party, facts obs.CipherFacts) *obs.Span {
+	sp := e.obs.tracer.StartChild(rs.post.ID, name, party, rs.clock.Now())
+	e.obs.journal.Emit(rs.post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseStart, Phase: name, Party: party,
+		At: rs.clock.Now(), Facts: facts,
+	})
+	return sp
+}
+
+// endPhaseScope closes the pair beginPhaseScope opened, at the current
+// (usually advanced) simulated instant.
+func (e *Engine) endPhaseScope(rs *runState, name string, party obs.Party, facts obs.CipherFacts) {
+	e.obs.tracer.EndSpan(rs.post.ID, rs.clock.Now())
+	e.obs.journal.Emit(rs.post.ID, obs.JournalEvent{
+		Kind: obs.JournalPhaseEnd, Phase: name, Party: party,
+		At: rs.clock.Now(), Facts: facts,
+	})
 }
 
 // startPhase opens the span of one aggregation/filtering phase and
 // records the SSI-visible partitioning event (the SSI sees how many
 // partitions it built and their ciphertext volume — nothing else).
 func (e *Engine) startPhase(rs *runState, name string, parts [][]protocol.WireTuple) *obs.Span {
-	sp := e.obs.tracer.StartChild(rs.post.ID, name, obs.PartyEngine, rs.clock.Now())
 	n, b := 0, 0
 	for _, p := range parts {
 		n += len(p)
 		b += protocol.TotalSize(p)
 	}
-	e.obs.tracer.SSIEvent(rs.post.ID, "partition", "", rs.clock.Now(),
-		obs.CipherFacts{Count: len(parts), Tuples: n, Bytes: int64(b)})
-	e.obs.journal.Emit(rs.post.ID, obs.JournalEvent{
-		Kind: obs.JournalPhaseStart, Phase: name, Party: obs.PartyEngine,
-		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(parts), Tuples: n, Bytes: int64(b)},
-	})
+	facts := obs.CipherFacts{Count: len(parts), Tuples: n, Bytes: int64(b)}
+	sp := e.beginPhaseScope(rs, name, obs.PartyEngine, facts)
+	e.obs.tracer.SSIEvent(rs.post.ID, "partition", "", rs.clock.Now(), facts)
 	return sp
 }
 
@@ -166,11 +199,7 @@ func (e *Engine) notePhase(rs *runState, name string, units []workUnit, ps phase
 	rs.metrics.LoadBytes += down + up
 	dur := rs.metrics.Phases[len(rs.metrics.Phases)-1].Duration
 	rs.clock.Advance(dur)
-	e.obs.tracer.EndSpan(rs.post.ID, rs.clock.Now())
-	e.obs.journal.Emit(rs.post.ID, obs.JournalEvent{
-		Kind: obs.JournalPhaseEnd, Phase: name, Party: obs.PartyEngine,
-		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(units), Bytes: down + up},
-	})
+	e.endPhaseScope(rs, name, obs.PartyEngine, obs.CipherFacts{Count: len(units), Bytes: down + up})
 	e.obs.phaseSeconds.With(phaseLabel(name)).Observe(dur.Seconds())
 	e.obs.bytes.With("phase_down").Add(float64(down))
 	e.obs.bytes.With("phase_up").Add(float64(up))

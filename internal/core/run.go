@@ -113,19 +113,19 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	defer jr.Discard(post.ID) // no-op when the journal was taken
 	e.obs.queries.With(req.Kind.String()).Inc()
 
-	tr.StartChild(post.ID, "collect", obs.PartyEngine, rs.clock.Now())
-	jr.Emit(post.ID, obs.JournalEvent{
-		Kind: obs.JournalPhaseStart, Phase: "collect", Party: obs.PartyEngine,
-		At: rs.clock.Now(),
-	})
+	// Arm the streaming pipeline before collection starts (the deposit
+	// funnel feeds it); the deferred abort registers after dropPlans and
+	// Drop, so it runs first and no speculative worker outlives the
+	// query's SSI state.
+	e.armPipeline(rs, req, groupCountHint(stmt))
+	defer rs.pipe.abort()
+
+	e.beginPhaseScope(rs, "collect", obs.PartyEngine, obs.CipherFacts{})
 	if err := e.collectionPhase(ctx, rs, cfgTpl); err != nil {
 		return e.abortRun(rs, err)
 	}
-	tr.EndSpan(post.ID, rs.clock.Now())
-	jr.Emit(post.ID, obs.JournalEvent{
-		Kind: obs.JournalPhaseEnd, Phase: "collect", Party: obs.PartyEngine,
-		At: rs.clock.Now(), Facts: obs.CipherFacts{Tuples: int(metrics.Nt), Bytes: metrics.CollectBytes},
-	})
+	e.endPhaseScope(rs, "collect", obs.PartyEngine,
+		obs.CipherFacts{Tuples: int(metrics.Nt), Bytes: metrics.CollectBytes})
 	e.obs.coverage.Set(metrics.CoverageRatio)
 	if metrics.Nt > 0 {
 		e.obs.dummyRatio.Set(float64(metrics.Nt-metrics.TrueTuples) / float64(metrics.Nt))
@@ -162,11 +162,7 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	// Final delivery: the querier downloads and decrypts the result. The
 	// delivery span advances the simulated clock but not TQ (the paper's
 	// T_Q ends when the filtered result is ready at the SSI).
-	dspan := tr.StartChild(post.ID, "deliver", obs.PartyQuerier, rs.clock.Now())
-	jr.Emit(post.ID, obs.JournalEvent{
-		Kind: obs.JournalPhaseStart, Phase: "deliver", Party: obs.PartyQuerier,
-		At: rs.clock.Now(),
-	})
+	dspan := e.beginPhaseScope(rs, "deliver", obs.PartyQuerier, obs.CipherFacts{})
 	res, err := req.Querier.DecryptResult(post, finalTuples)
 	if err != nil {
 		return e.abortRun(rs, err)
@@ -178,15 +174,16 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 	rs.clock.Advance(mtr.Total())
 	dspan.SetAttr("rows", strconv.Itoa(len(res.Rows))).
 		SetAttr("bytes", strconv.Itoa(outBytes))
-	tr.EndSpan(post.ID, rs.clock.Now())
-	jr.Emit(post.ID, obs.JournalEvent{
-		Kind: obs.JournalPhaseEnd, Phase: "deliver", Party: obs.PartyQuerier,
-		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(res.Rows), Bytes: int64(outBytes)},
-	})
+	e.endPhaseScope(rs, "deliver", obs.PartyQuerier,
+		obs.CipherFacts{Count: len(res.Rows), Bytes: int64(outBytes)})
 	e.obs.bytes.With("deliver_down").Add(float64(outBytes))
 
 	snapshot()
 	metrics.finish()
+	// Settle the speculation account before reporting: a run whose
+	// streamed step never ran (e.g. S_Agg over ≤1 tuple) still dispatched
+	// windows, which abort files as wasted; after a settle this no-ops.
+	rs.pipe.abort()
 	conf := e.conformance(rs, req)
 	if conf != nil {
 		// Deterministic model check on the root span: predicted T_Q and
@@ -200,7 +197,8 @@ func (e *Engine) run(ctx context.Context, req Request) (*Response, error) {
 		At: rs.clock.Now(), Facts: obs.CipherFacts{Count: len(res.Rows)},
 	})
 	return &Response{Result: res, Metrics: metrics, Trace: tr.Take(post.ID),
-		Integrity: rs.integrityReport(), Journal: jr.Take(post.ID), Conformance: conf}, nil
+		Integrity: rs.integrityReport(), Journal: jr.Take(post.ID), Conformance: conf,
+		Pipeline: rs.pipelineReport()}, nil
 }
 
 // collectInputs assembles the per-protocol collection-phase inputs: the
@@ -267,18 +265,24 @@ func (e *Engine) aggregateAndFilter(ctx context.Context, rs *runState, stmt *sql
 
 	switch post.Kind {
 	case protocol.KindBasic:
-		// Filtering phase only: random partitions of the covering result,
-		// each filtered by a TDS (steps 9-12).
+		// Filtering phase only: deposit-order windows of the covering
+		// result, each filtered by a TDS (steps 9-12). Deposit order is
+		// itself a random permutation of the fleet walk, so the windows
+		// are as random as the former explicit shuffle — and, unlike it,
+		// streamable while collection is still running.
+		per := e.firstStepPer(post.Kind, post.Params, 0)
 		parts, err := e.buildVerified(rs, "filter-sfw", collected, func() [][]protocol.WireTuple {
-			return rs.ssi.PartitionRandom(post.ID, collected, e.perPartitionTuples(post.Params, collected), rs.rng)
+			return rs.ssi.StreamBuild(post.ID, per)
 		})
 		if err != nil {
 			return nil, err
 		}
+		e.settlePipeline(rs, parts)
 		e.startPhase(rs, "filter-sfw", parts)
 		units, ps, err := e.runPhase(ctx, rs, "filter-sfw", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.FilterSFW(post, p)
 		})
+		rs.adopt = nil
 		if err != nil {
 			return nil, err
 		}
@@ -310,26 +314,37 @@ func (e *Engine) runSAgg(ctx context.Context, rs *runState, stmt *sqlparse.Selec
 
 	units := collected
 	// First step: partitions of ~α*G tuples; later steps: α partials each.
-	per := int(alpha * float64(g))
-	if limit := e.perPartitionTuples(post.Params, collected); per > limit {
-		per = limit
-	}
-	if per < 2 {
-		per = 2
-	}
+	// The first step partitions the covering result as it sits in the
+	// SSI's chunked store — deposit-order windows, a random permutation
+	// by construction of the fleet walk, and the streamed build the
+	// pipeline speculates on. Later steps partition relayed partials,
+	// which never sit in the store, so they keep the explicit shuffle.
+	per := e.firstStepPer(protocol.KindSAgg, post.Params, g)
+	first := true
 	for len(units) > 1 {
 		name := fmt.Sprintf("s_agg-step-%d", len(metrics.Phases)+1)
 		input, size := units, per
-		parts, err := e.buildVerified(rs, name, input, func() [][]protocol.WireTuple {
+		build := func() [][]protocol.WireTuple {
 			return rs.ssi.PartitionRandom(post.ID, input, size, rs.rng)
-		})
+		}
+		if first {
+			build = func() [][]protocol.WireTuple {
+				return rs.ssi.StreamBuild(post.ID, size)
+			}
+		}
+		parts, err := e.buildVerified(rs, name, input, build)
 		if err != nil {
 			return nil, err
+		}
+		if first {
+			e.settlePipeline(rs, parts)
+			first = false
 		}
 		sp := e.startPhase(rs, name, parts)
 		stepUnits, ps, err := e.runPhase(ctx, rs, name, parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 			return w.Aggregate(post, p, tds.EmitWhole)
 		})
+		rs.adopt = nil
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +383,9 @@ func (e *Engine) runSAgg(ctx context.Context, rs *runState, stmt *sqlparse.Selec
 func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.SelectStmt,
 	collected []protocol.WireTuple) ([]protocol.WireTuple, error) {
 	post := rs.post
-	per := e.perPartitionTuples(post.Params, collected)
+	// Sized nominally (not from the measured average) so the pipeline can
+	// form identical per-tag chunks while collection is still running.
+	per := e.firstStepPer(post.Kind, post.Params, 0)
 
 	// First aggregation step: partitions hold tuples of one tag; large
 	// groups split across n_NB partitions processed in parallel.
@@ -378,10 +395,12 @@ func (e *Engine) runTagged(ctx context.Context, rs *runState, stmt *sqlparse.Sel
 	if err != nil {
 		return nil, err
 	}
+	e.settlePipeline(rs, parts)
 	e.startPhase(rs, "aggregate-1", parts)
 	step1, ps, err := e.runPhase(ctx, rs, "aggregate-1", parts, func(w *tds.TDS, p []protocol.WireTuple) ([]protocol.WireTuple, error) {
 		return w.Aggregate(post, p, tds.EmitPerGroup)
 	})
+	rs.adopt = nil
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +455,14 @@ func (e *Engine) filterFinal(ctx context.Context, rs *runState, stmt *sqlparse.S
 	}
 	e.notePhase(rs, "filtering", units, ps)
 	out := collectOutputs(units)
+	// G: for the tagged protocols the filtering input is one partial per
+	// group (the before-HAVING count); for S_Agg the input is whole-state
+	// tuples whose group count only becomes visible in the emitted result
+	// rows. The max covers both without a protocol switch.
 	metrics.Groups = countGroups(units)
+	if n := len(out); n > metrics.Groups {
+		metrics.Groups = n
+	}
 
 	if len(out) == 0 && forceEmpty {
 		// Global aggregate over an empty covering result still returns one

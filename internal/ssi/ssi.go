@@ -56,12 +56,12 @@ type EpochPolicy struct {
 	Revoked []string
 }
 
-// EpochPolicyHolder is the optional interface a Service implements to
-// accept rotation policy updates; the engine's rotation coordinator
-// type-asserts it, exactly like the WithTracer / WithJournal hooks.
-type EpochPolicyHolder interface {
-	SetEpochPolicy(EpochPolicy)
-}
+// EpochPolicyHolder is the historical name of the Epochs facet, kept as
+// an alias for callers that type-asserted it before Epochs became part of
+// Service proper.
+//
+// Deprecated: use Epochs.
+type EpochPolicyHolder = Epochs
 
 // QueryState is everything the SSI holds for one active query.
 type QueryState struct {
@@ -130,14 +130,11 @@ func (ts *tupleStore) slice(start, end int) []protocol.WireTuple {
 
 func (ts *tupleStore) all() []protocol.WireTuple { return ts.slice(0, ts.n) }
 
-// Service is the infrastructure interface the engine's run path drives:
-// everything the protocols need from the supporting servers — querybox,
-// deposits, partition building, the recovery ledger and the curious
-// observation record. *SSI is the honest-but-curious implementation;
-// Adversary wraps it with scripted misbehavior for the upgraded threat
-// model. Keeping the engine on this interface is what makes the integrity
-// layer meaningful: the verifier must not care which one it is talking to.
-type Service interface {
+// Store is the querybox-and-ledger facet of the infrastructure: posting
+// queries, accepting deposits into the chunked collection store, reading
+// the store back, and keeping the recovery ledger and the curious
+// observation record.
+type Store interface {
 	PostQuery(post *protocol.QueryPost, now time.Time) error
 	DepositEnvelope(id string, dep *protocol.Deposit, now time.Time) (accepted int, done bool, err error)
 	DepositEnvelopeBatch(id string, deps []*protocol.Deposit, now time.Time) (out []DepositOutcome, doneAt int, done bool, err error)
@@ -150,10 +147,47 @@ type Service interface {
 	LedgerFor(id string) []LedgerEntry
 	ObservationFor(id string) Observation
 	BytesStored(id string) int64
+	Drop(id string)
+}
+
+// Epochs is the rotation-policy facet: the engine's rotation coordinator
+// pushes the admit gate's view of the current epoch, the grace window and
+// the revocation list through it. It absorbs what used to be the bolt-on
+// EpochPolicyHolder type-assert.
+type Epochs interface {
+	SetEpochPolicy(EpochPolicy)
+}
+
+// Streamer is the partition-building facet, including the streaming
+// readiness protocol that lets the engine overlap collection with the
+// first reduction step: PartitionReady reports how many full
+// deposit-order windows the chunked store already holds, TakePartition
+// reads one such window back, and StreamBuild turns the whole store into
+// the canonical deposit-order build (stashed for Repartition like every
+// other build). Deposit order is itself a uniform random permutation of
+// the fleet, so a deposit-order window is exactly the "random partition"
+// of step 9 — which is what makes the streamed build protocol-equivalent
+// to RandomPartitions.
+type Streamer interface {
 	PartitionRandom(id string, tuples []protocol.WireTuple, perPartition int, rng *rand.Rand) [][]protocol.WireTuple
 	PartitionByTag(id string, tuples []protocol.WireTuple, maxPerPartition int) [][]protocol.WireTuple
 	Repartition(id string) [][]protocol.WireTuple
-	Drop(id string)
+	PartitionReady(id string, perPartition int) int
+	TakePartition(id string, k, perPartition int) []protocol.WireTuple
+	StreamBuild(id string, perPartition int) [][]protocol.WireTuple
+}
+
+// Service is the infrastructure interface the engine's run path drives:
+// everything the protocols need from the supporting servers, composed
+// from the Store, Epochs and Streamer facets. *SSI is the
+// honest-but-curious implementation; Adversary wraps it with scripted
+// misbehavior for the upgraded threat model. Keeping the engine on this
+// interface is what makes the integrity layer meaningful: the verifier
+// must not care which one it is talking to.
+type Service interface {
+	Store
+	Epochs
+	Streamer
 }
 
 var _ Service = (*SSI)(nil)
@@ -586,6 +620,62 @@ func (s *SSI) PartitionRandom(id string, tuples []protocol.WireTuple, perPartiti
 func (s *SSI) PartitionByTag(id string, tuples []protocol.WireTuple, maxPerPartition int) [][]protocol.WireTuple {
 	parts := TagPartitions(tuples, maxPerPartition)
 	s.stashBuild(id, parts)
+	return parts
+}
+
+// PartitionReady reports how many full deposit-order windows of
+// perPartition tuples the collection store holds so far. The store only
+// ever appends, so a window that is ready stays ready with identical
+// content — the property the streaming pipeline's speculation relies on.
+func (s *SSI) PartitionReady(id string, perPartition int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok || perPartition <= 0 {
+		return 0
+	}
+	return st.tuples.n / perPartition
+}
+
+// TakePartition reads back the k-th deposit-order window of perPartition
+// tuples (a fresh copy; partial trailing windows are returned as far as
+// the store goes). It is a pure read: handing a window to a speculating
+// TDS neither stashes a build nor commits the SSI to any partitioning.
+func (s *SSI) TakePartition(id string, k, perPartition int) []protocol.WireTuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok || perPartition <= 0 || k < 0 {
+		return nil
+	}
+	return st.tuples.slice(k*perPartition, (k+1)*perPartition)
+}
+
+// StreamBuild is the canonical build of the streamed first step: the
+// whole collection store chunked into deposit-order windows of
+// perPartition tuples. Unlike TakePartition it is a real partition build
+// — stashed for Repartition and subject to the same multiset
+// verification as any other.
+func (s *SSI) StreamBuild(id string, perPartition int) [][]protocol.WireTuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.queries[id]
+	if !ok || st.tuples.n == 0 {
+		return nil
+	}
+	if perPartition <= 0 {
+		perPartition = 1
+	}
+	n := st.tuples.n
+	parts := make([][]protocol.WireTuple, 0, (n+perPartition-1)/perPartition)
+	for start := 0; start < n; start += perPartition {
+		end := start + perPartition
+		if end > n {
+			end = n
+		}
+		parts = append(parts, st.tuples.slice(start, end))
+	}
+	st.lastBuild = copyBuild(parts)
 	return parts
 }
 
